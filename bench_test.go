@@ -1,0 +1,413 @@
+package ctdf
+
+// The benchmark harness: one benchmark per experiment in EXPERIMENTS.md
+// (E1–E12), regenerating the corresponding paper artifact's measurement.
+// Dataflow-level results (cycles on the simulated machine, operator
+// counts) are reported as custom metrics next to the usual ns/op of the
+// simulation itself.
+
+import (
+	"fmt"
+	"testing"
+
+	"ctdf/internal/experiments"
+	"ctdf/internal/workloads"
+)
+
+func compileBench(b *testing.B, src string) *Program {
+	b.Helper()
+	p, err := Compile(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// benchRun measures executing workload w under opt on the machine and
+// reports the simulated cycle count and average parallelism.
+func benchRun(b *testing.B, w workloads.Workload, opt Options, run RunConfig) {
+	b.Helper()
+	p := compileBench(b, w.Source)
+	d, err := p.Translate(opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last *Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := d.Run(run)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.StopTimer()
+	if last != nil && last.Cycles > 0 {
+		b.ReportMetric(float64(last.Cycles), "cycles")
+		b.ReportMetric(last.AvgParallelism, "par")
+	}
+	st := d.Stats()
+	b.ReportMetric(float64(st.Nodes), "dfnodes")
+	b.ReportMetric(float64(st.Switches), "switches")
+}
+
+// --- E1/E2: Schema 1 vs Schema 2 on the running example (Figs 1–8) ---
+
+func BenchmarkE1Schema1RunningExample(b *testing.B) {
+	benchRun(b, workloads.RunningExample, Options{Schema: Schema1}, RunConfig{MemLatency: 4})
+}
+
+func BenchmarkE2Schema2RunningExample(b *testing.B) {
+	benchRun(b, workloads.RunningExample, Options{Schema: Schema2}, RunConfig{MemLatency: 4})
+}
+
+func BenchmarkE2Schema2IndependentChains(b *testing.B) {
+	benchRun(b, workloads.ByName("independent-chains"), Options{Schema: Schema2}, RunConfig{MemLatency: 4})
+}
+
+// --- E3: translation cost and O(E·V) size scaling (§3) ---
+
+func BenchmarkE3TranslateSizeScaling(b *testing.B) {
+	for _, size := range []int{2, 4, 8, 16} {
+		w := workloads.Random(1234, size, 2)
+		b.Run(fmt.Sprintf("stmts=%d", size), func(b *testing.B) {
+			p := compileBench(b, w.Source)
+			var d *Dataflow
+			for i := 0; i < b.N; i++ {
+				var err error
+				d, err = p.Translate(Options{Schema: Schema2})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(d.Stats().Arcs), "dfarcs")
+		})
+	}
+}
+
+// --- E4: switch elimination on Figure 9 ---
+
+func BenchmarkE4Fig9Schema2(b *testing.B) {
+	benchRun(b, workloads.Fig9Example, Options{Schema: Schema2}, RunConfig{MemLatency: 8})
+}
+
+func BenchmarkE4Fig9Optimized(b *testing.B) {
+	benchRun(b, workloads.Fig9Example, Options{Schema: Schema2Opt}, RunConfig{MemLatency: 8})
+}
+
+// --- E5: switch placement (Figure 10) computation cost ---
+
+func BenchmarkE5SwitchPlacement(b *testing.B) {
+	w := workloads.Random(999, 10, 3)
+	p := compileBench(b, w.Source)
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Translate(Options{Schema: Schema2Opt}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E6: direct construction vs iterative elimination (§4.2) ---
+
+func BenchmarkE6DirectConstruction(b *testing.B) {
+	p := compileBench(b, workloads.Fig9Example.Source)
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Translate(Options{Schema: Schema2Opt}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6IterativeElimination(b *testing.B) {
+	p := compileBench(b, workloads.Fig9Example.Source)
+	d, err := p.Translate(Options{Schema: Schema2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, n := d.EliminateRedundantSwitches(); n == 0 {
+			b.Fatal("nothing eliminated")
+		}
+	}
+}
+
+// --- E7: cover tradeoff (§5, Figures 12–13) ---
+
+func BenchmarkE7Cover(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		kind CoverKind
+	}{{"singleton", CoverSingleton}, {"class", CoverClass}, {"monolithic", CoverMonolithic}} {
+		b.Run(c.name, func(b *testing.B) {
+			benchRun(b, workloads.ByName("cover-tradeoff"),
+				Options{Schema: Schema3, Cover: c.kind}, RunConfig{MemLatency: 6})
+		})
+	}
+}
+
+// --- E8: array store parallelization (Figure 14, §6.3) ---
+
+func BenchmarkE8ArrayStores(b *testing.B) {
+	for _, par := range []bool{false, true} {
+		name := "sequential"
+		if par {
+			name = "parallelized"
+		}
+		b.Run(name, func(b *testing.B) {
+			benchRun(b, workloads.Fig14ArrayLoop,
+				Options{Schema: Schema2Opt, EliminateMemory: true, ParallelArrayStores: par},
+				RunConfig{MemLatency: 20})
+		})
+	}
+}
+
+// --- E9: memory elimination (§6.1) ---
+
+func BenchmarkE9MemElim(b *testing.B) {
+	for _, elim := range []bool{false, true} {
+		name := "with-memory"
+		if elim {
+			name = "eliminated"
+		}
+		b.Run(name, func(b *testing.B) {
+			benchRun(b, workloads.ByName("fib-iterative"),
+				Options{Schema: Schema2Opt, EliminateMemory: elim}, RunConfig{MemLatency: 4})
+		})
+	}
+}
+
+// --- E10: read parallelization (§6.2) ---
+
+func BenchmarkE10ReadPar(b *testing.B) {
+	for _, par := range []bool{false, true} {
+		name := "sequential-reads"
+		if par {
+			name = "parallel-reads"
+		}
+		b.Run(name, func(b *testing.B) {
+			benchRun(b, workloads.ByName("read-heavy"),
+				Options{Schema: Schema2, ParallelReads: par}, RunConfig{MemLatency: 16})
+		})
+	}
+}
+
+// --- E11: the schema comparison across the suite ---
+
+func BenchmarkE11SchemaComparison(b *testing.B) {
+	for _, w := range []workloads.Workload{
+		workloads.RunningExample,
+		workloads.ByName("fib-iterative"),
+		workloads.ByName("matmul-2x2-flat"),
+		workloads.ByName("independent-chains"),
+	} {
+		for _, cfg := range []struct {
+			name string
+			opt  Options
+		}{
+			{"schema1", Options{Schema: Schema1}},
+			{"schema2", Options{Schema: Schema2}},
+			{"schema2-opt", Options{Schema: Schema2Opt}},
+			{"mem-elim", Options{Schema: Schema2Opt, EliminateMemory: true}},
+		} {
+			b.Run(w.Name+"/"+cfg.name, func(b *testing.B) {
+				benchRun(b, w, cfg.opt, RunConfig{MemLatency: 4})
+			})
+		}
+	}
+}
+
+// --- E12: engine comparison ---
+
+func BenchmarkE12Engines(b *testing.B) {
+	w := workloads.ByName("nested-loops")
+	for _, e := range []struct {
+		name   string
+		engine Engine
+	}{{"machine", EngineMachine}, {"channels", EngineChannels}} {
+		b.Run(e.name, func(b *testing.B) {
+			p := compileBench(b, w.Source)
+			d, err := p.Translate(Options{Schema: Schema2Opt})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := d.Run(RunConfig{Engine: e.engine}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E13: I-structure memory (§6.3, write-once arrays) ---
+
+func BenchmarkE13IStructures(b *testing.B) {
+	for _, ist := range []bool{false, true} {
+		name := "access-tokens"
+		if ist {
+			name = "i-structures"
+		}
+		b.Run(name, func(b *testing.B) {
+			benchRun(b, workloads.ByName("producer-consumer"),
+				Options{Schema: Schema2Opt, EliminateMemory: true, UseIStructures: ist},
+				RunConfig{MemLatency: 16})
+		})
+	}
+}
+
+// --- E14: derived alias structures (§5) ---
+
+func BenchmarkE14DeriveAliases(b *testing.B) {
+	p := compileBench(b, workloads.ByName("proc-fortran").Source)
+	for i := 0; i < b.N; i++ {
+		pas, err := p.DeriveAliases()
+		if err != nil || len(pas) == 0 {
+			b.Fatal("derivation failed")
+		}
+	}
+}
+
+// --- E15: separate compilation with activation contexts (§2.2) ---
+
+func BenchmarkE15Linked(b *testing.B) {
+	src := workloads.ByName("proc-fortran").Source
+	p := compileBench(b, src)
+	for _, linked := range []bool{false, true} {
+		name := "inlined"
+		if linked {
+			name = "linked"
+		}
+		b.Run(name, func(b *testing.B) {
+			var d *Dataflow
+			var err error
+			if linked {
+				d, err = p.TranslateLinked()
+			} else {
+				d, err = p.Translate(Options{Schema: Schema2Opt})
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			var last *Result
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				last, err = d.Run(RunConfig{MemLatency: 4})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(last.Cycles), "cycles")
+			b.ReportMetric(float64(d.Stats().Nodes), "dfnodes")
+		})
+	}
+}
+
+// --- Pipeline stage costs ---
+
+func BenchmarkCompile(b *testing.B) {
+	w := workloads.ByName("matmul-2x2-flat")
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(w.Source); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTranslateSchemas(b *testing.B) {
+	w := workloads.ByName("matmul-2x2-flat")
+	p := compileBench(b, w.Source)
+	for _, s := range []Schema{Schema1, Schema2, Schema2Opt, Schema3, Schema3Opt} {
+		b.Run(s.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Translate(Options{Schema: s}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScalingTranslate measures translation time as generated
+// programs grow (statement count doubles per step).
+func BenchmarkScalingTranslate(b *testing.B) {
+	for _, size := range []int{4, 8, 16, 32} {
+		w := workloads.Random(4242, size, 3)
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			p := compileBench(b, w.Source)
+			var d *Dataflow
+			for i := 0; i < b.N; i++ {
+				var err error
+				d, err = p.Translate(Options{Schema: Schema2Opt})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(d.Stats().Nodes), "dfnodes")
+		})
+	}
+}
+
+// BenchmarkScalingSimulate measures simulator throughput (operator
+// firings per wall second) on growing programs.
+func BenchmarkScalingSimulate(b *testing.B) {
+	for _, size := range []int{4, 8, 16} {
+		w := workloads.Random(4242, size, 3)
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			p := compileBench(b, w.Source)
+			d, err := p.Translate(Options{Schema: Schema2Opt})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ops := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r, err := d.Run(RunConfig{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ops += r.Ops
+			}
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(ops)/sec, "fires/s")
+			}
+		})
+	}
+}
+
+// BenchmarkSynchLegalization measures the two-input legalization pass and
+// its runtime effect.
+func BenchmarkSynchLegalization(b *testing.B) {
+	src := `
+var a, c, d, e
+alias a ~ e
+alias c ~ e
+alias d ~ e
+e := a + c + d
+a := e * 2
+`
+	p := compileBench(b, src)
+	d, err := p.Translate(Options{Schema: Schema3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, n := d.LegalizeSynchTrees(); n == 0 {
+			b.Skip("no wide synchs")
+		}
+	}
+}
+
+// BenchmarkExperimentTables regenerates every EXPERIMENTS.md table.
+func BenchmarkExperimentTables(b *testing.B) {
+	for _, e := range experiments.All() {
+		b.Run(e.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

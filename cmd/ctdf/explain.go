@@ -1,0 +1,154 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ctdf/internal/analysis"
+	"ctdf/internal/cfg"
+	"ctdf/internal/dfg"
+	"ctdf/internal/interp"
+	"ctdf/internal/lang"
+	"ctdf/internal/machine"
+	"ctdf/internal/translate"
+)
+
+// cmdExplain walks one program through every stage of the paper's
+// pipeline, printing the intermediate artifacts: CFG, postdominators,
+// control dependences, switch placement, source vectors, the dataflow
+// listing, and an execution summary.
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	workload := sourceFlags(fs)
+	schemaName := fs.String("schema", "schema2-opt", "translation schema")
+	latency := fs.Int("latency", 4, "split-phase memory latency in cycles")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src, err := loadSource(fs, *workload)
+	if err != nil {
+		return err
+	}
+	schema, err := translate.ParseSchema(*schemaName)
+	if err != nil {
+		return err
+	}
+
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== source ==")
+	fmt.Print(prog.Format())
+
+	g, err := cfg.Build(prog)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n== control-flow graph (§2.1) ==")
+	fmt.Print(g.String())
+
+	g2, copied, err := cfg.MakeReducible(g)
+	if err != nil {
+		return err
+	}
+	if copied > 0 {
+		fmt.Printf("\n== code copying (footnote 5): %d nodes duplicated ==\n", copied)
+	}
+	tg, loops, err := cfg.InsertLoopControl(g2)
+	if err != nil {
+		return err
+	}
+	if len(loops) > 0 {
+		fmt.Printf("\n== interval transformation (§3): %d loop(s) ==\n", len(loops))
+		for _, l := range loops {
+			fmt.Printf("loop entry n%d (header n%d, depth %d, exits %v, %d body nodes)\n",
+				l.Entry, l.Header, l.Depth, l.Exits, len(l.Body))
+		}
+		fmt.Println("\ntransformed CFG:")
+		fmt.Print(tg.String())
+	}
+
+	pdom := cfg.PostDominators(tg)
+	fmt.Println("\n== immediate postdominators (footnote 6) ==")
+	for _, id := range tg.SortedIDs() {
+		if ip := pdom.Idom[id]; ip >= 0 {
+			fmt.Printf("ipdom(n%d) = n%d\n", id, ip)
+		}
+	}
+
+	cd := analysis.ComputeControlDeps(tg)
+	fmt.Println("\n== control dependences (Definition 4) ==")
+	for _, id := range tg.SortedIDs() {
+		if deps := cd.CD(id); len(deps) > 0 {
+			var parts []string
+			for _, f := range deps {
+				parts = append(parts, fmt.Sprintf("n%d", f))
+			}
+			fmt.Printf("CD(n%d) = {%s}\n", id, strings.Join(parts, ", "))
+		}
+	}
+
+	res, err := translate.Translate(g, translate.Options{Schema: schema})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n== switch placement (Figure 10), schema %s ==\n", schema)
+	forks := make([]int, 0, len(res.Placement.Needs))
+	for f := range res.Placement.Needs {
+		forks = append(forks, f)
+	}
+	sort.Ints(forks)
+	for _, f := range forks {
+		fmt.Printf("%s switches: %s\n", res.CFG.Nodes[f], strings.Join(res.Placement.Tokens(f), ", "))
+	}
+
+	fmt.Println("\n== source vectors (Figure 11), non-trivial entries ==")
+	for _, id := range res.CFG.SortedIDs() {
+		toks := make([]string, 0, len(res.SV.SV[id]))
+		for tok := range res.SV.SV[id] {
+			toks = append(toks, tok)
+		}
+		sort.Strings(toks)
+		for _, tok := range toks {
+			srcs := res.SV.SV[id][tok]
+			if len(srcs) == 0 {
+				continue
+			}
+			var parts []string
+			for _, s := range srcs {
+				parts = append(parts, s.String())
+			}
+			fmt.Printf("SV_n%d(%s) = {%s}\n", id, tok, strings.Join(parts, ", "))
+		}
+	}
+
+	st := res.Graph.Stats()
+	fmt.Printf("\n== dataflow graph: %d nodes, %d arcs (%d switches, %d merges, %d synchs) ==\n",
+		st.Nodes, st.Arcs, st.Switches, st.Merges, st.Synchs)
+	fmt.Print(dfg.Listing(res.Graph))
+
+	out, err := machine.Run(res.Graph, machine.Config{MemLatency: *latency})
+	if err != nil {
+		return err
+	}
+	want, err := interp.Run(res.CFG, interp.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n== execution (L=%d, unlimited processors) ==\n", *latency)
+	fmt.Printf("cycles: %d   ops: %d   avg parallelism: %.2f   peak match store: %d\n",
+		out.Stats.Cycles, out.Stats.Ops, out.Stats.AvgParallelism(), out.Stats.PeakMatchStore)
+	fmt.Print(out.Stats.ProfileChart(64, 8))
+	got := translate.FinalSnapshot(res, out.Store, out.EndValues)
+	fmt.Println("final state:")
+	fmt.Print(got)
+	if got == want.Store.Snapshot() {
+		fmt.Println("matches the sequential interpreter ✓")
+	} else {
+		fmt.Println("!! DOES NOT MATCH THE INTERPRETER !!")
+	}
+	return nil
+}

@@ -1,0 +1,380 @@
+// Command ctdf compiles programs in the paper's imperative language to
+// dataflow graphs and executes them on the explicit-token-store machine
+// simulator or the goroutine engine.
+//
+// Usage:
+//
+//	ctdf run [flags] (file | -workload name)   execute a program
+//	ctdf dot [flags] (file | -workload name)   emit Graphviz (CFG or DFG)
+//	ctdf stats [flags] (file | -workload name) dataflow graph sizes per schema
+//	ctdf experiments [id ...]                  regenerate EXPERIMENTS.md tables
+//	ctdf workloads                             list built-in workloads
+//
+// Programs use the paper's language: `var`/`array`/`alias` declarations,
+// assignments, structured if/while, and `if p then goto l1 else goto l2`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ctdf"
+	"ctdf/internal/experiments"
+	"ctdf/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "dot":
+		err = cmdDot(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "aliases":
+		err = cmdAliases(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
+	case "experiments":
+		err = cmdExperiments(os.Args[2:])
+	case "workloads":
+		err = cmdWorkloads()
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctdf:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  ctdf run [flags] (file | -workload name)
+  ctdf dot [flags] (file | -workload name)
+  ctdf stats (file | -workload name)
+  ctdf aliases (file | -workload name)
+  ctdf explain [flags] (file | -workload name)
+  ctdf experiments [id ...]
+  ctdf workloads
+Use 'ctdf run -h' etc. for per-command flags.
+`)
+}
+
+// sourceFlags adds the common program-selection flags.
+func sourceFlags(fs *flag.FlagSet) (workload *string) {
+	return fs.String("workload", "", "run a built-in workload instead of a file")
+}
+
+func loadSource(fs *flag.FlagSet, workload string) (string, error) {
+	if workload != "" {
+		for _, w := range workloads.All() {
+			if w.Name == workload {
+				return w.Source, nil
+			}
+		}
+		return "", fmt.Errorf("unknown workload %q (see 'ctdf workloads')", workload)
+	}
+	if fs.NArg() != 1 {
+		return "", fmt.Errorf("expected exactly one source file (or -workload)")
+	}
+	name := fs.Arg(0)
+	if name == "-" {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(name)
+	return string(b), err
+}
+
+func translateOptions(fs *flag.FlagSet) (schema, cover *string, elim, parReads, parStores *bool) {
+	schema = fs.String("schema", "schema2-opt", "translation schema: schema1, schema2, schema2-opt, schema3, schema3-opt")
+	cover = fs.String("cover", "singleton", "schema 3 cover: singleton, class, monolithic")
+	elim = fs.Bool("elim", false, "eliminate memory operations for unaliased scalars (§6.1)")
+	parReads = fs.Bool("parreads", false, "parallelize read sequences (§6.2)")
+	parStores = fs.Bool("parstores", false, "parallelize independent array stores (§6.3)")
+	return
+}
+
+func istructFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("istructs", false, "give write-once arrays I-structure semantics (§6.3)")
+}
+
+func buildOptions(schema, cover string, elim, parReads, parStores, istructs bool) (ctdf.Options, error) {
+	s, err := ctdf.ParseSchema(schema)
+	if err != nil {
+		return ctdf.Options{}, err
+	}
+	opt := ctdf.Options{Schema: s, EliminateMemory: elim, ParallelReads: parReads, ParallelArrayStores: parStores, UseIStructures: istructs}
+	switch cover {
+	case "singleton":
+		opt.Cover = ctdf.CoverSingleton
+	case "class":
+		opt.Cover = ctdf.CoverClass
+	case "monolithic":
+		opt.Cover = ctdf.CoverMonolithic
+	default:
+		return ctdf.Options{}, fmt.Errorf("unknown cover %q", cover)
+	}
+	return opt, nil
+}
+
+func parseBinding(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]string{}
+	for _, pair := range strings.Split(s, ",") {
+		kv := strings.SplitN(pair, "=", 2)
+		if len(kv) != 2 || kv[0] == "" || kv[1] == "" {
+			return nil, fmt.Errorf("bad binding %q (want name=canonical,…)", pair)
+		}
+		out[kv[0]] = kv[1]
+	}
+	return out, nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	workload := sourceFlags(fs)
+	schema, cover, elim, parReads, parStores := translateOptions(fs)
+	istructs := istructFlag(fs)
+	engine := fs.String("engine", "machine", "execution engine: machine, channels, interp")
+	procs := fs.Int("procs", 0, "processors (0 = unlimited)")
+	latency := fs.Int("latency", 1, "split-phase memory latency in cycles")
+	binding := fs.String("binding", "", "alias binding, e.g. x=z (x and z share one location)")
+	seed := fs.Int64("seed", 0, "randomize machine issue order with this seed")
+	races := fs.Bool("races", false, "detect overlapping conflicting memory operations")
+	profile := fs.Bool("profile", false, "print the per-cycle parallelism profile")
+	legalize := fs.Bool("legalize", false, "decompose wide synch collectors into two-input trees")
+	linked := fs.Bool("linked", false, "compile procedures separately (Apply/Param/ProcReturn linkage)")
+	trace := fs.Bool("trace", false, "print one line per operator firing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src, err := loadSource(fs, *workload)
+	if err != nil {
+		return err
+	}
+	p, err := ctdf.Compile(src)
+	if err != nil {
+		return err
+	}
+	b, err := parseBinding(*binding)
+	if err != nil {
+		return err
+	}
+
+	if *engine == "interp" {
+		r, err := p.Interpret(b)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("engine: sequential interpreter\nstatements: %d\n%s", r.Ops, r.Snapshot)
+		return nil
+	}
+
+	opt, err := buildOptions(*schema, *cover, *elim, *parReads, *parStores, *istructs)
+	if err != nil {
+		return err
+	}
+	var d *ctdf.Dataflow
+	if *linked {
+		d, err = p.TranslateLinked()
+	} else {
+		d, err = p.Translate(opt)
+	}
+	if err != nil {
+		return err
+	}
+	if *legalize {
+		var added int
+		d, added = d.LegalizeSynchTrees()
+		fmt.Fprintf(os.Stderr, "legalized: %d two-input synchs added\n", added)
+	}
+	cfg := ctdf.RunConfig{
+		Processors: *procs, MemLatency: *latency, Binding: b,
+		RandomSeed: *seed, DetectRaces: *races,
+	}
+	if *trace {
+		cfg.Trace = os.Stderr
+	}
+	switch *engine {
+	case "machine":
+		cfg.Engine = ctdf.EngineMachine
+	case "channels":
+		cfg.Engine = ctdf.EngineChannels
+	default:
+		return fmt.Errorf("unknown engine %q", *engine)
+	}
+	r, err := d.Run(cfg)
+	if err != nil {
+		return err
+	}
+	st := d.Stats()
+	fmt.Printf("schema: %s   engine: %s\n", opt.Schema, *engine)
+	fmt.Printf("graph: %d nodes, %d arcs (%d switches, %d merges, %d synchs, %d loads, %d stores)\n",
+		st.Nodes, st.Arcs, st.Switches, st.Merges, st.Synchs, st.Loads, st.Stores)
+	if cfg.Engine == ctdf.EngineMachine {
+		fmt.Printf("cycles: %d   ops: %d   mem ops: %d   parallelism: avg %.2f, max %d   peak match store: %d\n",
+			r.Cycles, r.Ops, r.MemOps, r.AvgParallelism, r.MaxParallelism, r.PeakMatchStore)
+		if is := d.IStructures(); len(is) > 0 {
+			fmt.Printf("i-structure arrays: %s\n", strings.Join(is, ", "))
+		}
+		if *profile {
+			fmt.Print(ctdf.ProfileChart(r.Profile, r.Cycles, 72, 10))
+		}
+	} else {
+		fmt.Printf("ops: %d\n", r.Ops)
+	}
+	fmt.Print(r.Snapshot)
+	return nil
+}
+
+func cmdDot(args []string) error {
+	fs := flag.NewFlagSet("dot", flag.ExitOnError)
+	workload := sourceFlags(fs)
+	schema, cover, elim, parReads, parStores := translateOptions(fs)
+	istructs := istructFlag(fs)
+	kind := fs.String("graph", "dfg", "which graph to render: cfg, dfg")
+	format := fs.String("format", "dot", "output format for dfg: dot, text, listing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src, err := loadSource(fs, *workload)
+	if err != nil {
+		return err
+	}
+	p, err := ctdf.Compile(src)
+	if err != nil {
+		return err
+	}
+	switch *kind {
+	case "cfg":
+		fmt.Print(p.ControlFlowDOT())
+		return nil
+	case "dfg":
+		opt, err := buildOptions(*schema, *cover, *elim, *parReads, *parStores, *istructs)
+		if err != nil {
+			return err
+		}
+		d, err := p.Translate(opt)
+		if err != nil {
+			return err
+		}
+		switch *format {
+		case "dot":
+			fmt.Print(d.DOT())
+		case "text":
+			fmt.Print(d.Text())
+		case "listing":
+			fmt.Print(d.Listing())
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown graph kind %q", *kind)
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	workload := sourceFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src, err := loadSource(fs, *workload)
+	if err != nil {
+		return err
+	}
+	p, err := ctdf.Compile(src)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %6s %6s %9s %7s %7s %6s %7s\n",
+		"schema", "nodes", "arcs", "switches", "merges", "synchs", "loads", "stores")
+	for _, s := range []ctdf.Schema{ctdf.Schema1, ctdf.Schema2, ctdf.Schema2Opt, ctdf.Schema3, ctdf.Schema3Opt} {
+		d, err := p.Translate(ctdf.Options{Schema: s})
+		if err != nil {
+			return err
+		}
+		st := d.Stats()
+		fmt.Printf("%-12s %6d %6d %9d %7d %7d %6d %7d\n",
+			s, st.Nodes, st.Arcs, st.Switches, st.Merges, st.Synchs, st.Loads, st.Stores)
+	}
+	return nil
+}
+
+// cmdAliases prints the per-procedure alias structures derived from the
+// program's call sites (paper §5).
+func cmdAliases(args []string) error {
+	fs := flag.NewFlagSet("aliases", flag.ExitOnError)
+	workload := sourceFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src, err := loadSource(fs, *workload)
+	if err != nil {
+		return err
+	}
+	p, err := ctdf.Compile(src)
+	if err != nil {
+		return err
+	}
+	pas, err := p.DeriveAliases()
+	if err != nil {
+		return err
+	}
+	if len(pas) == 0 {
+		fmt.Println("no procedures declared")
+		return nil
+	}
+	for _, pa := range pas {
+		fmt.Printf("proc %s(%s):\n", pa.Proc, strings.Join(pa.Formals, ", "))
+		for _, f := range pa.Formals {
+			fmt.Printf("  [%s] = {%s}\n", f, strings.Join(pa.Class[f], ", "))
+		}
+	}
+	return nil
+}
+
+func cmdExperiments(args []string) error {
+	want := map[string]bool{}
+	for _, a := range args {
+		want[a] = true
+	}
+	for _, e := range experiments.All() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		fmt.Printf("== %s: %s (%s) ==\n", e.ID, e.Title, e.Paper)
+		out, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Println(out)
+	}
+	return nil
+}
+
+func cmdWorkloads() error {
+	for _, w := range workloads.All() {
+		paper := ""
+		if w.Paper != "" {
+			paper = " (" + w.Paper + ")"
+		}
+		fmt.Printf("%-24s%s\n", w.Name, paper)
+	}
+	return nil
+}

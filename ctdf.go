@@ -1,0 +1,445 @@
+// Package ctdf is a from-scratch reproduction of "From Control Flow to
+// Dataflow" (Micah Beck, Richard Johnson, Keshav Pingali; Cornell TR
+// 89-1050 / ICPP 1990): a compiler from a small imperative language to
+// dataflow graphs executable on an explicit-token-store dataflow machine,
+// together with two execution engines and the program analyses the
+// translation schemas rest on.
+//
+// The pipeline is Compile → Translate → Run:
+//
+//	p, _ := ctdf.Compile(src)              // parse + control-flow graph
+//	d, _ := p.Translate(ctdf.Options{Schema: ctdf.Schema2Opt})
+//	r, _ := d.Run(ctdf.RunConfig{})        // ETS machine simulation
+//	fmt.Println(r.Snapshot, r.Cycles)
+//
+// Five translation schemas are available: Schema1 circulates a single
+// access token (sequential semantics, §2.3); Schema2 circulates one token
+// per variable (§3); Schema2Opt is the direct optimized construction of
+// §4.2 driven by switch placement (Figure 10) and source vectors (Figure
+// 11); Schema3 and Schema3Opt handle aliasing with per-cover-element
+// tokens (§5). The §6 parallelizing transformations — memory-operation
+// elimination, read parallelization, and array store parallelization
+// (Figure 14) — compose with the schemas through Options.
+package ctdf
+
+import (
+	"fmt"
+	"io"
+
+	"ctdf/internal/analysis"
+	"ctdf/internal/cfg"
+	"ctdf/internal/chanexec"
+	"ctdf/internal/dfg"
+	"ctdf/internal/interp"
+	"ctdf/internal/lang"
+	"ctdf/internal/machine"
+	"ctdf/internal/translate"
+)
+
+// Schema selects a translation schema (see the package comment).
+type Schema int
+
+// Translation schemas, in increasing order of exposed parallelism.
+const (
+	// Schema1 circulates a single access token: the dataflow graph
+	// executes statements strictly in sequence (§2.3).
+	Schema1 Schema = iota
+	// Schema2 circulates one access token per variable (§3).
+	Schema2
+	// Schema2Opt is the §4.2 direct construction without redundant
+	// switches.
+	Schema2Opt
+	// Schema3 circulates one access token per cover element of the
+	// program's alias structure (§5).
+	Schema3
+	// Schema3Opt is Schema3 with computed switch placement.
+	Schema3Opt
+)
+
+// String returns the schema's canonical name.
+func (s Schema) String() string { return toInternalSchema(s).String() }
+
+// ParseSchema parses a schema name ("schema1", "schema2", "schema2-opt",
+// "schema3", "schema3-opt").
+func ParseSchema(name string) (Schema, error) {
+	in, err := translate.ParseSchema(name)
+	if err != nil {
+		return 0, err
+	}
+	for _, s := range []Schema{Schema1, Schema2, Schema2Opt, Schema3, Schema3Opt} {
+		if toInternalSchema(s) == in {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("ctdf: unknown schema %q", name)
+}
+
+func toInternalSchema(s Schema) translate.Schema {
+	switch s {
+	case Schema1:
+		return translate.Schema1
+	case Schema2:
+		return translate.Schema2
+	case Schema2Opt:
+		return translate.Schema2Opt
+	case Schema3:
+		return translate.Schema3
+	case Schema3Opt:
+		return translate.Schema3Opt
+	}
+	return translate.Schema2
+}
+
+// CoverKind selects the cover parameterizing Schema 3 (Definition 7): the
+// parallelism/synchronization tradeoff of §5.
+type CoverKind int
+
+// Cover choices.
+const (
+	// CoverSingleton has one token per variable: maximal parallelism,
+	// |[x]| token collections per operation on aliased x.
+	CoverSingleton CoverKind = iota
+	// CoverClass has one token per distinct alias class.
+	CoverClass
+	// CoverMonolithic has a single token for all of V: one collection per
+	// operation, no memory parallelism.
+	CoverMonolithic
+)
+
+// Options configures a translation.
+type Options struct {
+	Schema Schema
+	// Cover selects the Schema 3 cover (ignored by other schemas).
+	Cover CoverKind
+	// EliminateMemory applies §6.1 to unaliased scalars (Schema2 and
+	// Schema2Opt only): their loads and stores disappear and values ride
+	// the token lines.
+	EliminateMemory bool
+	// ParallelReads applies §6.2: maximal within-statement load sequences
+	// run in parallel on replicated access tokens.
+	ParallelReads bool
+	// ParallelArrayStores applies §6.3 (Figure 14) to loops whose array
+	// stores are provably independent.
+	ParallelArrayStores bool
+	// UseIStructures gives provably write-once arrays I-structure
+	// semantics (§6.3): reads and writes drop their access tokens and the
+	// memory defers premature reads, letting consumers overlap producers.
+	UseIStructures bool
+}
+
+// Engine selects an execution engine.
+type Engine int
+
+// Execution engines.
+const (
+	// EngineMachine is the cycle-driven explicit-token-store simulator; it
+	// reports timing statistics (cycles, parallelism profile).
+	EngineMachine Engine = iota
+	// EngineChannels runs one goroutine per operator with channel-style
+	// mailboxes; it reports only operation counts.
+	EngineChannels
+)
+
+// RunConfig configures an execution.
+type RunConfig struct {
+	Engine Engine
+	// Processors bounds operations issued per cycle; 0 = unlimited
+	// (critical-path measurement). EngineMachine only.
+	Processors int
+	// MemLatency is the split-phase memory latency in cycles (default 1).
+	// EngineMachine only.
+	MemLatency int
+	// Binding maps variable names to a canonical representative; names
+	// sharing a representative share one memory location. Only declared
+	// aliases may share. Nil keeps every name distinct.
+	Binding map[string]string
+	// RandomSeed, when nonzero, randomizes the machine's issue order (the
+	// result must not change — dataflow execution is determinate).
+	RandomSeed int64
+	// DetectRaces makes the machine verify that no two memory operations
+	// on one location ever overlap unless both are reads.
+	DetectRaces bool
+	// MaxCycles / MaxOps bound the execution (defaults: one million
+	// cycles, ten million firings).
+	MaxCycles int
+	MaxOps    int64
+	// Trace, when non-nil, receives one line per operator firing
+	// (EngineMachine only).
+	Trace io.Writer
+}
+
+// Program is a compiled source program: the AST and its statement-level
+// control-flow graph.
+type Program struct {
+	prog *lang.Program
+	cfg  *cfg.Graph
+}
+
+// Compile parses and checks source text and builds its control-flow graph.
+func Compile(src string) (*Program, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	g, err := cfg.Build(prog)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{prog: prog, cfg: g}, nil
+}
+
+// Variables returns the declared variable names (scalars then arrays).
+func (p *Program) Variables() []string { return p.prog.AllNames() }
+
+// ProcAliases describes the alias structure a procedure's formals inherit
+// from the program's call sites (§5): for each formal, its alias class
+// restricted to the formals.
+type ProcAliases struct {
+	Proc    string
+	Formals []string
+	// Class[f] lists the formals aliased with f (including f).
+	Class map[string][]string
+}
+
+// DeriveAliases computes the alias structure of every procedure from the
+// program's call sites — the paper's SUBROUTINE F(X,Y,Z) example: CALL
+// F(A,B,A) and CALL F(C,D,D) give [X]={X,Z}, [Y]={Y,Z}, [Z]={X,Y,Z}.
+func (p *Program) DeriveAliases() ([]ProcAliases, error) {
+	derived, err := analysis.DeriveAliasStructures(p.prog)
+	if err != nil {
+		return nil, err
+	}
+	var out []ProcAliases
+	for _, pr := range p.prog.Procs() {
+		as := derived[pr.Name]
+		pa := ProcAliases{Proc: pr.Name, Formals: append([]string(nil), pr.Params...), Class: map[string][]string{}}
+		for _, f := range pr.Params {
+			var class []string
+			for _, g := range pr.Params {
+				if as.Related(f, g) {
+					class = append(class, g)
+				}
+			}
+			pa.Class[f] = class
+		}
+		out = append(out, pa)
+	}
+	return out, nil
+}
+
+// ControlFlowDOT renders the control-flow graph in Graphviz format.
+func (p *Program) ControlFlowDOT() string { return p.cfg.DOT() }
+
+// Interpret executes the program with conventional sequential semantics
+// (the von Neumann baseline and correctness oracle).
+func (p *Program) Interpret(binding map[string]string) (*Result, error) {
+	r, err := interp.Run(p.cfg, interp.Options{Binding: interp.Binding(binding)})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Snapshot: r.Store.Snapshot(), Ops: r.Statements}, nil
+}
+
+// TranslateLinked compiles the program with separate procedure
+// compilation: every procedure body appears once in the dataflow graph and
+// each call executes it under a fresh activation context (§2.2), so
+// concurrent calls overlap and the graph grows with the number of
+// procedures rather than call sites. The §6 transformations and Schema
+// selection do not apply (bodies use the optimized construction with
+// call-site-derived alias structures). The program must declare at least
+// one procedure.
+func (p *Program) TranslateLinked() (*Dataflow, error) {
+	lr, err := translate.TranslateLinked(p.prog)
+	if err != nil {
+		return nil, err
+	}
+	res := &translate.Result{
+		Graph:       lr.Graph,
+		Universe:    lr.MainUniverse,
+		ValueTokens: lr.ValueTokens,
+	}
+	return &Dataflow{res: res}, nil
+}
+
+// Translate builds the dataflow graph for the program under opt.
+func (p *Program) Translate(opt Options) (*Dataflow, error) {
+	iopt := translate.Options{
+		Schema:              toInternalSchema(opt.Schema),
+		EliminateMemory:     opt.EliminateMemory,
+		ParallelReads:       opt.ParallelReads,
+		ParallelArrayStores: opt.ParallelArrayStores,
+		UseIStructures:      opt.UseIStructures,
+	}
+	if opt.Schema == Schema3 || opt.Schema == Schema3Opt {
+		as := analysis.NewAliasStructure(p.prog)
+		switch opt.Cover {
+		case CoverSingleton:
+			iopt.Cover = analysis.SingletonCover(as)
+		case CoverClass:
+			iopt.Cover = analysis.ClassCover(as)
+		case CoverMonolithic:
+			iopt.Cover = analysis.MonolithicCover(as)
+		default:
+			return nil, fmt.Errorf("ctdf: unknown cover kind %d", opt.Cover)
+		}
+	}
+	res, err := translate.Translate(p.cfg, iopt)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataflow{res: res}, nil
+}
+
+// Dataflow is a translated dataflow program graph.
+type Dataflow struct {
+	res *translate.Result
+}
+
+// GraphStats summarizes dataflow graph size.
+type GraphStats struct {
+	Nodes    int
+	Arcs     int
+	Switches int
+	Merges   int
+	Synchs   int
+	Loads    int
+	Stores   int
+}
+
+// Stats returns size statistics of the dataflow graph.
+func (d *Dataflow) Stats() GraphStats {
+	s := d.res.Graph.Stats()
+	return GraphStats{
+		Nodes: s.Nodes, Arcs: s.Arcs, Switches: s.Switches,
+		Merges: s.Merges, Synchs: s.Synchs, Loads: s.Loads, Stores: s.Stores,
+	}
+}
+
+// DOT renders the dataflow graph in Graphviz format (dummy access-token
+// arcs dashed, as in the paper's figures).
+func (d *Dataflow) DOT() string { return d.res.Graph.DOT() }
+
+// Text serializes the dataflow graph in the loadable textual format (see
+// LoadDataflow).
+func (d *Dataflow) Text() string { return dfg.Text(d.res.Graph) }
+
+// Listing renders the dataflow graph as a per-node assembly-style listing
+// (operator plus destination ports).
+func (d *Dataflow) Listing() string { return dfg.Listing(d.res.Graph) }
+
+// ProfileChart renders a parallelism profile (Result.Profile) as an ASCII
+// bar chart: columns are time buckets, bar height is operations issued.
+func ProfileChart(profile []int, cycles, width, height int) string {
+	return machine.Stats{Profile: profile, Cycles: cycles}.ProfileChart(width, height)
+}
+
+// LoadDataflow parses a dataflow graph serialized by Text. The result can
+// be Run but carries no translation metadata (no §6.1 value-token
+// patching; Tokens and IStructures are empty).
+func LoadDataflow(r io.Reader) (*Dataflow, error) {
+	g, err := dfg.ParseText(r)
+	if err != nil {
+		return nil, err
+	}
+	res := &translate.Result{Graph: g, ValueTokens: map[string]string{}}
+	return &Dataflow{res: res}, nil
+}
+
+// Tokens returns the access-token universe of the translation.
+func (d *Dataflow) Tokens() []string { return append([]string(nil), d.res.Universe...) }
+
+// IStructures returns the arrays the write-once analysis gave I-structure
+// semantics.
+func (d *Dataflow) IStructures() []string { return append([]string(nil), d.res.IStructures...) }
+
+// LegalizeSynchTrees decomposes every synch collector wider than two
+// inputs into a balanced tree of two-input synchs — the machine-level form
+// an explicit token store (two-operand matching) requires. Returns the
+// legalized graph and the number of synchs added.
+func (d *Dataflow) LegalizeSynchTrees() (*Dataflow, int) {
+	g, n := translate.LegalizeSynchTrees(d.res.Graph)
+	res := *d.res
+	res.Graph = g
+	return &Dataflow{res: &res}, n
+}
+
+// EliminateRedundantSwitches applies the iterative switch-merge
+// elimination of §4 and returns the simplified graph and the number of
+// switches removed. On acyclic programs the result matches the direct
+// Schema2Opt construction.
+func (d *Dataflow) EliminateRedundantSwitches() (*Dataflow, int) {
+	g, n := translate.EliminateRedundantSwitches(d.res.Graph)
+	res := *d.res
+	res.Graph = g
+	return &Dataflow{res: &res}, n
+}
+
+// Result is the outcome of an execution.
+type Result struct {
+	// Snapshot is the final program state rendered deterministically, one
+	// "name=value" line per variable.
+	Snapshot string
+	// Cycles is the machine execution time (0 for EngineChannels and the
+	// interpreter).
+	Cycles int
+	// Ops counts operator firings (or interpreted statements).
+	Ops int
+	// MemOps counts load/store firings (EngineMachine only).
+	MemOps int
+	// MaxParallelism and AvgParallelism describe the parallelism profile
+	// (EngineMachine only).
+	MaxParallelism int
+	AvgParallelism float64
+	// PeakMatchStore is the peak number of partially matched activations
+	// in the explicit token store (EngineMachine only).
+	PeakMatchStore int
+	// Profile is the number of operations issued per cycle (EngineMachine
+	// only, truncated for very long runs).
+	Profile []int
+}
+
+// Run executes the dataflow graph.
+func (d *Dataflow) Run(cfg RunConfig) (*Result, error) {
+	switch cfg.Engine {
+	case EngineMachine:
+		out, err := machine.Run(d.res.Graph, machine.Config{
+			Processors:  cfg.Processors,
+			MemLatency:  cfg.MemLatency,
+			MaxCycles:   cfg.MaxCycles,
+			Binding:     interp.Binding(cfg.Binding),
+			RandomSeed:  cfg.RandomSeed,
+			DetectRaces: cfg.DetectRaces,
+			Trace:       cfg.Trace,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Snapshot:       translate.FinalSnapshot(d.res, out.Store, out.EndValues),
+			Cycles:         out.Stats.Cycles,
+			Ops:            out.Stats.Ops,
+			MemOps:         out.Stats.MemOps,
+			MaxParallelism: out.Stats.MaxParallelism,
+			AvgParallelism: out.Stats.AvgParallelism(),
+			PeakMatchStore: out.Stats.PeakMatchStore,
+			Profile:        out.Stats.Profile,
+		}, nil
+	case EngineChannels:
+		out, err := chanexec.Run(d.res.Graph, chanexec.Config{
+			Binding: interp.Binding(cfg.Binding),
+			MaxOps:  cfg.MaxOps,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Snapshot: translate.FinalSnapshot(d.res, out.Store, out.EndValues),
+			Ops:      int(out.Ops),
+		}, nil
+	}
+	return nil, fmt.Errorf("ctdf: unknown engine %d", cfg.Engine)
+}
+
+// graph exposes the underlying dataflow graph to the module's own
+// commands and benchmarks.
+func (d *Dataflow) graph() *dfg.Graph { return d.res.Graph }

@@ -1,0 +1,66 @@
+// Array stores: the §6.3 / Figure 14 transformation. The loop stores to
+// x[i] with i a strict induction variable, so the stores of successive
+// iterations are independent: each iteration's store receives a replica
+// of the access token (which races ahead to the next iteration) while
+// completions accumulate on a separate line. Sequential stores cost about
+// N·L cycles; parallelized stores pipeline to about N + L.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ctdf"
+)
+
+const src = `
+var i
+array x[33]
+start: i := i + 1
+x[i] := i * i
+if i < 32 then goto start else goto end
+`
+
+func main() {
+	p, err := ctdf.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := p.Interpret(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	seq, err := p.Translate(ctdf.Options{Schema: ctdf.Schema2Opt, EliminateMemory: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	par, err := p.Translate(ctdf.Options{
+		Schema: ctdf.Schema2Opt, EliminateMemory: true, ParallelArrayStores: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const n = 32
+	fmt.Printf("%-16s %12s %12s %9s %10s\n", "store latency L", "sequential", "parallelized", "speedup", "N·L floor")
+	for _, lat := range []int{1, 2, 5, 10, 20, 50, 100} {
+		so, err := seq.Run(ctdf.RunConfig{MemLatency: lat})
+		if err != nil {
+			log.Fatal(err)
+		}
+		po, err := par.Run(ctdf.RunConfig{MemLatency: lat, DetectRaces: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if so.Snapshot != ref.Snapshot || po.Snapshot != ref.Snapshot {
+			log.Fatal("wrong answer")
+		}
+		fmt.Printf("%-16d %12d %12d %9.2f %10d\n",
+			lat, so.Cycles, po.Cycles, float64(so.Cycles)/float64(po.Cycles), n*lat)
+	}
+
+	fmt.Println("\nthe sequential translation is pinned above the N·L floor; the")
+	fmt.Println("Figure 14 transformation overlaps the stores, so its time grows")
+	fmt.Println("like N + L instead of N·L.")
+}

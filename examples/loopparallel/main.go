@@ -1,0 +1,97 @@
+// Loop parallelism: how much instruction-level parallelism each schema and
+// §6 transformation exposes in a loop-heavy kernel, measured as machine
+// cycles across processor counts — the measurement model the paper
+// motivates ("ideally suited for measuring the extent to which
+// parallelization techniques can expose parallelism", §1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ctdf"
+)
+
+// An iterative Fibonacci next to two independent running sums: the loop
+// bodies are serial chains, but the three loops share no variables, so
+// per-variable access tokens let them overlap.
+const src = `
+var a, b, t, i, n
+var s1, j1
+var s2, j2
+n := 14
+a := 0
+b := 1
+i := 0
+while i < n {
+  t := a + b
+  a := b
+  b := t
+  i := i + 1
+}
+j1 := 0
+while j1 < 12 {
+  s1 := s1 + j1 * j1
+  j1 := j1 + 1
+}
+j2 := 0
+while j2 < 12 {
+  s2 := s2 + 3 * j2
+  j2 := j2 + 1
+}
+`
+
+func main() {
+	p, err := ctdf.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := p.Interpret(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	configs := []struct {
+		name string
+		opt  ctdf.Options
+	}{
+		{"schema1 (sequential)", ctdf.Options{Schema: ctdf.Schema1}},
+		{"schema2 (per-var tokens)", ctdf.Options{Schema: ctdf.Schema2}},
+		{"schema2-opt (no redundant switches)", ctdf.Options{Schema: ctdf.Schema2Opt}},
+		{"schema2-opt + §6.1 memory elimination", ctdf.Options{Schema: ctdf.Schema2Opt, EliminateMemory: true}},
+	}
+	procs := []int{1, 2, 4, 8, 0}
+
+	fmt.Printf("%-40s", "cycles (memory latency 4)")
+	for _, pr := range procs {
+		if pr == 0 {
+			fmt.Printf("%8s", "∞ procs")
+		} else {
+			fmt.Printf("%8d", pr)
+		}
+	}
+	fmt.Println()
+
+	for _, c := range configs {
+		d, err := p.Translate(c.opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-40s", c.name)
+		for _, pr := range procs {
+			r, err := d.Run(ctdf.RunConfig{Processors: pr, MemLatency: 4})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if r.Snapshot != ref.Snapshot {
+				log.Fatalf("%s computed a wrong answer", c.name)
+			}
+			fmt.Printf("%8d", r.Cycles)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nthe three independent loops overlap as soon as tokens are per-variable;")
+	fmt.Println("eliminating scalar memory traffic (§6.1) removes the load/store latency")
+	fmt.Println("from every loop-carried dependence chain.")
+}

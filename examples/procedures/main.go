@@ -1,0 +1,76 @@
+// Procedures: the paper's §5 FORTRAN setting. A subroutine with
+// reference parameters is called from several sites; the alias structure
+// of its formals is derived from those call sites, the body is compiled
+// ONCE under that structure (Schema 3), and the one dataflow graph
+// computes the right answer under the storage binding each call induces.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"ctdf"
+)
+
+// SUBROUTINE F(X, Y, Z); CALL F(A,B,A); CALL F(C,D,D) — the paper's
+// example, § 5.
+const src = `
+var a, b, c, d
+proc f(x, y, z) {
+  z := x + y
+  x := x * 2
+}
+a := 1
+b := 2
+call f(a, b, a)
+c := 10
+d := 20
+call f(c, d, d)
+`
+
+func main() {
+	p, err := ctdf.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Derive the alias structure of f's formals from the call sites.
+	pas, err := p.DeriveAliases()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pa := range pas {
+		fmt.Printf("derived alias structure of %s(%s):\n", pa.Proc, strings.Join(pa.Formals, ", "))
+		for _, f := range pa.Formals {
+			fmt.Printf("  [%s] = {%s}\n", f, strings.Join(pa.Class[f], ", "))
+		}
+	}
+	fmt.Println("\n(the paper's result: [x]={x,z}, [y]={y,z}, [z]={x,y,z};")
+	fmt.Println(" x and y are NOT aliased — the relation is not transitive)")
+
+	// 2. The whole program still runs through every schema: calls are
+	// expanded by reference substitution; the dataflow result matches the
+	// sequential interpreter.
+	ref, err := p.Interpret(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ninterpreter result:")
+	fmt.Print(ref.Snapshot)
+	for _, s := range []ctdf.Schema{ctdf.Schema2Opt, ctdf.Schema3} {
+		d, err := p.Translate(ctdf.Options{Schema: s})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := d.Run(ctdf.RunConfig{DetectRaces: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "matches interpreter"
+		if r.Snapshot != ref.Snapshot {
+			status = "MISMATCH"
+		}
+		fmt.Printf("%-12s: %d cycles, %s\n", s, r.Cycles, status)
+	}
+}

@@ -1,0 +1,64 @@
+// Separate compilation: the paper's §2.2 activation contexts, taken
+// literally. Each procedure body is compiled into the dataflow graph once;
+// every call pushes a fresh activation frame on the token tags and binds
+// the formals, so concurrent calls to one body overlap — and the graph
+// grows with the number of procedures, not call sites.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ctdf"
+)
+
+func program(calls int) string {
+	src := `var a0, a1, a2, a3, a4, a5, a6, a7
+proc work(x) {
+  x := x + 1
+  x := x * 3
+  x := x - 2
+  x := x * x
+  x := x % 97
+}
+`
+	for i := 0; i < calls; i++ {
+		src += fmt.Sprintf("call work(a%d)\n", i)
+	}
+	return src
+}
+
+func main() {
+	fmt.Printf("%-11s %14s %13s %15s %14s\n",
+		"call sites", "inlined nodes", "linked nodes", "inlined cycles", "linked cycles")
+	for _, n := range []int{1, 2, 4, 8} {
+		p, err := ctdf.Compile(program(n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		inlined, err := p.Translate(ctdf.Options{Schema: ctdf.Schema2Opt})
+		if err != nil {
+			log.Fatal(err)
+		}
+		linked, err := p.TranslateLinked()
+		if err != nil {
+			log.Fatal(err)
+		}
+		ri, err := inlined.Run(ctdf.RunConfig{MemLatency: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rl, err := linked.Run(ctdf.RunConfig{MemLatency: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ri.Snapshot != rl.Snapshot {
+			log.Fatal("inlined and linked runs disagree")
+		}
+		fmt.Printf("%-11d %14d %13d %15d %14d\n",
+			n, inlined.Stats().Nodes, linked.Stats().Nodes, ri.Cycles, rl.Cycles)
+	}
+	fmt.Println("\nthe linked graph's size is (nearly) flat in the call count while the")
+	fmt.Println("inlined one grows linearly; the cycles stay level in both because the")
+	fmt.Println("calls' activations execute concurrently (their data is disjoint).")
+}

@@ -1,0 +1,3 @@
+module ctdf
+
+go 1.22

@@ -1,0 +1,133 @@
+// Package analysis implements the program analyses the translation schemas
+// depend on: control dependence and its iterated closure (paper §4.1,
+// Definitions 4–5, Theorem 1), switch placement (Figure 10), source
+// vectors (Figure 11), and alias structures with covers and access sets
+// (§5, Definitions 6–7).
+package analysis
+
+import (
+	"sort"
+
+	"ctdf/internal/cfg"
+)
+
+// ControlDeps holds, for every node N, the set CD(N) of nodes N is control
+// dependent on (Definition 4). Targets of control dependence are always
+// fork nodes (including start, which the conventional start→end edge makes
+// a fork).
+type ControlDeps struct {
+	// On[n] is CD(n): the nodes n is control dependent on.
+	On []map[int]bool
+	// Of[f] is the inverse: the nodes control dependent on f.
+	Of []map[int]bool
+
+	pdom *cfg.DomTree
+}
+
+// ComputeControlDeps computes control dependences with the
+// Ferrante–Ottenstein–Warren walk: for each CFG edge a→b where b does not
+// strictly postdominate a, every node on the postdominator-tree path from
+// b up to (excluding) ipdom(a) is control dependent on a.
+func ComputeControlDeps(g *cfg.Graph) *ControlDeps {
+	pdom := cfg.PostDominators(g)
+	cd := &ControlDeps{
+		On:   make([]map[int]bool, g.Len()),
+		Of:   make([]map[int]bool, g.Len()),
+		pdom: pdom,
+	}
+	for i := 0; i < g.Len(); i++ {
+		cd.On[i] = map[int]bool{}
+		cd.Of[i] = map[int]bool{}
+	}
+	for _, a := range g.SortedIDs() {
+		for _, b := range g.Nodes[a].Succs {
+			if pdom.StrictlyDominates(b, a) {
+				continue
+			}
+			for w := b; w != -1 && w != pdom.Idom[a]; w = pdom.Idom[w] {
+				cd.On[w][a] = true
+				cd.Of[a][w] = true
+			}
+		}
+	}
+	return cd
+}
+
+// PostDom returns the postdominator tree used by the computation.
+func (cd *ControlDeps) PostDom() *cfg.DomTree { return cd.pdom }
+
+// CD returns CD(n) as a sorted slice.
+func (cd *ControlDeps) CD(n int) []int { return sortedSet(cd.On[n]) }
+
+// IteratedCD computes CD+(seeds): the limit of CD(S), CD(S) ∪ CD(CD(S)),
+// ... (Definition 5, generalized to a seed set). By Theorem 1, F ∈
+// CD+(N) iff N is between F and its immediate postdominator, which by
+// Corollary 1 is exactly when F needs a switch for N.
+func (cd *ControlDeps) IteratedCD(seeds []int) map[int]bool {
+	out := map[int]bool{}
+	work := append([]int(nil), seeds...)
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for f := range cd.On[n] {
+			if !out[f] {
+				out[f] = true
+				work = append(work, f)
+			}
+		}
+	}
+	return out
+}
+
+// Between reports whether n is between f and f's immediate postdominator
+// (Definition 1): there is a non-null path f ⇒ n that does not pass
+// through ipdom(f). Computed directly from the definition by graph search;
+// used to validate Theorem 1 and for brute-force comparisons.
+func Between(g *cfg.Graph, f, n int) bool {
+	pdom := cfg.PostDominators(g)
+	return BetweenWith(g, pdom, f, n)
+}
+
+// BetweenWith is Between with a precomputed postdominator tree.
+func BetweenWith(g *cfg.Graph, pdom *cfg.DomTree, f, n int) bool {
+	p := pdom.Idom[f]
+	// Non-null path from f to n avoiding p. Successors of f start the path;
+	// interior nodes (and n itself, as path end) must not be p.
+	if n == p {
+		return false
+	}
+	seen := map[int]bool{}
+	stack := []int{}
+	for _, s := range g.Nodes[f].Succs {
+		if s == n {
+			return true
+		}
+		if s != p && !seen[s] {
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Nodes[u].Succs {
+			if s == n {
+				return true
+			}
+			if s != p && !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+func sortedSet(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"ctdf/internal/lang"
+)
+
+// The paper's §5 FORTRAN example: SUBROUTINE F(X, Y, Z) called as
+// CALL F(A, B, A) and CALL F(C, D, D).
+const paperSubroutine = `
+var a, b, c, d
+proc f(x, y, z) {
+  z := x + y
+}
+call f(a, b, a)
+call f(c, d, d)
+`
+
+func TestDeriveAliasStructuresPaperExample(t *testing.T) {
+	prog := lang.MustParse(paperSubroutine)
+	derived, err := DeriveAliasStructures(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := derived["f"]
+	if f == nil {
+		t.Fatal("no structure for f")
+	}
+	// The paper's result: [X]={X,Z}, [Y]={Y,Z}, [Z]={X,Y,Z} — restricted
+	// to the formals (globals are also in the universe).
+	classOf := func(v string) []string {
+		var out []string
+		for _, w := range []string{"x", "y", "z"} {
+			if f.Related(v, w) {
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+	if got := classOf("x"); !reflect.DeepEqual(got, []string{"x", "z"}) {
+		t.Errorf("[x] = %v, want [x z]", got)
+	}
+	if got := classOf("y"); !reflect.DeepEqual(got, []string{"y", "z"}) {
+		t.Errorf("[y] = %v, want [y z]", got)
+	}
+	if got := classOf("z"); !reflect.DeepEqual(got, []string{"x", "y", "z"}) {
+		t.Errorf("[z] = %v, want [x y z]", got)
+	}
+	// Non-transitivity: x and y must NOT alias.
+	if f.Related("x", "y") {
+		t.Error("x ~ y derived although no call identifies them")
+	}
+	// Formal/global: x may be bound to a (first call) — the body could
+	// reference the global a.
+	if !f.Related("x", "a") {
+		t.Error("x should alias global a (passed at call 1)")
+	}
+	if f.Related("x", "b") {
+		t.Error("x never receives b")
+	}
+}
+
+func TestDeriveAliasPropagatesThroughNestedCalls(t *testing.T) {
+	// outer's formals u, v alias (called with the same actual); outer
+	// forwards both to inner, so inner's p, q alias too.
+	src := `
+var a
+proc inner(p, q) {
+  q := p + 1
+}
+proc outer(u, v) {
+  call inner(u, v)
+}
+call outer(a, a)
+`
+	prog := lang.MustParse(src)
+	derived, err := DeriveAliasStructures(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !derived["outer"].Related("u", "v") {
+		t.Error("u ~ v missing")
+	}
+	if !derived["inner"].Related("p", "q") {
+		t.Error("p ~ q missing (propagation through the call graph)")
+	}
+}
+
+func TestDeriveAliasRespectsDeclaredAliases(t *testing.T) {
+	// g and h are declared aliases; passing them in two positions aliases
+	// the formals.
+	src := `
+var g, h
+alias g ~ h
+proc f(x, y) {
+  y := x
+}
+call f(g, h)
+`
+	prog := lang.MustParse(src)
+	derived, err := DeriveAliasStructures(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !derived["f"].Related("x", "y") {
+		t.Error("x ~ y missing: actuals g, h are declared aliases")
+	}
+}
+
+func TestCallBindingLegalUnderDerivedStructure(t *testing.T) {
+	// Soundness: the binding each call site induces must be legal under
+	// the derived alias structure of the standalone view.
+	prog := lang.MustParse(paperSubroutine)
+	derived, err := DeriveAliasStructures(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	standalone, err := StandaloneProc(prog, "f", derived["f"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cs := range prog.Calls() {
+		b, err := CallBinding(prog, cs.Call)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Validate(standalone); err != nil {
+			t.Errorf("call %s: induced binding %v illegal: %v", cs.Call, b, err)
+		}
+	}
+}
+
+func TestCallBindingShape(t *testing.T) {
+	prog := lang.MustParse(paperSubroutine)
+	calls := prog.Calls()
+	b1, err := CallBinding(prog, calls[0].Call) // f(a, b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x and z both receive a → same canonical (the global a); y separate.
+	if b1["x"] != b1["z"] {
+		t.Errorf("x and z should share under call 1: %v", b1)
+	}
+	if b1["y"] == b1["x"] {
+		t.Errorf("y must not share with x under call 1: %v", b1)
+	}
+	b2, err := CallBinding(prog, calls[1].Call) // f(c, d, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2["y"] != b2["z"] || b2["x"] == b2["y"] {
+		t.Errorf("call 2 binding wrong: %v", b2)
+	}
+}
+
+func TestStandaloneProc(t *testing.T) {
+	prog := lang.MustParse(paperSubroutine)
+	derived, err := DeriveAliasStructures(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := StandaloneProc(prog, "f", derived["f"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, v := range sp.Vars {
+		names[v.Name] = true
+	}
+	for _, want := range []string{"x", "y", "z", "a", "b", "c", "d"} {
+		if !names[want] {
+			t.Errorf("standalone program missing variable %s", want)
+		}
+	}
+	// The alias declarations must include x~z and y~z.
+	has := func(a, b string) bool {
+		for _, al := range sp.Aliases {
+			if (al.A == a && al.B == b) || (al.A == b && al.B == a) {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("x", "z") || !has("y", "z") {
+		t.Errorf("standalone aliases = %v", sp.Aliases)
+	}
+	if has("x", "y") {
+		t.Error("x ~ y wrongly declared")
+	}
+	if _, err := StandaloneProc(prog, "nosuch", derived["f"]); err == nil {
+		t.Error("unknown procedure accepted")
+	}
+}

@@ -1,0 +1,165 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"ctdf/internal/cfg"
+)
+
+// ComputeSourceVectorsLiteral is a transliteration of Figure 11 as printed,
+// kept as a cross-validation reference for ComputeSourceVectors:
+//
+//   - a join contributes ⟨N,true⟩ for every token present at it, even with
+//     a single source (the paper resolves single-source joins to "no
+//     operator" later, when the graph is wired: "A join with a single
+//     source is equivalent to no operator");
+//   - the production version (ComputeSourceVectors) instead forwards
+//     single sources during propagation, so merges appear in its vectors
+//     only where real merges will exist.
+//
+// ResolveThroughJoins erases that representational difference; the
+// cross-check in the tests asserts both algorithms name identical
+// ultimate sources for every consumer. This reference supports plain
+// variables on acyclic graphs (Figure 11 predates the loop-control
+// generalization this repository adds).
+func ComputeSourceVectorsLiteral(g *cfg.Graph, universe []string, need NeedFunc, placement *Placement) (*SourceVectors, error) {
+	for _, n := range g.Nodes {
+		if n.Kind == cfg.KindLoopEntry || n.Kind == cfg.KindLoopExit {
+			return nil, fmt.Errorf("analysis: the literal Figure 11 reference handles acyclic graphs only")
+		}
+	}
+	n := g.Len()
+	sv := make([]map[string]map[Source]bool, n)
+	for i := 0; i < n; i++ {
+		sv[i] = map[string]map[Source]bool{}
+	}
+	pdom := cfg.PostDominators(g)
+	add := func(to int, tok string, srcs ...Source) {
+		m := sv[to][tok]
+		if m == nil {
+			m = map[Source]bool{}
+			sv[to][tok] = m
+		}
+		for _, s := range srcs {
+			m[s] = true
+		}
+	}
+	current := func(id int, tok string) []Source {
+		m := sv[id][tok]
+		out := make([]Source, 0, len(m))
+		for s := range m {
+			out = append(out, s)
+		}
+		sortSources(out)
+		return out
+	}
+
+	// Figure 11's worklist: process a node once all predecessors are
+	// visited (acyclic, so plain topological order works).
+	processed := make([]bool, n)
+	for count := 0; count < n; count++ {
+		pick := -1
+		for _, id := range g.SortedIDs() {
+			if processed[id] {
+				continue
+			}
+			ready := true
+			for _, p := range g.Nodes[id].Preds {
+				if !processed[p] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				pick = id
+				break
+			}
+		}
+		if pick == -1 {
+			return nil, fmt.Errorf("analysis: cycle in supposedly acyclic graph")
+		}
+		processed[pick] = true
+		nd := g.Nodes[pick]
+		switch nd.Kind {
+		case cfg.KindStart:
+			for _, tok := range universe {
+				add(nd.Succs[0], tok, Source{Node: pick, Dir: true})
+			}
+		case cfg.KindEnd:
+		case cfg.KindAssign:
+			needSet := map[string]bool{}
+			for _, tok := range need(pick) {
+				needSet[tok] = true
+			}
+			for _, tok := range universe {
+				if needSet[tok] {
+					add(nd.Succs[0], tok, Source{Node: pick, Dir: true})
+				} else {
+					add(nd.Succs[0], tok, current(pick, tok)...)
+				}
+			}
+		case cfg.KindFork:
+			readSet := map[string]bool{}
+			for _, tok := range need(pick) {
+				readSet[tok] = true
+			}
+			for _, tok := range universe {
+				switch {
+				case placement.NeedsSwitch(pick, tok):
+					add(nd.Succs[0], tok, Source{Node: pick, Dir: true})
+					add(nd.Succs[1], tok, Source{Node: pick, Dir: false})
+				case readSet[tok]:
+					add(pdom.Idom[pick], tok, Source{Node: pick, Dir: true, Read: true})
+				default:
+					add(pdom.Idom[pick], tok, current(pick, tok)...)
+				}
+			}
+		case cfg.KindJoin:
+			// The figure as printed: every token present becomes sourced
+			// by the join itself.
+			for _, tok := range universe {
+				if len(current(pick, tok)) > 0 {
+					add(nd.Succs[0], tok, Source{Node: pick, Dir: true})
+				}
+			}
+		}
+	}
+
+	out := &SourceVectors{
+		SV:       make([]map[string][]Source, n),
+		Back:     make([]map[string][]Source, n),
+		LoopNeed: map[int]map[string]bool{},
+		Universe: append([]string(nil), universe...),
+	}
+	sort.Strings(out.Universe)
+	for i, m := range sv {
+		out.SV[i] = map[string][]Source{}
+		out.Back[i] = map[string][]Source{}
+		for tok, set := range m {
+			srcs := make([]Source, 0, len(set))
+			for s := range set {
+				srcs = append(srcs, s)
+			}
+			sortSources(srcs)
+			out.SV[i][tok] = srcs
+		}
+	}
+	return out, nil
+}
+
+// ResolveThroughJoins maps a source to its ultimate producer by chasing
+// single-source joins (the "equivalent to no operator" rule of §4.2).
+func (s *SourceVectors) ResolveThroughJoins(g *cfg.Graph, src Source, tok string) Source {
+	for {
+		n := g.Nodes[src.Node]
+		if n.Kind != cfg.KindJoin {
+			return src
+		}
+		srcs := s.SV[src.Node][tok]
+		if len(srcs) != 1 {
+			return src
+		}
+		src = srcs[0]
+	}
+}

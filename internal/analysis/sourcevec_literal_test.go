@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"testing"
+
+	"ctdf/internal/cfg"
+	"ctdf/internal/workloads"
+)
+
+// acyclicPrograms collects loop-free workloads and random programs.
+func acyclicPrograms(t *testing.T) []*cfg.Graph {
+	t.Helper()
+	var out []*cfg.Graph
+	add := func(src string) {
+		g := buildCFG(t, src)
+		if _, loops, err := cfg.InsertLoopControl(g); err == nil && len(loops) == 0 {
+			out = append(out, g)
+		}
+	}
+	for _, w := range workloads.All() {
+		add(w.Source)
+	}
+	for seed := int64(700); seed < 720; seed++ {
+		add(workloads.Random(seed, 4, 0).Source) // depth 0: no loops generated
+	}
+	return out
+}
+
+// The production source-vector computation and the literal Figure 11
+// transliteration must name the same ultimate source for every token
+// consumer once single-source joins are resolved away.
+func TestSourceVectorsMatchLiteralFigure11(t *testing.T) {
+	for _, g := range acyclicPrograms(t) {
+		universe := g.Prog.AllNames()
+		need := VarNeed(g)
+		cd := ComputeControlDeps(g)
+		placement := PlaceSwitches(g, cd, need)
+
+		prod, err := ComputeSourceVectors(g, nil, universe, need, placement)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lit, err := ComputeSourceVectorsLiteral(g, universe, need, placement)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range g.SortedIDs() {
+			for _, tok := range universe {
+				ps := prod.SV[id][tok]
+				ls := lit.SV[id][tok]
+				// Compare resolved source sets.
+				resolve := func(sv *SourceVectors, in []Source) map[Source]bool {
+					out := map[Source]bool{}
+					for _, s := range in {
+						out[sv.ResolveThroughJoins(g, s, tok)] = true
+					}
+					return out
+				}
+				pr := resolve(prod, ps)
+				lr := resolve(lit, ls)
+				if len(pr) != len(lr) {
+					t.Errorf("node n%d tok %s: production %v vs literal %v", id, tok, ps, ls)
+					continue
+				}
+				for s := range pr {
+					if !lr[s] {
+						t.Errorf("node n%d tok %s: production source %s missing from literal %v", id, tok, s, ls)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLiteralRejectsLoops(t *testing.T) {
+	g := buildCFG(t, workloads.RunningExample.Source)
+	tg, _, err := cfg.InsertLoopControl(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	need := VarNeed(tg)
+	cd := ComputeControlDeps(tg)
+	placement := PlaceSwitches(tg, cd, need)
+	if _, err := ComputeSourceVectorsLiteral(tg, tg.Prog.AllNames(), need, placement); err == nil {
+		t.Error("literal reference must reject loop-control graphs")
+	}
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"sort"
+
+	"ctdf/internal/cfg"
+)
+
+// NeedFunc reports, for a CFG node, which access tokens the node consumes
+// and regenerates. Token names are abstract: for Schema 2 they are variable
+// names (a node needs the tokens of the variables it references); for
+// Schema 3 they are cover-element names (a node needs the access set C[x]
+// of every variable x it references).
+type NeedFunc func(nodeID int) []string
+
+// VarNeed is the Schema 2 NeedFunc: the tokens a node needs are exactly
+// the variables it references.
+func VarNeed(g *cfg.Graph) NeedFunc {
+	return func(id int) []string {
+		return sortedNames(g.Refs(id))
+	}
+}
+
+// Placement is the result of switch placement (Figure 10): for each fork
+// node, the set of access tokens for which the fork must create a switch.
+type Placement struct {
+	// Needs[f] is the set of token names needing a switch at fork f.
+	Needs map[int]map[string]bool
+}
+
+// NeedsSwitch reports whether fork f needs a switch for token tok.
+func (p *Placement) NeedsSwitch(f int, tok string) bool { return p.Needs[f][tok] }
+
+// Tokens returns the sorted token names switched at fork f.
+func (p *Placement) Tokens(f int) []string { return sortedNames(p.Needs[f]) }
+
+// PlaceSwitches runs the worklist algorithm of Figure 10 for every access
+// token: seed the worklist with the nodes that need the token, then
+// propagate through control dependences; every fork reached is marked as
+// needing a switch for that token. By Corollary 1 the marked forks for
+// token x are exactly CD+({N : N needs x}).
+func PlaceSwitches(g *cfg.Graph, cd *ControlDeps, need NeedFunc) *Placement {
+	p := &Placement{Needs: map[int]map[string]bool{}}
+	// Invert need: token -> nodes that need it.
+	users := map[string][]int{}
+	for _, id := range g.SortedIDs() {
+		for _, tok := range need(id) {
+			users[tok] = append(users[tok], id)
+		}
+	}
+	toks := make([]string, 0, len(users))
+	for tok := range users {
+		toks = append(toks, tok)
+	}
+	sort.Strings(toks)
+	for _, tok := range toks {
+		onWL := map[int]bool{}
+		var worklist []int
+		for _, n := range users[tok] {
+			if !onWL[n] {
+				onWL[n] = true
+				worklist = append(worklist, n)
+			}
+		}
+		for len(worklist) > 0 {
+			n := worklist[len(worklist)-1]
+			worklist = worklist[:len(worklist)-1]
+			for f := range cd.On[n] {
+				if p.Needs[f] == nil {
+					p.Needs[f] = map[string]bool{}
+				}
+				p.Needs[f][tok] = true
+				if !onWL[f] {
+					onWL[f] = true
+					worklist = append(worklist, f)
+				}
+			}
+		}
+	}
+	return p
+}
+
+// LoopNeeds computes, for each loop, the set of tokens that must circulate
+// through the loop's entry and exit control statements: tokens needed by
+// any node in the loop body plus tokens switched at any fork in the body
+// (§4's relaxation: all other tokens bypass the loop entirely).
+func LoopNeeds(g *cfg.Graph, loops []cfg.Loop, need NeedFunc, p *Placement) map[int]map[string]bool {
+	out := map[int]map[string]bool{}
+	for _, l := range loops {
+		set := map[string]bool{}
+		for b := range l.Body {
+			for _, tok := range need(b) {
+				set[tok] = true
+			}
+			for tok := range p.Needs[b] {
+				set[tok] = true
+			}
+		}
+		out[l.Entry] = set
+		for _, x := range l.Exits {
+			out[x] = set
+		}
+	}
+	return out
+}
+
+func sortedNames(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,255 @@
+package cfg
+
+import (
+	"fmt"
+
+	"ctdf/internal/lang"
+)
+
+// Build lowers a checked program into its statement-level CFG. Structured
+// if/while statements are lowered to forks and joins; labels become joins;
+// gotos become edges. Unreachable statements are pruned (a statement
+// directly after an unconditional goto and not labeled can never execute).
+// The resulting graph satisfies Graph.Validate; in particular every node
+// lies on some path from start to end, so programs that cannot terminate
+// are rejected.
+func Build(prog *lang.Program) (*Graph, error) {
+	// Procedure calls are expanded by reference-parameter substitution
+	// before control-flow construction (the alias structures they induce
+	// are recovered by analysis.DeriveAliasStructures for the paper's
+	// separate-compilation view, §5).
+	prog, err := prog.Inline()
+	if err != nil {
+		return nil, err
+	}
+	return buildCFG(prog, false)
+}
+
+// BuildSeparate builds the CFG without inlining: call statements become
+// KindCall nodes, for the linked (separate-compilation) translation. The
+// given statement list is used as the body (the program's own body for
+// the main unit, a procedure's body for a callee unit).
+func BuildSeparate(prog *lang.Program, body []lang.Stmt) (*Graph, error) {
+	unit := *prog
+	unit.Body = body
+	return buildCFG(&unit, true)
+}
+
+func buildCFG(prog *lang.Program, separate bool) (*Graph, error) {
+	b := &builder{g: NewGraph(prog), labels: map[string]int{}, separate: separate}
+	// Pre-create a join node for every label so forward gotos resolve.
+	b.collectLabels(prog.Body)
+	b.labels["end"] = b.g.End
+
+	start := b.g.Nodes[b.g.Start]
+	start.Succs = []int{-1, -1} // slot 0: program entry, slot 1: conventional edge to end
+	frontier := []pending{{b.g.Start, 0}}
+	frontier = b.stmts(prog.Body, frontier)
+	// Whatever still dangles falls through to end.
+	for _, p := range frontier {
+		b.wire(p, b.g.End)
+	}
+	// Conventional start→end edge (paper §2.1: "an edge is added between
+	// start and end, and thus start is a fork").
+	b.wire(pending{b.g.Start, 1}, b.g.End)
+
+	g, err := b.g.compact()
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustBuild is Build, panicking on error; for tests and fixed fixtures.
+func MustBuild(prog *lang.Program) *Graph {
+	g, err := Build(prog)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// pending is a dangling out-edge: slot s of node from awaits its target.
+type pending struct {
+	from int
+	slot int
+}
+
+type builder struct {
+	g        *Graph
+	labels   map[string]int // label name -> join node ID
+	separate bool
+}
+
+func (b *builder) collectLabels(stmts []lang.Stmt) {
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *lang.Label:
+			j := b.g.AddNode(KindJoin)
+			j.Label = x.Name
+			j.Succs = []int{-1}
+			b.labels[x.Name] = j.ID
+		case *lang.If:
+			b.collectLabels(x.Then)
+			b.collectLabels(x.Else)
+		case *lang.While:
+			b.collectLabels(x.Body)
+		}
+	}
+}
+
+// wire connects a pending edge to its target node.
+func (b *builder) wire(p pending, to int) {
+	b.g.Nodes[p.from].Succs[p.slot] = to
+	b.g.Nodes[to].Preds = append(b.g.Nodes[to].Preds, p.from)
+}
+
+func (b *builder) wireAll(ps []pending, to int) {
+	for _, p := range ps {
+		b.wire(p, to)
+	}
+}
+
+// stmts lowers a statement list. frontier is the set of dangling edges that
+// should flow into the first statement; the returned frontier dangles out
+// of the last.
+func (b *builder) stmts(stmts []lang.Stmt, frontier []pending) []pending {
+	for _, s := range stmts {
+		frontier = b.stmt(s, frontier)
+	}
+	return frontier
+}
+
+func (b *builder) stmt(s lang.Stmt, frontier []pending) []pending {
+	switch x := s.(type) {
+	case *lang.Assign:
+		n := b.g.AddNode(KindAssign)
+		n.Target, n.RHS = x.Name, x.Expr
+		n.Succs = []int{-1}
+		b.wireAll(frontier, n.ID)
+		return []pending{{n.ID, 0}}
+
+	case *lang.ArrayAssign:
+		n := b.g.AddNode(KindAssign)
+		n.Target, n.TargetIndex, n.RHS = x.Name, x.Index, x.Expr
+		n.Succs = []int{-1}
+		b.wireAll(frontier, n.ID)
+		return []pending{{n.ID, 0}}
+
+	case *lang.CallStmt:
+		if !b.separate {
+			panic("cfg: call statement survived inlining")
+		}
+		n := b.g.AddNode(KindCall)
+		n.Proc, n.Args = x.Proc, append([]string(nil), x.Args...)
+		n.Succs = []int{-1}
+		b.wireAll(frontier, n.ID)
+		return []pending{{n.ID, 0}}
+
+	case *lang.Label:
+		j := b.labels[x.Name]
+		b.wireAll(frontier, j)
+		return []pending{{j, 0}}
+
+	case *lang.Goto:
+		b.wireAll(frontier, b.labels[x.Label])
+		return nil
+
+	case *lang.CondGoto:
+		f := b.g.AddNode(KindFork)
+		f.Cond = x.Cond
+		f.Succs = []int{-1, -1}
+		b.wireAll(frontier, f.ID)
+		b.wire(pending{f.ID, 0}, b.labels[x.True])
+		b.wire(pending{f.ID, 1}, b.labels[x.False])
+		return nil
+
+	case *lang.If:
+		f := b.g.AddNode(KindFork)
+		f.Cond = x.Cond
+		f.Succs = []int{-1, -1}
+		b.wireAll(frontier, f.ID)
+		thenOut := b.stmts(x.Then, []pending{{f.ID, 0}})
+		elseOut := b.stmts(x.Else, []pending{{f.ID, 1}})
+		switch {
+		case len(thenOut) == 0:
+			return elseOut
+		case len(elseOut) == 0:
+			return thenOut
+		default:
+			j := b.g.AddNode(KindJoin)
+			j.Succs = []int{-1}
+			b.wireAll(thenOut, j.ID)
+			b.wireAll(elseOut, j.ID)
+			return []pending{{j.ID, 0}}
+		}
+
+	case *lang.While:
+		// header join → fork(cond); true → body → back to header;
+		// false → fall through.
+		h := b.g.AddNode(KindJoin)
+		h.Succs = []int{-1}
+		b.wireAll(frontier, h.ID)
+		f := b.g.AddNode(KindFork)
+		f.Cond = x.Cond
+		f.Succs = []int{-1, -1}
+		b.wire(pending{h.ID, 0}, f.ID)
+		bodyOut := b.stmts(x.Body, []pending{{f.ID, 0}})
+		b.wireAll(bodyOut, h.ID)
+		return []pending{{f.ID, 1}}
+	}
+	panic(fmt.Sprintf("cfg: unknown statement type %T", s))
+}
+
+// compact removes nodes unreachable from start (dead code after gotos,
+// labels never targeted inside dead regions) and renumbers node IDs
+// densely. Dangling out-edges of reachable nodes are an error.
+func (g *Graph) compact() (*Graph, error) {
+	reach := map[int]bool{g.Start: true}
+	stack := []int{g.Start}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Nodes[id].Succs {
+			if s < 0 {
+				return nil, fmt.Errorf("cfg: internal error: dangling edge out of %s", g.Nodes[id])
+			}
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	remap := make([]int, len(g.Nodes))
+	for i := range remap {
+		remap[i] = -1
+	}
+	out := &Graph{Prog: g.Prog}
+	for _, n := range g.Nodes {
+		if reach[n.ID] {
+			remap[n.ID] = len(out.Nodes)
+			nn := *n
+			nn.ID = remap[n.ID]
+			nn.Succs = append([]int(nil), n.Succs...)
+			nn.Preds = nil
+			out.Nodes = append(out.Nodes, &nn)
+		}
+	}
+	for _, n := range out.Nodes {
+		for i, s := range n.Succs {
+			n.Succs[i] = remap[s]
+		}
+	}
+	// Rebuild pred lists from succ lists.
+	for _, n := range out.Nodes {
+		for _, s := range n.Succs {
+			out.Nodes[s].Preds = append(out.Nodes[s].Preds, n.ID)
+		}
+	}
+	out.Start = remap[g.Start]
+	out.End = remap[g.End]
+	return out, nil
+}

@@ -1,0 +1,304 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the interval transformation of paper §3: identify
+// the cyclic intervals of the CFG and insert loop-entry and loop-exit
+// control statements so that translation Schema 2 (and the optimized
+// construction) can give tokens of different iterations different tags.
+//
+// For reducible control-flow graphs — which the paper notes cover "most
+// control-flow graphs arising from programs" — nested cyclic intervals
+// coincide with natural loops, so we identify loops through the dominator
+// tree: a back edge t→h (h dominates t) defines the natural loop of h.
+// Arcs into the header from outside the loop are redirected to a single
+// loop-entry node, all back edges are redirected to the same loop-entry
+// node (flagged as iteration re-entries), and a loop-exit node is spliced
+// onto every edge A→B with A inside the cyclic part and B outside.
+// Irreducible graphs would require code copying (paper footnote 5); they
+// are reported as an error.
+
+// ErrIrreducible is returned (wrapped) by InsertLoopControl for CFGs whose
+// cycles cannot be decomposed into nested single-entry intervals.
+var ErrIrreducible = fmt.Errorf("irreducible control flow (would require code copying, paper footnote 5)")
+
+// Loop describes one transformed loop in a CFG produced by
+// InsertLoopControl.
+type Loop struct {
+	// Entry is the loop-entry node ID; Header the original header join it
+	// feeds; Exits the loop-exit node IDs.
+	Entry  int
+	Header int
+	Exits  []int
+	// Body is the set of nodes in the cyclic part of the interval,
+	// including Entry and the bodies of nested loops, excluding Exits.
+	Body map[int]bool
+	// Depth is the nesting depth (outermost loop = 1).
+	Depth int
+}
+
+// InsertLoopControl returns a copy of g with loop-entry/loop-exit nodes
+// inserted for every cyclic interval, innermost first. The input graph is
+// not modified. Graphs without cycles are returned as a (validated) copy
+// with no loops.
+func InsertLoopControl(g *Graph) (*Graph, []Loop, error) {
+	if err := checkReducible(g); err != nil {
+		return nil, nil, err
+	}
+	out := g.Clone()
+	for {
+		loop, ok := findUntransformedLoop(out)
+		if !ok {
+			break
+		}
+		transformLoop(out, loop.header, loop.body, loop.backs)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("cfg: loop transformation broke the graph: %w", err)
+	}
+	loops := FindLoops(out)
+	return out, loops, nil
+}
+
+// Clone deep-copies the graph structure (expressions are shared; they are
+// immutable after parsing).
+func (g *Graph) Clone() *Graph {
+	out := &Graph{Start: g.Start, End: g.End, Prog: g.Prog}
+	for _, n := range g.Nodes {
+		nn := *n
+		nn.Succs = append([]int(nil), n.Succs...)
+		nn.Preds = append([]int(nil), n.Preds...)
+		if n.BackPreds != nil {
+			nn.BackPreds = make(map[int]bool, len(n.BackPreds))
+			for k, v := range n.BackPreds {
+				nn.BackPreds[k] = v
+			}
+		}
+		out.Nodes = append(out.Nodes, &nn)
+	}
+	return out
+}
+
+type rawLoop struct {
+	header int
+	backs  []int // back-edge sources
+	body   map[int]bool
+}
+
+// findUntransformedLoop locates the smallest natural loop whose header is
+// not already a loop-entry node. Returns ok=false when every cycle has
+// been transformed.
+func findUntransformedLoop(g *Graph) (rawLoop, bool) {
+	dom := Dominators(g)
+	byHeader := map[int][]int{}
+	for _, n := range g.Nodes {
+		for _, s := range n.Succs {
+			if dom.Dominates(s, n.ID) && g.Nodes[s].Kind != KindLoopEntry {
+				byHeader[s] = append(byHeader[s], n.ID)
+			}
+		}
+	}
+	if len(byHeader) == 0 {
+		return rawLoop{}, false
+	}
+	var candidates []rawLoop
+	for h, backs := range byHeader {
+		sort.Ints(backs)
+		candidates = append(candidates, rawLoop{header: h, backs: backs, body: naturalLoop(g, h, backs)})
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if len(candidates[i].body) != len(candidates[j].body) {
+			return len(candidates[i].body) < len(candidates[j].body)
+		}
+		return candidates[i].header < candidates[j].header
+	})
+	return candidates[0], true
+}
+
+// naturalLoop computes the natural loop of header h with the given
+// back-edge sources: h plus every node that reaches a back-edge source
+// without passing through h.
+func naturalLoop(g *Graph, h int, backs []int) map[int]bool {
+	body := map[int]bool{h: true}
+	stack := append([]int(nil), backs...)
+	for _, t := range backs {
+		body[t] = true
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range g.Nodes[n].Preds {
+			if !body[p] {
+				body[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return body
+}
+
+// transformLoop inserts the loop-entry and loop-exit statements for one
+// natural loop, mutating g.
+func transformLoop(g *Graph, h int, body map[int]bool, backs []int) {
+	le := g.AddNode(KindLoopEntry)
+	le.LoopHeader = h
+	le.BackPreds = map[int]bool{}
+
+	// Redirect every edge into the header — from outside (entries) and from
+	// back-edge sources (iteration) — to the loop entry.
+	preds := append([]int(nil), g.Nodes[h].Preds...)
+	for _, p := range preds {
+		// A predecessor may have two parallel edges to h (both fork arms);
+		// ReplaceEdge rewrites one occurrence per call, so loop over them.
+		for contains(g.Nodes[p].Succs, h) {
+			g.ReplaceEdge(p, h, le.ID)
+		}
+		if body[p] {
+			le.BackPreds[p] = true
+		}
+	}
+	g.AddEdge(le.ID, h)
+
+	// Splice a loop exit onto every edge leaving the cyclic part.
+	for _, a := range sortedKeys(body) {
+		succs := append([]int(nil), g.Nodes[a].Succs...)
+		for _, s := range succs {
+			if body[s] || s == le.ID {
+				continue
+			}
+			lx := g.AddNode(KindLoopExit)
+			lx.LoopHeader = h
+			g.ReplaceEdge(a, s, lx.ID)
+			g.AddEdge(lx.ID, s)
+		}
+	}
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// FindLoops reconstructs the Loop descriptors of a graph already
+// transformed by InsertLoopControl: one per loop-entry node, innermost
+// loops listed first, with nesting depths filled in.
+func FindLoops(g *Graph) []Loop {
+	var loops []Loop
+	for _, n := range g.Nodes {
+		if n.Kind != KindLoopEntry {
+			continue
+		}
+		body := map[int]bool{n.ID: true}
+		var stack []int
+		for b := range n.BackPreds {
+			if !body[b] {
+				body[b] = true
+				stack = append(stack, b)
+			}
+		}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range g.Nodes[x].Preds {
+				if !body[p] {
+					body[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+		l := Loop{Entry: n.ID, Header: n.Succs[0], Body: body}
+		for _, b := range sortedKeys(body) {
+			for _, s := range g.Nodes[b].Succs {
+				if g.Nodes[s].Kind == KindLoopExit && g.Nodes[s].LoopHeader == n.Succs[0] && !body[s] {
+					l.Exits = append(l.Exits, s)
+				}
+			}
+		}
+		sort.Ints(l.Exits)
+		loops = append(loops, l)
+	}
+	// Nesting depth: count enclosing loop bodies.
+	for i := range loops {
+		loops[i].Depth = 1
+		for j := range loops {
+			if i != j && loops[j].Body[loops[i].Entry] {
+				loops[i].Depth++
+			}
+		}
+	}
+	sort.Slice(loops, func(i, j int) bool {
+		if loops[i].Depth != loops[j].Depth {
+			return loops[i].Depth > loops[j].Depth // innermost first
+		}
+		return loops[i].Entry < loops[j].Entry
+	})
+	return loops
+}
+
+// checkReducible verifies that g reduces to a single node under the
+// classic T1 (self-loop removal) / T2 (single-predecessor merge)
+// transformations; if not, the CFG has irreducible control flow.
+func checkReducible(g *Graph) error {
+	succs := map[int]map[int]bool{}
+	preds := map[int]map[int]bool{}
+	for _, n := range g.Nodes {
+		succs[n.ID] = map[int]bool{}
+		preds[n.ID] = map[int]bool{}
+	}
+	for _, n := range g.Nodes {
+		for _, s := range n.Succs {
+			succs[n.ID][s] = true
+			preds[s][n.ID] = true
+		}
+	}
+	for {
+		changed := false
+		// T1: remove self-loops.
+		for n := range succs {
+			if succs[n][n] {
+				delete(succs[n], n)
+				delete(preds[n], n)
+				changed = true
+			}
+		}
+		// T2: merge single-pred nodes into their predecessor.
+		for n := range succs {
+			if n == g.Start || len(preds[n]) != 1 {
+				continue
+			}
+			var p int
+			for q := range preds[n] {
+				p = q
+			}
+			for s := range succs[n] {
+				delete(preds[s], n)
+				if s != p {
+					succs[p][s] = true
+					preds[s][p] = true
+				} else {
+					// merging creates a self-loop on p
+					succs[p][p] = true
+					preds[p][p] = true
+				}
+			}
+			delete(succs[p], n)
+			delete(succs, n)
+			delete(preds, n)
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	if len(succs) != 1 {
+		return fmt.Errorf("cfg: %w", ErrIrreducible)
+	}
+	return nil
+}

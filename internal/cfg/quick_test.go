@@ -1,0 +1,175 @@
+package cfg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ctdf/internal/workloads"
+)
+
+// Property tests over random structured and unstructured programs.
+
+func graphFromSeed(seed int64, unstructured bool) (*Graph, bool) {
+	var w workloads.Workload
+	if unstructured {
+		w = workloads.RandomUnstructured(seed%1000, 3)
+	} else {
+		w = workloads.Random(seed%1000, 4, 2)
+	}
+	g, err := Build(w.Parse())
+	if err != nil {
+		return nil, false
+	}
+	return g, true
+}
+
+func TestQuickBuildProducesValidGraphs(t *testing.T) {
+	f := func(seed int64, unstructured bool) bool {
+		g, ok := graphFromSeed(seed, unstructured)
+		if !ok {
+			return false // generators must always produce buildable programs
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDominatorAxioms(t *testing.T) {
+	f := func(seed int64, unstructured bool) bool {
+		g, ok := graphFromSeed(seed, unstructured)
+		if !ok {
+			return false
+		}
+		dom := Dominators(g)
+		pdom := PostDominators(g)
+		for _, n := range g.SortedIDs() {
+			// start dominates everything; end postdominates everything.
+			if !dom.Dominates(g.Start, n) || !pdom.Dominates(g.End, n) {
+				return false
+			}
+			// idom is a strict dominator (except the root).
+			if n != g.Start {
+				if id := dom.Idom[n]; id < 0 || !dom.StrictlyDominates(id, n) {
+					return false
+				}
+			}
+			if n != g.End {
+				if ip := pdom.Idom[n]; ip < 0 || !pdom.StrictlyDominates(ip, n) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLoopControlInvariants(t *testing.T) {
+	f := func(seed int64, unstructured bool) bool {
+		g, ok := graphFromSeed(seed, unstructured)
+		if !ok {
+			return false
+		}
+		out, loops, err := InsertLoopControl(g)
+		if err != nil {
+			return false // all generated programs are reducible
+		}
+		if out.Validate() != nil {
+			return false
+		}
+		// Every back edge targets a loop entry; every loop entry has at
+		// least one back pred and one initial pred.
+		dom := Dominators(out)
+		for _, n := range out.Nodes {
+			for _, s := range n.Succs {
+				if dom.Dominates(s, n.ID) && out.Nodes[s].Kind != KindLoopEntry {
+					return false
+				}
+			}
+			if n.Kind == KindLoopEntry {
+				backs, inits := 0, 0
+				for _, p := range n.Preds {
+					if n.BackPreds[p] {
+						backs++
+					} else {
+						inits++
+					}
+				}
+				if backs == 0 || inits == 0 {
+					return false
+				}
+			}
+		}
+		// Loop bodies are disjoint or nested.
+		for i := range loops {
+			for j := range loops {
+				if i == j {
+					continue
+				}
+				var inter, ai, bi int
+				for n := range loops[i].Body {
+					if loops[j].Body[n] {
+						inter++
+					}
+				}
+				if inter == 0 {
+					continue
+				}
+				for n := range loops[i].Body {
+					if loops[j].Body[n] {
+						ai++
+					}
+				}
+				for n := range loops[j].Body {
+					if loops[i].Body[n] {
+						bi++
+					}
+				}
+				if ai != len(loops[i].Body) && bi != len(loops[j].Body) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRPOIsTopologicalIgnoringBackEdges(t *testing.T) {
+	f := func(seed int64) bool {
+		g, ok := graphFromSeed(seed, true)
+		if !ok {
+			return false
+		}
+		out, _, err := InsertLoopControl(g)
+		if err != nil {
+			return false
+		}
+		pos := map[int]int{}
+		for i, id := range out.RPO() {
+			pos[id] = i
+		}
+		for _, n := range out.Nodes {
+			for _, s := range n.Succs {
+				// Forward edges respect RPO; back edges (into loop
+				// entries) are exempt.
+				if out.Nodes[s].Kind == KindLoopEntry && out.Nodes[s].BackPreds[n.ID] {
+					continue
+				}
+				if pos[s] <= pos[n.ID] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,282 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MakeReducible returns a CFG equivalent to g whose cycles decompose into
+// nested single-entry intervals, applying the code copying the paper
+// alludes to in footnote 5 ("if we allow code copying, then any
+// control-flow graph can be decomposed into such nested intervals").
+//
+// The algorithm runs the T1 (self-loop removal) / T2 (single-predecessor
+// merge) reduction with supernode tracking; when the reduction jams, every
+// remaining supernode has at least two predecessors, so the smallest one
+// is an irreducible region entered from several places. That region's
+// nodes are duplicated once per entering supernode and the reduction
+// restarts. The returned copy count is the number of duplicated nodes
+// (zero when g was already reducible, in which case g itself is returned).
+//
+// Region entry nodes are necessarily joins (anything with one predecessor
+// was absorbed by T2), and cross-region edge targets are joins for the
+// same reason, so duplication preserves the CFG invariant that only joins
+// merge control.
+func MakeReducible(g *Graph) (*Graph, int, error) {
+	if checkReducible(g) == nil {
+		return g, 0, nil
+	}
+	cur := g.Clone()
+	copies := 0
+	for round := 0; ; round++ {
+		if round > 64 || cur.Len() > 100_000 {
+			return nil, 0, fmt.Errorf("cfg: code copying did not converge (%d rounds, %d nodes)", round, cur.Len())
+		}
+		region, preds, reducible := jamRegion(cur)
+		if reducible {
+			if err := cur.Validate(); err != nil {
+				return nil, 0, fmt.Errorf("cfg: code copying broke the graph: %w", err)
+			}
+			return cur, copies, nil
+		}
+		copies += duplicateRegion(cur, region, preds)
+	}
+}
+
+// jamRegion runs the supernode T1/T2 reduction. If the graph is reducible
+// it reports reducible=true. Otherwise it returns the original-node set of
+// the smallest jammed supernode together with the partition of its
+// external predecessor (original) nodes by entering supernode.
+func jamRegion(g *Graph) (region map[int]bool, preds [][]int, reducible bool) {
+	// super[n] = representative supernode id for original node n.
+	super := make([]int, g.Len())
+	members := map[int][]int{}
+	succs := map[int]map[int]bool{}
+	predsOf := map[int]map[int]bool{}
+	for _, n := range g.Nodes {
+		super[n.ID] = n.ID
+		members[n.ID] = []int{n.ID}
+		succs[n.ID] = map[int]bool{}
+		predsOf[n.ID] = map[int]bool{}
+	}
+	for _, n := range g.Nodes {
+		for _, s := range n.Succs {
+			if s != n.ID {
+				succs[n.ID][s] = true
+				predsOf[s][n.ID] = true
+			}
+		}
+	}
+	for {
+		changed := false
+		for id := range succs {
+			// T1
+			if succs[id][id] {
+				delete(succs[id], id)
+				delete(predsOf[id], id)
+				changed = true
+			}
+		}
+		for id := range succs {
+			if id == super[g.Start] || len(predsOf[id]) != 1 {
+				continue
+			}
+			var p int
+			for q := range predsOf[id] {
+				p = q
+			}
+			// T2: merge id into p.
+			members[p] = append(members[p], members[id]...)
+			for _, orig := range members[id] {
+				super[orig] = p
+			}
+			for s := range succs[id] {
+				delete(predsOf[s], id)
+				if s == p {
+					succs[p][p] = true
+					predsOf[p][p] = true
+				} else {
+					succs[p][s] = true
+					predsOf[s][p] = true
+				}
+			}
+			delete(succs[p], id)
+			delete(succs, id)
+			delete(predsOf, id)
+			delete(members, id)
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	if len(succs) == 1 {
+		return nil, nil, true
+	}
+	// Jammed. The jam also contains innocent acyclic fan-in (joins fed by
+	// several stuck supernodes, the end node); only supernodes on a cycle
+	// of the limit graph belong to an irreducible region. Restrict the
+	// pick to members of non-trivial strongly connected components.
+	cyclic := nontrivialSCCMembers(succs)
+	var ids []int
+	for id := range succs {
+		if id == super[g.Start] || !cyclic[id] {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	if len(ids) == 0 {
+		// Cannot happen for a genuinely irreducible graph; fail loudly
+		// rather than loop.
+		panic("cfg: T1/T2 jammed without a cyclic supernode")
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if len(members[ids[i]]) != len(members[ids[j]]) {
+			return len(members[ids[i]]) < len(members[ids[j]])
+		}
+		return ids[i] < ids[j]
+	})
+	pick := ids[0]
+	region = map[int]bool{}
+	for _, orig := range members[pick] {
+		region[orig] = true
+	}
+	// Partition the region's external original predecessors by supernode.
+	bySuper := map[int][]int{}
+	for orig := range region {
+		for _, p := range g.Nodes[orig].Preds {
+			if !region[p] {
+				bySuper[super[p]] = append(bySuper[super[p]], p)
+			}
+		}
+	}
+	var superIDs []int
+	for sid := range bySuper {
+		superIDs = append(superIDs, sid)
+	}
+	sort.Ints(superIDs)
+	for _, sid := range superIDs {
+		ps := bySuper[sid]
+		sort.Ints(ps)
+		preds = append(preds, ps)
+	}
+	return region, preds, false
+}
+
+// nontrivialSCCMembers returns the nodes of adj that lie on some cycle
+// (members of strongly connected components with more than one node;
+// self-loops were removed by T1).
+func nontrivialSCCMembers(adj map[int]map[int]bool) map[int]bool {
+	// Tarjan's algorithm, iterative enough for our sizes via recursion.
+	index := map[int]int{}
+	low := map[int]int{}
+	onStack := map[int]bool{}
+	var stack []int
+	next := 0
+	out := map[int]bool{}
+	var strong func(v int)
+	strong = func(v int) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for w := range adj[v] {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []int
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				for _, w := range comp {
+					out[w] = true
+				}
+			}
+		}
+	}
+	ids := make([]int, 0, len(adj))
+	for id := range adj {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if _, seen := index[id]; !seen {
+			strong(id)
+		}
+	}
+	return out
+}
+
+// duplicateRegion clones the region once per entering predecessor group
+// beyond the first, redirecting each group's edges into its own clone.
+// Returns the number of nodes created.
+func duplicateRegion(g *Graph, region map[int]bool, predGroups [][]int) int {
+	created := 0
+	for gi := 1; gi < len(predGroups); gi++ {
+		// Clone every region node.
+		cloneOf := map[int]int{}
+		for _, orig := range sortedKeys(region) {
+			n := g.Nodes[orig]
+			c := g.AddNode(n.Kind)
+			c.Target, c.TargetIndex, c.RHS = n.Target, n.TargetIndex, n.RHS
+			c.Cond = n.Cond
+			c.Label = ""
+			c.LoopHeader = n.LoopHeader
+			cloneOf[orig] = c.ID
+			created++
+		}
+		// Wire clone successors: internal edges to clones, external edges
+		// to the original targets.
+		for _, orig := range sortedKeys(region) {
+			c := g.Nodes[cloneOf[orig]]
+			for _, s := range g.Nodes[orig].Succs {
+				t := s
+				if region[s] {
+					t = cloneOf[s]
+				}
+				c.Succs = append(c.Succs, t)
+				g.Nodes[t].Preds = append(g.Nodes[t].Preds, c.ID)
+			}
+		}
+		// Redirect this group's entering edges to the clones.
+		for _, p := range predGroups[gi] {
+			for si, s := range g.Nodes[p].Succs {
+				if region[s] {
+					g.ReplaceEdgeAt(p, si, cloneOf[s])
+				}
+			}
+		}
+	}
+	return created
+}
+
+// ReplaceEdgeAt rewrites successor slot si of node from to point at newTo,
+// fixing pred lists.
+func (g *Graph) ReplaceEdgeAt(from, si, newTo int) {
+	f := g.Nodes[from]
+	oldTo := f.Succs[si]
+	f.Succs[si] = newTo
+	old := g.Nodes[oldTo]
+	for i, p := range old.Preds {
+		if p == from {
+			old.Preds = append(old.Preds[:i], old.Preds[i+1:]...)
+			break
+		}
+	}
+	g.Nodes[newTo].Preds = append(g.Nodes[newTo].Preds, from)
+}

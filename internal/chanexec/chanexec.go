@@ -1,0 +1,529 @@
+// Package chanexec executes dataflow graphs with one goroutine per
+// operator and token delivery over per-node mailboxes — the natural Go
+// realization of the dataflow firing rule ("operators that test conditions
+// at their inputs and outputs to determine when to execute", §2.2). It
+// validates the cycle-driven machine simulator: both engines must compute
+// identical final states, because dataflow graphs are determinate.
+//
+// Tokens are never dropped: an execution is complete when the global
+// in-flight token count reaches zero; if that happens before the end node
+// has collected all access tokens, the graph deadlocked (a translation
+// bug) and the engine reports it.
+package chanexec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ctdf/internal/dfg"
+	"ctdf/internal/interp"
+	"ctdf/internal/lang"
+	"ctdf/internal/token"
+)
+
+// Config configures an execution.
+type Config struct {
+	// Binding selects which aliased names share storage this run.
+	Binding interp.Binding
+	// MaxOps bounds total firings (default ten million).
+	MaxOps int64
+}
+
+// Outcome is the result of an execution.
+type Outcome struct {
+	Store     *interp.Store
+	EndValues []int64
+	// Ops is the number of operator firings.
+	Ops int64
+}
+
+type msg struct {
+	port int
+	val  int64
+	tg   token.Tag
+}
+
+// mailbox is an unbounded FIFO: sends never block, so cyclic graphs cannot
+// deadlock on channel capacity.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []msg
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) push(m msg) {
+	b.mu.Lock()
+	b.q = append(b.q, m)
+	b.mu.Unlock()
+	b.cond.Signal()
+}
+
+func (b *mailbox) pop() (msg, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.q) == 0 && !b.closed {
+		b.cond.Wait()
+	}
+	if len(b.q) == 0 {
+		return msg{}, false
+	}
+	m := b.q[0]
+	b.q = b.q[1:]
+	return m, true
+}
+
+func (b *mailbox) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+type engine struct {
+	g     *dfg.Graph
+	store *interp.Store
+	boxes []*mailbox
+
+	inflight atomic.Int64
+	ops      atomic.Int64
+	leftover atomic.Int64
+	maxOps   int64
+
+	done     chan struct{}
+	doneOnce sync.Once
+	failed   atomic.Bool
+	errMu    sync.Mutex
+	err      error
+
+	endMu   sync.Mutex
+	endVals []int64
+	endDone bool
+
+	// Procedure linkage (separate compilation): activation registry.
+	procMu      sync.Mutex
+	procByApply map[int]*dfg.CallInfo
+	procLive    map[int]*chanActivation
+	procNext    int
+
+	// I-structure memory (§6.3): presence bits and deferred readers,
+	// guarded by istructMu. Deferred reads count toward deferredReads;
+	// quiescence with unsatisfied deferred reads is an error.
+	istructMu     sync.Mutex
+	istructFull   map[string][]bool
+	istructWait   map[string]map[int64][]deferredRead
+	deferredReads atomic.Int64
+}
+
+type deferredRead struct {
+	node int
+	tg   token.Tag
+}
+
+type chanActivation struct {
+	info      *dfg.CallInfo
+	callerTag token.Tag
+	resolved  map[string]string
+}
+
+// Run executes the dataflow graph to completion.
+func Run(g *dfg.Graph, cfg Config) (*Outcome, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Binding.Validate(g.Prog); err != nil {
+		return nil, err
+	}
+	maxOps := cfg.MaxOps
+	if maxOps == 0 {
+		maxOps = 10_000_000
+	}
+	e := &engine{
+		g:      g,
+		store:  interp.NewStoreWithBinding(g.Prog, cfg.Binding),
+		boxes:  make([]*mailbox, len(g.Nodes)),
+		maxOps: maxOps,
+		done:   make(chan struct{}),
+	}
+	e.endVals = make([]int64, g.Nodes[g.EndID].NIns)
+	for i := range e.boxes {
+		e.boxes[i] = newMailbox()
+	}
+	if len(g.Calls) > 0 {
+		e.procByApply = map[int]*dfg.CallInfo{}
+		e.procLive = map[int]*chanActivation{}
+		for i := range g.Calls {
+			e.procByApply[g.Calls[i].Apply] = &g.Calls[i]
+		}
+	}
+	e.istructFull = map[string][]bool{}
+	e.istructWait = map[string]map[int64][]deferredRead{}
+	for _, n := range g.Nodes {
+		if n.Kind == dfg.ILoad || n.Kind == dfg.IStore {
+			if _, ok := e.istructFull[n.Var]; !ok {
+				e.istructFull[n.Var] = make([]bool, g.Prog.ArraySize(n.Var))
+				e.istructWait[n.Var] = map[int64][]deferredRead{}
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, n := range g.Nodes {
+		if n.Kind == dfg.Start {
+			continue
+		}
+		wg.Add(1)
+		go func(n *dfg.Node) {
+			defer wg.Done()
+			e.worker(n)
+		}(n)
+	}
+
+	// The start node emits one dummy token per arc at the root context.
+	for _, a := range g.OutArcs(g.StartID, 0) {
+		e.send(a.To, msg{port: a.ToPort, val: 0, tg: token.Root})
+	}
+	<-e.done
+	for _, b := range e.boxes {
+		b.close()
+	}
+	wg.Wait()
+
+	e.errMu.Lock()
+	err := e.err
+	e.errMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if e.procLive != nil {
+		e.procMu.Lock()
+		live := len(e.procLive)
+		e.procMu.Unlock()
+		if live != 0 {
+			return nil, fmt.Errorf("chanexec: %d procedure activations never returned", live)
+		}
+	}
+	if n := e.deferredReads.Load(); n != 0 {
+		return nil, fmt.Errorf("chanexec: %d I-structure reads of never-written cells", n)
+	}
+	// Strict conservation: no partially matched activation may survive the
+	// run (its partner token can never arrive).
+	if n := e.leftover.Load(); n != 0 {
+		return nil, fmt.Errorf("chanexec: %d partially matched activations left after end fired (token leak)", n)
+	}
+	return &Outcome{Store: e.store, EndValues: e.endVals, Ops: e.ops.Load()}, nil
+}
+
+func (e *engine) fail(err error) {
+	e.failed.Store(true)
+	e.errMu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.errMu.Unlock()
+	e.doneOnce.Do(func() { close(e.done) })
+}
+
+// send delivers a token; the in-flight count rises before delivery so the
+// quiescence check cannot fire spuriously.
+func (e *engine) send(node int, m msg) {
+	e.inflight.Add(1)
+	e.boxes[node].push(m)
+}
+
+// retire marks one delivered token fully processed; when the last token
+// retires the execution is quiescent.
+func (e *engine) retire() {
+	if e.inflight.Add(-1) == 0 {
+		e.endMu.Lock()
+		finished := e.endDone
+		e.endMu.Unlock()
+		if !finished {
+			e.fail(fmt.Errorf("chanexec: quiescent before end fired (deadlocked tokens)"))
+			return
+		}
+		e.doneOnce.Do(func() { close(e.done) })
+	}
+}
+
+type matchState struct {
+	have uint64
+	vals []int64
+	tg   token.Tag
+	n    int
+}
+
+func (e *engine) worker(n *dfg.Node) {
+	box := e.boxes[n.ID]
+	match := map[string]*matchState{}
+	defer func() { e.leftover.Add(int64(len(match))) }()
+	anyArrival := n.Kind == dfg.Merge || n.Kind == dfg.LoopEntry || n.Kind == dfg.Param
+	for {
+		m, ok := box.pop()
+		if !ok {
+			return
+		}
+		if anyArrival || n.NIns <= 1 {
+			e.fire(n, []int64{m.val}, m.port, m.tg)
+			e.retire()
+			continue
+		}
+		st := match[m.tg.Key()]
+		if st == nil {
+			st = &matchState{vals: make([]int64, n.NIns), tg: m.tg}
+			match[m.tg.Key()] = st
+		}
+		bit := uint64(1) << uint(m.port)
+		if st.have&bit != 0 {
+			e.fail(fmt.Errorf("chanexec: duplicate token at %s port %d tag %q", n, m.port, m.tg.Key()))
+			e.retire()
+			continue
+		}
+		st.have |= bit
+		st.vals[m.port] = m.val
+		st.n++
+		if st.n == n.NIns {
+			delete(match, m.tg.Key())
+			e.fire(n, st.vals, 0, st.tg)
+		}
+		e.retire()
+	}
+}
+
+// resolveName maps a variable name to the storage it denotes under tg:
+// formals resolve through the innermost activation's binding.
+func (e *engine) resolveName(name string, tg token.Tag) string {
+	if e.procLive == nil {
+		return name
+	}
+	e.procMu.Lock()
+	defer e.procMu.Unlock()
+	return e.resolveNameLocked(name, tg)
+}
+
+func (e *engine) resolveNameLocked(name string, tg token.Tag) string {
+	act := tg.Activation()
+	if act < 0 {
+		return name
+	}
+	rec := e.procLive[act]
+	if rec == nil {
+		return name
+	}
+	if r, ok := rec.resolved[name]; ok {
+		return r
+	}
+	return name
+}
+
+// emit broadcasts val on every arc leaving (node, port).
+func (e *engine) emit(node, port int, val int64, tg token.Tag) {
+	for _, a := range e.g.OutArcs(node, port) {
+		e.send(a.To, msg{port: a.ToPort, val: val, tg: tg})
+	}
+}
+
+func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
+	if e.failed.Load() {
+		return
+	}
+	if e.ops.Add(1) > e.maxOps {
+		e.fail(fmt.Errorf("chanexec: exceeded %d firings (runaway loop?)", e.maxOps))
+		return
+	}
+	switch n.Kind {
+	case dfg.End:
+		if !tg.IsRoot() {
+			e.fail(fmt.Errorf("chanexec: token reached end with non-root tag %q", tg.Key()))
+			return
+		}
+		e.endMu.Lock()
+		copy(e.endVals, vals)
+		e.endDone = true
+		e.endMu.Unlock()
+
+	case dfg.Const:
+		e.emit(n.ID, 0, n.Val, tg)
+
+	case dfg.BinOp:
+		v, err := interp.Apply(n.Op, vals[0], vals[1])
+		if err != nil {
+			e.fail(fmt.Errorf("chanexec: %s: %w", n, err))
+			return
+		}
+		e.emit(n.ID, 0, v, tg)
+
+	case dfg.UnOp:
+		var v int64
+		switch n.Op {
+		case lang.OpNeg:
+			v = -vals[0]
+		case lang.OpNot:
+			if vals[0] == 0 {
+				v = 1
+			}
+		default:
+			e.fail(fmt.Errorf("chanexec: bad unary op %v", n.Op))
+			return
+		}
+		e.emit(n.ID, 0, v, tg)
+
+	case dfg.Switch:
+		out := 0
+		if vals[1] == 0 {
+			out = 1
+		}
+		e.emit(n.ID, out, vals[0], tg)
+
+	case dfg.Merge, dfg.Param:
+		e.emit(n.ID, 0, vals[0], tg)
+
+	case dfg.Apply:
+		info := e.procByApply[n.ID]
+		if info == nil {
+			e.fail(fmt.Errorf("chanexec: apply d%d has no call linkage", n.ID))
+			return
+		}
+		e.procMu.Lock()
+		id := e.procNext
+		e.procNext++
+		rec := &chanActivation{info: info, callerTag: tg, resolved: map[string]string{}}
+		for formal, actual := range info.Bindings {
+			rec.resolved[formal] = e.resolveNameLocked(actual, tg)
+		}
+		e.procLive[id] = rec
+		e.procMu.Unlock()
+		nt := tg.PushCall(id)
+		for j := range info.Params {
+			e.emit(n.ID, len(info.InTokens)+j, 0, nt)
+		}
+
+	case dfg.ProcReturn:
+		_, id, err := tg.PopCall()
+		if err != nil {
+			e.fail(fmt.Errorf("chanexec: %s: %w", n, err))
+			return
+		}
+		e.procMu.Lock()
+		rec := e.procLive[id]
+		delete(e.procLive, id)
+		e.procMu.Unlock()
+		if rec == nil {
+			e.fail(fmt.Errorf("chanexec: return for unknown activation %d", id))
+			return
+		}
+		for p := 0; p < len(rec.info.InTokens); p++ {
+			e.emit(rec.info.Apply, p, 0, rec.callerTag)
+		}
+
+	case dfg.Synch:
+		e.emit(n.ID, 0, 0, tg)
+
+	case dfg.LoopEntry:
+		var nt token.Tag
+		var err error
+		if port == 0 {
+			nt = tg.Push()
+		} else {
+			nt, err = tg.Bump()
+			if err != nil {
+				e.fail(fmt.Errorf("chanexec: %s: %w", n, err))
+				return
+			}
+		}
+		e.emit(n.ID, 0, vals[0], nt)
+
+	case dfg.LoopExit:
+		nt, err := tg.Pop()
+		if err != nil {
+			e.fail(fmt.Errorf("chanexec: %s: %w", n, err))
+			return
+		}
+		e.emit(n.ID, 0, vals[0], nt)
+
+	case dfg.Load:
+		e.emit(n.ID, 0, e.store.Get(e.resolveName(n.Var, tg)), tg)
+		e.emit(n.ID, 1, 0, tg)
+
+	case dfg.Store:
+		e.store.Set(e.resolveName(n.Var, tg), vals[0])
+		e.emit(n.ID, 0, 0, tg)
+
+	case dfg.LoadIdx:
+		v, err := e.store.GetIdx(e.resolveName(n.Var, tg), vals[0])
+		if err != nil {
+			e.fail(fmt.Errorf("chanexec: %s: %w", n, err))
+			return
+		}
+		e.emit(n.ID, 0, v, tg)
+		e.emit(n.ID, 1, 0, tg)
+
+	case dfg.StoreIdx:
+		if err := e.store.SetIdx(e.resolveName(n.Var, tg), vals[0], vals[1]); err != nil {
+			e.fail(fmt.Errorf("chanexec: %s: %w", n, err))
+			return
+		}
+		e.emit(n.ID, 0, 0, tg)
+
+	case dfg.ILoad:
+		idx := vals[0]
+		e.istructMu.Lock()
+		full := e.istructFull[n.Var]
+		if idx < 0 || idx >= int64(len(full)) {
+			e.istructMu.Unlock()
+			e.fail(fmt.Errorf("chanexec: I-structure index %d out of range for %s[%d]", idx, n.Var, len(full)))
+			return
+		}
+		if !full[idx] {
+			e.istructWait[n.Var][idx] = append(e.istructWait[n.Var][idx], deferredRead{node: n.ID, tg: tg})
+			e.deferredReads.Add(1)
+			e.istructMu.Unlock()
+			return
+		}
+		e.istructMu.Unlock()
+		v, err := e.store.GetIdx(n.Var, idx)
+		if err != nil {
+			e.fail(fmt.Errorf("chanexec: %s: %w", n, err))
+			return
+		}
+		e.emit(n.ID, 0, v, tg)
+
+	case dfg.IStore:
+		idx := vals[0]
+		e.istructMu.Lock()
+		full := e.istructFull[n.Var]
+		if idx < 0 || idx >= int64(len(full)) {
+			e.istructMu.Unlock()
+			e.fail(fmt.Errorf("chanexec: I-structure index %d out of range for %s[%d]", idx, n.Var, len(full)))
+			return
+		}
+		if full[idx] {
+			e.istructMu.Unlock()
+			e.fail(fmt.Errorf("chanexec: I-structure write-once violation: %s[%d] written twice", n.Var, idx))
+			return
+		}
+		full[idx] = true
+		if err := e.store.SetIdx(n.Var, idx, vals[1]); err != nil {
+			e.istructMu.Unlock()
+			e.fail(fmt.Errorf("chanexec: %s: %w", n, err))
+			return
+		}
+		waiters := e.istructWait[n.Var][idx]
+		delete(e.istructWait[n.Var], idx)
+		e.istructMu.Unlock()
+		for _, w := range waiters {
+			e.deferredReads.Add(-1)
+			e.emit(w.node, 0, vals[1], w.tg)
+		}
+
+	default:
+		e.fail(fmt.Errorf("chanexec: cannot fire %s", n))
+	}
+}

@@ -1,0 +1,119 @@
+package chanexec
+
+import (
+	"testing"
+
+	"ctdf/internal/cfg"
+	"ctdf/internal/interp"
+	"ctdf/internal/machine"
+	"ctdf/internal/translate"
+	"ctdf/internal/workloads"
+)
+
+var engineSchemas = []translate.Options{
+	{Schema: translate.Schema1},
+	{Schema: translate.Schema2},
+	{Schema: translate.Schema2Opt},
+	{Schema: translate.Schema3},
+	{Schema: translate.Schema2Opt, EliminateMemory: true, ParallelReads: true, ParallelArrayStores: true},
+}
+
+func TestEnginesAgree(t *testing.T) {
+	// The machine simulator and the goroutine/channel engine must compute
+	// identical final states on every workload × schema (dataflow
+	// determinacy, experiment E12).
+	for _, w := range workloads.All() {
+		g := cfg.MustBuild(w.Parse())
+		for _, opt := range engineSchemas {
+			t.Run(w.Name+"/"+opt.Schema.String(), func(t *testing.T) {
+				res, err := translate.Translate(g, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mo, err := machine.Run(res.Graph, machine.Config{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				co, err := Run(res.Graph, Config{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ms := translate.FinalSnapshot(res, mo.Store, mo.EndValues)
+				cs := translate.FinalSnapshot(res, co.Store, co.EndValues)
+				if ms != cs {
+					t.Errorf("engines disagree:\nmachine:\n%s\nchanexec:\n%s", ms, cs)
+				}
+				if co.Ops != int64(mo.Stats.Ops) {
+					t.Errorf("firing counts differ: chanexec %d vs machine %d", co.Ops, mo.Stats.Ops)
+				}
+			})
+		}
+	}
+}
+
+func TestEnginesAgreeOnRandomPrograms(t *testing.T) {
+	for seed := int64(200); seed < 220; seed++ {
+		w := workloads.Random(seed, 4, 2)
+		g := cfg.MustBuild(w.Parse())
+		res, err := translate.Translate(g, translate.Options{Schema: translate.Schema2Opt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mo, err := machine.Run(res.Graph, machine.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		co, err := Run(res.Graph, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mo.Store.Snapshot() != co.Store.Snapshot() {
+			t.Errorf("%s: engines disagree", w.Name)
+		}
+	}
+}
+
+func TestChanexecMatchesInterpreterWithBinding(t *testing.T) {
+	w := workloads.FortranAlias
+	b := interp.Binding{"x": "x", "z": "x"}
+	g := cfg.MustBuild(w.Parse())
+	want, err := interp.Run(g, interp.Options{Binding: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := translate.Translate(g, translate.Options{Schema: translate.Schema3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(res.Graph, Config{Binding: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Store.Snapshot() != want.Store.Snapshot() {
+		t.Errorf("chanexec disagrees with interpreter:\n%s\nvs\n%s", out.Store.Snapshot(), want.Store.Snapshot())
+	}
+}
+
+func TestChanexecRuntimeError(t *testing.T) {
+	w := workloads.Workload{Name: "div0", Source: "var x, y\nx := 1 / y\n"}
+	g := cfg.MustBuild(w.Parse())
+	res, err := translate.Translate(g, translate.Options{Schema: translate.Schema2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(res.Graph, Config{}); err == nil {
+		t.Error("division by zero must surface as an error")
+	}
+}
+
+func TestChanexecOpsBound(t *testing.T) {
+	w := workloads.ByName("fib-iterative")
+	g := cfg.MustBuild(w.Parse())
+	res, err := translate.Translate(g, translate.Options{Schema: translate.Schema2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(res.Graph, Config{MaxOps: 10}); err == nil {
+		t.Error("MaxOps must bound execution")
+	}
+}

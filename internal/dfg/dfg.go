@@ -1,0 +1,406 @@
+// Package dfg defines the dataflow graph intermediate representation the
+// translation schemas produce and the execution engines run: operator
+// nodes connected by token-carrying arcs, in the explicit-token-store
+// style of paper §2.2 (switch, merge, synch trees, split-phase loads and
+// stores that consume and regenerate dummy access tokens, and the loop
+// entry/exit operators of §3).
+package dfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ctdf/internal/lang"
+)
+
+// Kind classifies dataflow operators.
+type Kind int
+
+// Dataflow operator kinds and their port conventions:
+//
+//	Start     out 0: one dummy token per arc at program start
+//	End       in 0..NIns-1: fires (terminates) when all have arrived
+//	Const     in 0: trigger → out 0: the constant Val
+//	BinOp     in 0, 1 → out 0
+//	UnOp      in 0 → out 0
+//	Switch    in 0: data, in 1: control → out 0 (control≠0) / out 1
+//	Merge     in 0 (any number of arcs): every token forwarded → out 0
+//	Synch     in 0..NIns-1: all required → out 0: dummy
+//	Load      in 0: access → out 0: value of Var, out 1: access
+//	Store     in 0: value, in 1: access → out 0: access
+//	LoadIdx   in 0: index, in 1: access → out 0: value of Var[index], out 1: access
+//	StoreIdx  in 0: index, in 1: value, in 2: access → out 0: access
+//	LoopEntry in 0: initial, in 1: back (either fires) → out 0, tag pushed/advanced
+//	LoopExit  in 0 → out 0, tag popped
+//	ILoad     in 0: index → out 0: value of Var[index]; the read defers at
+//	          the memory until the cell is written (I-structure, §6.3)
+//	IStore    in 0: index, in 1: value → no outputs; writing a full cell
+//	          is a write-once violation
+//	Apply     procedure call site: in 0..NIns-1: caller access tokens →
+//	          out 0..NIns-1: the same tokens at return; out NIns..NOuts-1:
+//	          entry arcs into the callee's Param nodes (fired with a fresh
+//	          activation frame pushed on the tag)
+//	Param     callee-side entry of one access token; in 0 accepts arcs from
+//	          every call site (any-arrival) → out 0
+//	ProcReturn callee-side exit: in 0..NIns-1 collect the callee's tokens;
+//	          firing pops the activation frame and emits on the calling
+//	          Apply's return ports (no static outputs)
+const (
+	Start Kind = iota
+	End
+	Const
+	BinOp
+	UnOp
+	Switch
+	Merge
+	Synch
+	Load
+	Store
+	LoadIdx
+	StoreIdx
+	LoopEntry
+	LoopExit
+	ILoad
+	IStore
+	Apply
+	Param
+	ProcReturn
+)
+
+var kindNames = map[Kind]string{
+	Start: "start", End: "end", Const: "const", BinOp: "binop", UnOp: "unop",
+	Switch: "switch", Merge: "merge", Synch: "synch", Load: "load",
+	Store: "store", LoadIdx: "loadidx", StoreIdx: "storeidx",
+	LoopEntry: "loop-entry", LoopExit: "loop-exit",
+	ILoad: "iload", IStore: "istore",
+	Apply: "apply", Param: "param", ProcReturn: "proc-return",
+}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// numOuts returns the number of output ports of each kind; Apply nodes
+// carry their own count (see Node.NOuts).
+func numOuts(k Kind) int {
+	switch k {
+	case End, IStore, ProcReturn:
+		return 0
+	case Switch, Load, LoadIdx:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// outPorts returns the node's output port count.
+func outPorts(n *Node) int {
+	if n.Kind == Apply {
+		return n.NOuts
+	}
+	return numOuts(n.Kind)
+}
+
+// fixedIns returns the input port count for fixed-arity kinds, or -1 for
+// variable arity (End, Synch).
+func fixedIns(k Kind) int {
+	switch k {
+	case Start:
+		return 0
+	case Const, UnOp, Merge, LoopExit, Load, ILoad, Param:
+		return 1
+	case BinOp, Switch, Store, LoopEntry, LoadIdx, IStore:
+		return 2
+	case StoreIdx:
+		return 3
+	default:
+		return -1
+	}
+}
+
+// Node is a dataflow operator.
+type Node struct {
+	ID   int
+	Kind Kind
+	Op   lang.Op // BinOp, UnOp
+	Val  int64   // Const
+	Var  string  // Load/Store/LoadIdx/StoreIdx: variable or array name
+	Tok  string  // access-token name this operator serves (switch/merge/synch/loop control); "" otherwise
+	NIns int     // number of input ports
+	// NOuts is the output port count for Apply nodes (return ports then
+	// callee-entry ports); other kinds derive it from Kind.
+	NOuts int
+
+	// Stmt is the originating CFG node (provenance), or -1.
+	Stmt int
+}
+
+// String renders the node for diagnostics.
+func (n *Node) String() string {
+	switch n.Kind {
+	case Const:
+		return fmt.Sprintf("d%d: const %d", n.ID, n.Val)
+	case BinOp, UnOp:
+		return fmt.Sprintf("d%d: %s %s", n.ID, n.Kind, n.Op)
+	case Load, Store, LoadIdx, StoreIdx, ILoad, IStore, Apply, Param, ProcReturn:
+		if n.Tok != "" {
+			return fmt.Sprintf("d%d: %s %s[%s]", n.ID, n.Kind, n.Var, n.Tok)
+		}
+		return fmt.Sprintf("d%d: %s %s", n.ID, n.Kind, n.Var)
+	case Switch, Merge, Synch, LoopEntry, LoopExit:
+		if n.Tok != "" {
+			return fmt.Sprintf("d%d: %s[%s]", n.ID, n.Kind, n.Tok)
+		}
+	}
+	return fmt.Sprintf("d%d: %s", n.ID, n.Kind)
+}
+
+// Target is the head of an arc: an input port of a node.
+type Target struct {
+	Node int
+	Port int
+}
+
+// Arc is a token-carrying edge. Dummy marks access-token (synchronization
+// only) arcs — the dotted arcs of the paper's figures.
+type Arc struct {
+	From     int
+	FromPort int
+	To       int
+	ToPort   int
+	Dummy    bool
+}
+
+// CallInfo links one Apply node to its callee's entry/exit structure in a
+// linked (separately compiled) graph.
+type CallInfo struct {
+	// Apply is the call-site node; Proc the callee's name.
+	Apply int
+	Proc  string
+	// InTokens names the caller-side access tokens, one per Apply
+	// input port; return port i signals the same token.
+	InTokens []string
+	// Params[j] is the callee's Param node for its j-th token; ParamIn[j]
+	// is the Apply input port whose token becomes it. The arc feeding
+	// Params[j] leaves Apply output port len(InTokens)+j.
+	Params  []int
+	ParamIn []int
+	// Return is the callee's ProcReturn node; RetOut[j] is the Apply
+	// return port signalled for the callee's j-th token (several callee
+	// tokens may share one return port when a call aliases formals).
+	Return int
+	RetOut []int
+	// Bindings maps each formal of the callee to the caller-scope name
+	// bound at this site.
+	Bindings map[string]string
+}
+
+// Graph is a dataflow program graph.
+type Graph struct {
+	Nodes []*Node
+	Arcs  []Arc
+
+	// Calls holds the call linkage of separately compiled procedures
+	// (empty for inlined translations).
+	Calls []CallInfo
+
+	// outs[node][port] lists arc indices leaving that port.
+	outs [][][]int
+	// ins[node][port] lists arc indices entering that port.
+	ins [][][]int
+
+	StartID int
+	EndID   int
+
+	// Prog supplies the variable universe for execution (array sizes,
+	// alias declarations).
+	Prog *lang.Program
+}
+
+// NewGraph creates an empty dataflow graph for prog.
+func NewGraph(prog *lang.Program) *Graph {
+	return &Graph{Prog: prog, StartID: -1, EndID: -1}
+}
+
+// Add appends a node, assigning its ID. For variable-arity kinds (End,
+// Synch) the caller must set NIns before adding arcs; fixed-arity kinds
+// get NIns filled in automatically.
+func (g *Graph) Add(n *Node) *Node {
+	if fi := fixedIns(n.Kind); fi >= 0 {
+		n.NIns = fi
+	}
+	n.ID = len(g.Nodes)
+	g.Nodes = append(g.Nodes, n)
+	g.outs = append(g.outs, make([][]int, outPorts(n)))
+	g.ins = append(g.ins, make([][]int, n.NIns))
+	switch n.Kind {
+	case Start:
+		g.StartID = n.ID
+	case End:
+		g.EndID = n.ID
+	}
+	return n
+}
+
+// Connect adds an arc from (from, fromPort) to (to, toPort).
+func (g *Graph) Connect(from, fromPort, to, toPort int, dummy bool) {
+	idx := len(g.Arcs)
+	g.Arcs = append(g.Arcs, Arc{From: from, FromPort: fromPort, To: to, ToPort: toPort, Dummy: dummy})
+	g.outs[from][fromPort] = append(g.outs[from][fromPort], idx)
+	g.ins[to][toPort] = append(g.ins[to][toPort], idx)
+}
+
+// OutArcs returns the arcs leaving (node, port).
+func (g *Graph) OutArcs(node, port int) []Arc {
+	idxs := g.outs[node][port]
+	out := make([]Arc, len(idxs))
+	for i, a := range idxs {
+		out[i] = g.Arcs[a]
+	}
+	return out
+}
+
+// InDegree returns the number of arcs entering (node, port).
+func (g *Graph) InDegree(node, port int) int { return len(g.ins[node][port]) }
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+// NumArcs returns the arc count.
+func (g *Graph) NumArcs() int { return len(g.Arcs) }
+
+// CountKind returns how many nodes have the given kind.
+func (g *Graph) CountKind(k Kind) int {
+	c := 0
+	for _, n := range g.Nodes {
+		if n.Kind == k {
+			c++
+		}
+	}
+	return c
+}
+
+// Stats summarizes graph size for the experiments (§3: the Schema 2 graph
+// is O(E·V)).
+type Stats struct {
+	Nodes    int
+	Arcs     int
+	Switches int
+	Merges   int
+	Synchs   int
+	Loads    int
+	Stores   int
+	ByKind   map[Kind]int
+}
+
+// Stats computes size statistics.
+func (g *Graph) Stats() Stats {
+	s := Stats{Nodes: len(g.Nodes), Arcs: len(g.Arcs), ByKind: map[Kind]int{}}
+	for _, n := range g.Nodes {
+		s.ByKind[n.Kind]++
+	}
+	s.Switches = s.ByKind[Switch]
+	s.Merges = s.ByKind[Merge]
+	s.Synchs = s.ByKind[Synch]
+	s.Loads = s.ByKind[Load] + s.ByKind[LoadIdx] + s.ByKind[ILoad]
+	s.Stores = s.ByKind[Store] + s.ByKind[StoreIdx] + s.ByKind[IStore]
+	return s
+}
+
+// Validate checks structural sanity: port indices in range, every input
+// port of every node fed by exactly one arc (any number for merge port 0
+// and at least one for End ports), switches' control ports connected, and
+// a start and end node present.
+func (g *Graph) Validate() error {
+	if g.StartID < 0 || g.EndID < 0 {
+		return fmt.Errorf("dfg: missing start or end node")
+	}
+	for _, a := range g.Arcs {
+		if a.From < 0 || a.From >= len(g.Nodes) || a.To < 0 || a.To >= len(g.Nodes) {
+			return fmt.Errorf("dfg: arc %+v out of node range", a)
+		}
+		if a.FromPort < 0 || a.FromPort >= outPorts(g.Nodes[a.From]) {
+			return fmt.Errorf("dfg: arc from %s port %d out of range", g.Nodes[a.From], a.FromPort)
+		}
+		if a.ToPort < 0 || a.ToPort >= g.Nodes[a.To].NIns {
+			return fmt.Errorf("dfg: arc into %s port %d out of range (NIns=%d)", g.Nodes[a.To], a.ToPort, g.Nodes[a.To].NIns)
+		}
+	}
+	for _, n := range g.Nodes {
+		for p := 0; p < n.NIns; p++ {
+			deg := g.InDegree(n.ID, p)
+			switch {
+			case n.Kind == Merge && p == 0:
+				if deg < 2 {
+					return fmt.Errorf("dfg: %s has %d input arcs; a merge needs at least 2", n, deg)
+				}
+			case n.Kind == End:
+				if deg < 1 {
+					return fmt.Errorf("dfg: end port %d unconnected", p)
+				}
+			case n.Kind == Param:
+				if deg < 1 {
+					return fmt.Errorf("dfg: %s never fed by any call site", n)
+				}
+			default:
+				if deg != 1 {
+					return fmt.Errorf("dfg: %s input port %d has %d arcs, want exactly 1", n, p, deg)
+				}
+			}
+		}
+		if n.Kind == Synch && n.NIns < 1 {
+			return fmt.Errorf("dfg: %s has no inputs", n)
+		}
+	}
+	return nil
+}
+
+// DOT renders the dataflow graph in Graphviz format; dummy (access token)
+// arcs are dashed, as in the paper's figures.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph dfg {\n  node [fontname=\"monospace\"];\n")
+	for _, n := range g.Nodes {
+		shape := "box"
+		switch n.Kind {
+		case Switch:
+			shape = "invtriangle"
+		case Merge:
+			shape = "triangle"
+		case Synch:
+			shape = "house"
+		case Start, End:
+			shape = "ellipse"
+		case LoopEntry, LoopExit:
+			shape = "hexagon"
+		case Const:
+			shape = "plaintext"
+		}
+		fmt.Fprintf(&b, "  d%d [label=%q, shape=%s];\n", n.ID, n.String(), shape)
+	}
+	for _, a := range g.Arcs {
+		style := ""
+		if a.Dummy {
+			style = ", style=dashed"
+		}
+		fmt.Fprintf(&b, "  d%d -> d%d [label=\"%d→%d\"%s];\n", a.From, a.To, a.FromPort, a.ToPort, style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// SortedByKind returns node IDs sorted by kind then ID (deterministic
+// iteration helper for engines and tests).
+func (g *Graph) SortedByKind() []int {
+	ids := make([]int, len(g.Nodes))
+	for i := range ids {
+		ids[i] = i
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := g.Nodes[ids[i]], g.Nodes[ids[j]]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.ID < b.ID
+	})
+	return ids
+}

@@ -1,0 +1,165 @@
+package dfg
+
+import (
+	"strings"
+	"testing"
+
+	"ctdf/internal/lang"
+)
+
+func scratch() *Graph {
+	return NewGraph(lang.MustParse("var x\n"))
+}
+
+func TestAddAssignsIDsAndArity(t *testing.T) {
+	g := scratch()
+	s := g.Add(&Node{Kind: Start})
+	e := g.Add(&Node{Kind: End, NIns: 1})
+	b := g.Add(&Node{Kind: BinOp, Op: lang.OpAdd})
+	if s.ID != 0 || e.ID != 1 || b.ID != 2 {
+		t.Errorf("IDs not sequential: %d %d %d", s.ID, e.ID, b.ID)
+	}
+	if b.NIns != 2 {
+		t.Errorf("binop NIns = %d, want 2", b.NIns)
+	}
+	if g.StartID != s.ID || g.EndID != e.ID {
+		t.Error("start/end not registered")
+	}
+}
+
+func TestConnectAndArcLookup(t *testing.T) {
+	g := scratch()
+	s := g.Add(&Node{Kind: Start})
+	e := g.Add(&Node{Kind: End, NIns: 1})
+	g.Connect(s.ID, 0, e.ID, 0, true)
+	arcs := g.OutArcs(s.ID, 0)
+	if len(arcs) != 1 || arcs[0].To != e.ID || !arcs[0].Dummy {
+		t.Errorf("arcs = %+v", arcs)
+	}
+	if g.InDegree(e.ID, 0) != 1 {
+		t.Errorf("in-degree = %d", g.InDegree(e.ID, 0))
+	}
+	if g.NumArcs() != 1 || g.NumNodes() != 2 {
+		t.Errorf("counts wrong")
+	}
+}
+
+func TestValidateRules(t *testing.T) {
+	// Unconnected input port.
+	g := scratch()
+	s := g.Add(&Node{Kind: Start})
+	e := g.Add(&Node{Kind: End, NIns: 1})
+	b := g.Add(&Node{Kind: BinOp, Op: lang.OpAdd})
+	g.Connect(s.ID, 0, e.ID, 0, true)
+	g.Connect(s.ID, 0, b.ID, 0, false)
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "port 1") {
+		t.Errorf("want unconnected-port error, got %v", err)
+	}
+
+	// Double-fed non-merge port.
+	g2 := scratch()
+	s2 := g2.Add(&Node{Kind: Start})
+	e2 := g2.Add(&Node{Kind: End, NIns: 1})
+	u := g2.Add(&Node{Kind: UnOp, Op: lang.OpNeg})
+	g2.Connect(s2.ID, 0, u.ID, 0, false)
+	g2.Connect(s2.ID, 0, u.ID, 0, false)
+	g2.Connect(u.ID, 0, e2.ID, 0, false)
+	if err := g2.Validate(); err == nil {
+		t.Error("doubly-fed unop port must be rejected")
+	}
+
+	// Merge with fewer than 2 arcs.
+	g3 := scratch()
+	s3 := g3.Add(&Node{Kind: Start})
+	e3 := g3.Add(&Node{Kind: End, NIns: 1})
+	m := g3.Add(&Node{Kind: Merge})
+	g3.Connect(s3.ID, 0, m.ID, 0, true)
+	g3.Connect(m.ID, 0, e3.ID, 0, true)
+	if err := g3.Validate(); err == nil {
+		t.Error("1-input merge must be rejected")
+	}
+
+	// Missing start/end.
+	g4 := scratch()
+	if err := g4.Validate(); err == nil {
+		t.Error("graph without start/end must be rejected")
+	}
+
+	// Out-of-range port.
+	g5 := scratch()
+	s5 := g5.Add(&Node{Kind: Start})
+	e5 := g5.Add(&Node{Kind: End, NIns: 1})
+	g5.Connect(s5.ID, 0, e5.ID, 0, true)
+	g5.Arcs = append(g5.Arcs, Arc{From: s5.ID, FromPort: 3, To: e5.ID, ToPort: 0})
+	if err := g5.Validate(); err == nil {
+		t.Error("out-of-range port must be rejected")
+	}
+}
+
+func TestStatsAndCounts(t *testing.T) {
+	g := scratch()
+	s := g.Add(&Node{Kind: Start})
+	e := g.Add(&Node{Kind: End, NIns: 1})
+	ld := g.Add(&Node{Kind: Load, Var: "x"})
+	st := g.Add(&Node{Kind: Store, Var: "x"})
+	sw := g.Add(&Node{Kind: Switch})
+	_ = sw
+	g.Connect(s.ID, 0, ld.ID, 0, true)
+	g.Connect(ld.ID, 0, st.ID, 0, false)
+	g.Connect(ld.ID, 1, st.ID, 1, true)
+	g.Connect(st.ID, 0, e.ID, 0, true)
+	stats := g.Stats()
+	if stats.Loads != 1 || stats.Stores != 1 || stats.Switches != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if g.CountKind(Load) != 1 {
+		t.Error("CountKind wrong")
+	}
+}
+
+func TestNodeStrings(t *testing.T) {
+	cases := []struct {
+		n    *Node
+		want string
+	}{
+		{&Node{ID: 1, Kind: Const, Val: 42}, "const 42"},
+		{&Node{ID: 2, Kind: BinOp, Op: lang.OpMul}, "binop *"},
+		{&Node{ID: 3, Kind: Load, Var: "q"}, "load q"},
+		{&Node{ID: 4, Kind: Switch, Tok: "x"}, "switch[x]"},
+		{&Node{ID: 5, Kind: LoopEntry, Tok: "y"}, "loop-entry[y]"},
+	}
+	for _, c := range cases {
+		if !strings.Contains(c.n.String(), c.want) {
+			t.Errorf("%q does not contain %q", c.n.String(), c.want)
+		}
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := scratch()
+	s := g.Add(&Node{Kind: Start})
+	e := g.Add(&Node{Kind: End, NIns: 1})
+	g.Connect(s.ID, 0, e.ID, 0, true)
+	dot := g.DOT()
+	if !strings.Contains(dot, "digraph dfg") || !strings.Contains(dot, "style=dashed") {
+		t.Errorf("DOT output missing dashed dummy arcs:\n%s", dot)
+	}
+}
+
+func TestSortedByKind(t *testing.T) {
+	g := scratch()
+	g.Add(&Node{Kind: Start})
+	g.Add(&Node{Kind: End, NIns: 1})
+	g.Add(&Node{Kind: Merge})
+	g.Add(&Node{Kind: Const})
+	ids := g.SortedByKind()
+	if len(ids) != 4 {
+		t.Fatalf("len = %d", len(ids))
+	}
+	for i := 1; i < len(ids); i++ {
+		a, b := g.Nodes[ids[i-1]], g.Nodes[ids[i]]
+		if a.Kind > b.Kind || (a.Kind == b.Kind && a.ID > b.ID) {
+			t.Error("not sorted by kind then ID")
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package dfg
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseText checks the graph loader never panics and that anything it
+// accepts survives a Text→ParseText round trip.
+func FuzzParseText(f *testing.F) {
+	seeds := []string{
+		"ctdf-dataflow v1\nnode d0 start\nnode d1 end ins=1\narc d0.0 -> d1.0 dummy\n",
+		"ctdf-dataflow v1\nvar x\nnode d0 start\nnode d1 end ins=1\nnode d2 load var=x\narc d0.0 -> d2.0 dummy\narc d2.1 -> d1.0 dummy\n",
+		"ctdf-dataflow v1\nnode d0 binop op=+\n",
+		"ctdf-dataflow v1\n# comment\n\nnode d0 start\n",
+		"garbage",
+		"ctdf-dataflow v1\narc d0.0 -> d0.0\n",
+		"ctdf-dataflow v1\nnode d0 synch ins=0\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		g, err := ParseText(strings.NewReader(text))
+		if err != nil {
+			return
+		}
+		out := Text(g)
+		g2, err := ParseText(strings.NewReader(out))
+		if err != nil {
+			t.Fatalf("accepted graph does not reparse: %v\n%s", err, out)
+		}
+		if Text(g2) != out {
+			t.Fatalf("Text not a fixed point")
+		}
+	})
+}

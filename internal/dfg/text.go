@@ -1,0 +1,330 @@
+package dfg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ctdf/internal/lang"
+)
+
+// This file defines a textual format for dataflow program graphs — the
+// paper notes "there is no standard textual representation of dataflow
+// programs"; this one makes the graphs storable, diffable artifacts and
+// doubles as the simulator's loadable "assembly":
+//
+//	ctdf-dataflow v1
+//	var x
+//	array a 8
+//	alias x z
+//	node d0 start
+//	node d3 binop op=+
+//	node d4 load var=x stmt=2
+//	arc d0.0 -> d3.0
+//	arc d4.1 -> d5.1 dummy
+//
+// WriteText and ParseText round-trip exactly.
+
+var opByName = map[string]lang.Op{}
+
+func init() {
+	for _, op := range []lang.Op{
+		lang.OpAdd, lang.OpSub, lang.OpMul, lang.OpDiv, lang.OpMod,
+		lang.OpLt, lang.OpLe, lang.OpGt, lang.OpGe, lang.OpEq, lang.OpNe,
+		lang.OpAnd, lang.OpOr,
+	} {
+		opByName[op.String()] = op
+	}
+	// Unary operators share symbols with binary ones; qualify them.
+	opByName["neg"] = lang.OpNeg
+	opByName["not"] = lang.OpNot
+}
+
+func opName(k Kind, op lang.Op) string {
+	if k == UnOp {
+		if op == lang.OpNeg {
+			return "neg"
+		}
+		return "not"
+	}
+	return op.String()
+}
+
+var kindByName = func() map[string]Kind {
+	m := map[string]Kind{}
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// WriteText serializes the graph. Linked procedure graphs (with Apply
+// call sites) are not expressible in format v1.
+func WriteText(w io.Writer, g *Graph) error {
+	if len(g.Calls) > 0 {
+		return fmt.Errorf("dfg: linked procedure graphs are not serializable in format v1")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "ctdf-dataflow v1")
+	for _, v := range g.Prog.Vars {
+		fmt.Fprintf(bw, "var %s\n", v.Name)
+	}
+	for _, a := range g.Prog.Arrays {
+		fmt.Fprintf(bw, "array %s %d\n", a.Name, a.Size)
+	}
+	for _, al := range g.Prog.Aliases {
+		fmt.Fprintf(bw, "alias %s %s\n", al.A, al.B)
+	}
+	for _, n := range g.Nodes {
+		fmt.Fprintf(bw, "node d%d %s", n.ID, n.Kind)
+		switch n.Kind {
+		case Const:
+			fmt.Fprintf(bw, " val=%d", n.Val)
+		case BinOp, UnOp:
+			fmt.Fprintf(bw, " op=%s", opName(n.Kind, n.Op))
+		case Load, Store, LoadIdx, StoreIdx, ILoad, IStore:
+			fmt.Fprintf(bw, " var=%s", n.Var)
+		}
+		if n.Tok != "" {
+			fmt.Fprintf(bw, " tok=%s", n.Tok)
+		}
+		if n.Kind == End || n.Kind == Synch {
+			fmt.Fprintf(bw, " ins=%d", n.NIns)
+		}
+		if n.Stmt != 0 {
+			fmt.Fprintf(bw, " stmt=%d", n.Stmt)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, a := range g.Arcs {
+		fmt.Fprintf(bw, "arc d%d.%d -> d%d.%d", a.From, a.FromPort, a.To, a.ToPort)
+		if a.Dummy {
+			fmt.Fprint(bw, " dummy")
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Text renders the graph to a string.
+func Text(g *Graph) string {
+	var b strings.Builder
+	_ = WriteText(&b, g)
+	return b.String()
+}
+
+// ParseText reads a graph serialized by WriteText.
+func ParseText(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	next := func() (string, bool) {
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return line, true
+		}
+		return "", false
+	}
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("dfg: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	}
+
+	header, ok := next()
+	if !ok || header != "ctdf-dataflow v1" {
+		return nil, fail("missing 'ctdf-dataflow v1' header")
+	}
+
+	prog := &lang.Program{}
+	var g *Graph
+	ensureGraph := func() *Graph {
+		if g == nil {
+			g = NewGraph(prog)
+		}
+		return g
+	}
+
+	for {
+		line, ok := next()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "var":
+			if g != nil {
+				return nil, fail("declarations must precede nodes")
+			}
+			if len(fields) != 2 {
+				return nil, fail("var takes one name")
+			}
+			prog.Vars = append(prog.Vars, lang.VarDecl{Name: fields[1]})
+		case "array":
+			if g != nil {
+				return nil, fail("declarations must precede nodes")
+			}
+			if len(fields) != 3 {
+				return nil, fail("array takes name and size")
+			}
+			size, err := strconv.Atoi(fields[2])
+			if err != nil || size <= 0 {
+				return nil, fail("bad array size %q", fields[2])
+			}
+			prog.Arrays = append(prog.Arrays, lang.ArrayDecl{Name: fields[1], Size: size})
+		case "alias":
+			if g != nil {
+				return nil, fail("declarations must precede nodes")
+			}
+			if len(fields) != 3 {
+				return nil, fail("alias takes two names")
+			}
+			prog.Aliases = append(prog.Aliases, lang.AliasDecl{A: fields[1], B: fields[2]})
+		case "node":
+			if len(fields) < 3 {
+				return nil, fail("node takes an id and a kind")
+			}
+			gg := ensureGraph()
+			id, err := parseNodeID(fields[1])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if id != len(gg.Nodes) {
+				return nil, fail("node ids must be dense and ascending (got d%d, want d%d)", id, len(gg.Nodes))
+			}
+			kind, ok := kindByName[fields[2]]
+			if !ok {
+				return nil, fail("unknown node kind %q", fields[2])
+			}
+			n := &Node{Kind: kind}
+			for _, attr := range fields[3:] {
+				kv := strings.SplitN(attr, "=", 2)
+				if len(kv) != 2 {
+					return nil, fail("bad attribute %q", attr)
+				}
+				switch kv[0] {
+				case "val":
+					v, err := strconv.ParseInt(kv[1], 10, 64)
+					if err != nil {
+						return nil, fail("bad val %q", kv[1])
+					}
+					n.Val = v
+				case "op":
+					op, ok := opByName[kv[1]]
+					if !ok {
+						return nil, fail("unknown op %q", kv[1])
+					}
+					n.Op = op
+				case "var":
+					n.Var = kv[1]
+				case "tok":
+					n.Tok = kv[1]
+				case "ins":
+					v, err := strconv.Atoi(kv[1])
+					if err != nil || v < 0 {
+						return nil, fail("bad ins %q", kv[1])
+					}
+					n.NIns = v
+				case "stmt":
+					v, err := strconv.Atoi(kv[1])
+					if err != nil {
+						return nil, fail("bad stmt %q", kv[1])
+					}
+					n.Stmt = v
+				default:
+					return nil, fail("unknown attribute %q", kv[0])
+				}
+			}
+			gg.Add(n)
+		case "arc":
+			if g == nil {
+				return nil, fail("arc before any node")
+			}
+			// arc dA.p -> dB.q [dummy]
+			if len(fields) < 4 || fields[2] != "->" {
+				return nil, fail("bad arc line %q", line)
+			}
+			from, fp, err := parseEndpoint(fields[1])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			to, tp, err := parseEndpoint(fields[3])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			dummy := len(fields) == 5 && fields[4] == "dummy"
+			if from < 0 || from >= len(g.Nodes) || to < 0 || to >= len(g.Nodes) {
+				return nil, fail("arc references unknown node")
+			}
+			if fp < 0 || fp >= numOuts(g.Nodes[from].Kind) || tp < 0 || tp >= g.Nodes[to].NIns {
+				return nil, fail("arc references out-of-range port")
+			}
+			g.Connect(from, fp, to, tp, dummy)
+		default:
+			return nil, fail("unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("dfg: empty graph")
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func parseNodeID(s string) (int, error) {
+	if !strings.HasPrefix(s, "d") {
+		return 0, fmt.Errorf("bad node id %q", s)
+	}
+	return strconv.Atoi(s[1:])
+}
+
+func parseEndpoint(s string) (int, int, error) {
+	dot := strings.LastIndex(s, ".")
+	if dot < 0 {
+		return 0, 0, fmt.Errorf("bad endpoint %q", s)
+	}
+	id, err := parseNodeID(s[:dot])
+	if err != nil {
+		return 0, 0, err
+	}
+	port, err := strconv.Atoi(s[dot+1:])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad port in %q", s)
+	}
+	return id, port, nil
+}
+
+// Listing renders a per-node "assembly" view: each node with its operands
+// and destinations, in ID order — a readable machine-code-like artifact.
+func Listing(g *Graph) string {
+	var b strings.Builder
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "%-28s", n.String())
+		var dests []string
+		for p := 0; p < numOuts(n.Kind); p++ {
+			for _, a := range g.OutArcs(n.ID, p) {
+				d := fmt.Sprintf("d%d.%d", a.To, a.ToPort)
+				if numOuts(n.Kind) > 1 {
+					d = fmt.Sprintf("%d→%s", p, d)
+				}
+				dests = append(dests, d)
+			}
+		}
+		sort.Strings(dests)
+		if len(dests) > 0 {
+			fmt.Fprintf(&b, " => %s", strings.Join(dests, " "))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

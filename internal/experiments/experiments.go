@@ -1,0 +1,620 @@
+// Package experiments regenerates every quantitative result reported in
+// EXPERIMENTS.md: one experiment per paper artifact (figure, theorem,
+// size bound, or parallelism claim), each producing a deterministic
+// plain-text table. The CLI (`ctdf experiments`) and the repository's
+// benchmark suite drive the same code.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ctdf/internal/analysis"
+	"ctdf/internal/cfg"
+	"ctdf/internal/chanexec"
+	"ctdf/internal/dfg"
+	"ctdf/internal/interp"
+	"ctdf/internal/lang"
+	"ctdf/internal/machine"
+	"ctdf/internal/translate"
+	"ctdf/internal/workloads"
+)
+
+// Experiment is one reproducible measurement.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper names the artifact reproduced.
+	Paper string
+	Run   func() (string, error)
+}
+
+// All returns every experiment in report order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Schema 1 on the running example", "Figures 1, 3–5", e1},
+		{"E2", "Schema 2 exposes cross-statement parallelism", "Figures 6–8", e2},
+		{"E3", "Schema 2 graph size is O(E·V)", "§3 size bound", e3},
+		{"E4", "Redundant switch elimination on Figure 9", "Figure 9", e4},
+		{"E5", "Switch placement = iterated control dependence", "Theorem 1 / Figure 10", e5},
+		{"E6", "Direct construction vs iterative elimination", "§4.2 / Figure 11", e6},
+		{"E7", "Cover choice: parallelism vs synchronization", "Figures 12–13, §5", e7},
+		{"E8", "Array store parallelization", "Figure 14, §6.3", e8},
+		{"E9", "Memory operation elimination", "§6.1", e9},
+		{"E10", "Read parallelization", "§6.2", e10},
+		{"E11", "Schema comparison across the suite", "headline claim", e11},
+		{"E12", "Machine simulator vs goroutine engine", "§2.2 firing rules", e12},
+		{"E13", "I-structure memory overlaps producer and consumer", "§6.3 (write-once arrays)", e13},
+		{"E14", "Alias structures derived from subroutine call sites", "§5 FORTRAN example", e14},
+		{"E15", "Separate compilation with activation contexts", "§2.2 (procedure invocations get activation contexts)", e15},
+	}
+}
+
+// ByID returns the experiment with the given ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+func translateW(w workloads.Workload, opt translate.Options) (*translate.Result, error) {
+	g, err := cfg.Build(w.Parse())
+	if err != nil {
+		return nil, err
+	}
+	return translate.Translate(g, opt)
+}
+
+func runMachine(res *translate.Result, cfgc machine.Config) (*machine.Outcome, error) {
+	return machine.Run(res.Graph, cfgc)
+}
+
+type table struct {
+	b      strings.Builder
+	cols   []string
+	widths []int
+	rows   [][]string
+}
+
+func newTable(cols ...string) *table {
+	t := &table{cols: cols, widths: make([]int, len(cols))}
+	for i, c := range cols {
+		t.widths[i] = len(c)
+	}
+	return t
+}
+
+func (t *table) row(cells ...any) {
+	r := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			r[i] = fmt.Sprintf("%.2f", v)
+		default:
+			r[i] = fmt.Sprint(c)
+		}
+		if len(r[i]) > t.widths[i] {
+			t.widths[i] = len(r[i])
+		}
+	}
+	t.rows = append(t.rows, r)
+}
+
+func (t *table) String() string {
+	var b strings.Builder
+	for i, c := range t.cols {
+		fmt.Fprintf(&b, "%-*s  ", t.widths[i], c)
+	}
+	b.WriteString("\n")
+	for i := range t.cols {
+		b.WriteString(strings.Repeat("-", t.widths[i]) + "  ")
+	}
+	b.WriteString("\n")
+	for _, r := range t.rows {
+		for i, c := range r {
+			fmt.Fprintf(&b, "%-*s  ", t.widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// e1: Schema 1 executes the running example sequentially.
+func e1() (string, error) {
+	res, err := translateW(workloads.RunningExample, translate.Options{Schema: translate.Schema1})
+	if err != nil {
+		return "", err
+	}
+	out, err := runMachine(res, machine.Config{MemLatency: 4})
+	if err != nil {
+		return "", err
+	}
+	s := res.Graph.Stats()
+	t := newTable("metric", "value")
+	t.row("dataflow nodes", s.Nodes)
+	t.row("dataflow arcs", s.Arcs)
+	t.row("switches", s.Switches)
+	t.row("access tokens", len(res.Universe))
+	t.row("cycles (L=4, unlimited procs)", out.Stats.Cycles)
+	t.row("operations fired", out.Stats.Ops)
+	t.row("avg parallelism", out.Stats.AvgParallelism())
+	t.row("final x", out.Store.Get("x"))
+	t.row("final y", out.Store.Get("y"))
+	return t.String(), nil
+}
+
+// e2: Schema 2 vs Schema 1 on the running example and a parallel workload.
+func e2() (string, error) {
+	t := newTable("workload", "schema", "tokens", "cycles(L=4)", "ops", "avg par", "speedup")
+	for _, w := range []workloads.Workload{workloads.RunningExample, workloads.ByName("independent-chains")} {
+		base := 0
+		for _, schema := range []translate.Schema{translate.Schema1, translate.Schema2} {
+			res, err := translateW(w, translate.Options{Schema: schema})
+			if err != nil {
+				return "", err
+			}
+			out, err := runMachine(res, machine.Config{MemLatency: 4})
+			if err != nil {
+				return "", err
+			}
+			if schema == translate.Schema1 {
+				base = out.Stats.Cycles
+			}
+			t.row(w.Name, schema, len(res.Universe), out.Stats.Cycles, out.Stats.Ops,
+				out.Stats.AvgParallelism(), float64(base)/float64(out.Stats.Cycles))
+		}
+	}
+	return t.String(), nil
+}
+
+// e3: graph size scales as O(E·V).
+func e3() (string, error) {
+	t := newTable("workload", "E (CFG edges)", "V (tokens)", "E·V", "DFG arcs", "arcs/(E·V)")
+	ws := append([]workloads.Workload{}, workloads.All()...)
+	for seed := int64(300); seed < 306; seed++ {
+		ws = append(ws, workloads.Random(seed, 6, 2))
+	}
+	for _, w := range ws {
+		res, err := translateW(w, translate.Options{Schema: translate.Schema2})
+		if err != nil {
+			return "", err
+		}
+		e := res.CFG.NumEdges()
+		v := len(res.Universe)
+		t.row(w.Name, e, v, e*v, res.Graph.NumArcs(), float64(res.Graph.NumArcs())/float64(e*v))
+	}
+	return t.String(), nil
+}
+
+// e4: Figure 9 — the bypass removes the switch for x and shortens the
+// critical path.
+func e4() (string, error) {
+	t := newTable("schema", "switches", "switch for x", "cycles(L=8)")
+	for _, schema := range []translate.Schema{translate.Schema2, translate.Schema2Opt} {
+		res, err := translateW(workloads.Fig9Example, translate.Options{Schema: schema})
+		if err != nil {
+			return "", err
+		}
+		swx := 0
+		for _, n := range res.Graph.Nodes {
+			if n.Kind == dfg.Switch && n.Tok == "x" {
+				swx++
+			}
+		}
+		out, err := runMachine(res, machine.Config{MemLatency: 8})
+		if err != nil {
+			return "", err
+		}
+		t.row(schema, res.Graph.CountKind(dfg.Switch), swx, out.Stats.Cycles)
+	}
+	return t.String(), nil
+}
+
+// e5: Theorem 1 verified exhaustively over the suite plus random CFGs.
+func e5() (string, error) {
+	ws := append([]workloads.Workload{}, workloads.All()...)
+	for seed := int64(400); seed < 420; seed++ {
+		ws = append(ws, workloads.Random(seed, 4, 2))
+	}
+	pairs, mismatches := 0, 0
+	for _, w := range ws {
+		g, err := cfg.Build(w.Parse())
+		if err != nil {
+			return "", err
+		}
+		cd := analysis.ComputeControlDeps(g)
+		pdom := cd.PostDom()
+		for _, n := range g.SortedIDs() {
+			cdp := cd.IteratedCD([]int{n})
+			for _, f := range g.SortedIDs() {
+				pairs++
+				if cdp[f] != analysis.BetweenWith(g, pdom, f, n) {
+					mismatches++
+				}
+			}
+		}
+	}
+	t := newTable("metric", "value")
+	t.row("programs checked", len(ws))
+	t.row("(F, N) pairs checked", pairs)
+	t.row("Theorem 1 mismatches", mismatches)
+	return t.String(), nil
+}
+
+// e6: the §4 iterative algorithm reaches the direct construction on
+// acyclic programs.
+func e6() (string, error) {
+	t := newTable("workload", "schema2 switches", "after iterative", "direct (Fig 11)", "agree")
+	for _, w := range workloads.All() {
+		g, err := cfg.Build(w.Parse())
+		if err != nil {
+			return "", err
+		}
+		_, loops, err := cfg.InsertLoopControl(g)
+		if err != nil || len(loops) > 0 {
+			continue
+		}
+		s2, err := translate.Translate(g, translate.Options{Schema: translate.Schema2})
+		if err != nil {
+			return "", err
+		}
+		direct, err := translate.Translate(g, translate.Options{Schema: translate.Schema2Opt})
+		if err != nil {
+			return "", err
+		}
+		iter, _ := translate.EliminateRedundantSwitches(s2.Graph)
+		a := iter.CountKind(dfg.Switch)
+		b := direct.Graph.CountKind(dfg.Switch)
+		t.row(w.Name, s2.Graph.CountKind(dfg.Switch), a, b, a == b)
+	}
+	return t.String(), nil
+}
+
+// e7: covers trade parallelism against synchronization (§5).
+func e7() (string, error) {
+	t := newTable("workload", "cover", "tokens", "token collections", "synch nodes", "cycles(L=6)", "avg par")
+	for _, w := range []workloads.Workload{workloads.FortranAlias, workloads.ByName("cover-tradeoff")} {
+		prog := w.Parse()
+		as := analysis.NewAliasStructure(prog)
+		covers := []struct {
+			name  string
+			cover *analysis.Cover
+		}{
+			{"singleton", analysis.SingletonCover(as)},
+			{"class", analysis.ClassCover(as)},
+			{"monolithic", analysis.MonolithicCover(as)},
+		}
+		// Reference occurrences for the synchronization cost metric.
+		g, err := cfg.Build(prog)
+		if err != nil {
+			return "", err
+		}
+		var refs []string
+		for _, id := range g.SortedIDs() {
+			for v := range g.Refs(id) {
+				refs = append(refs, v)
+			}
+		}
+		sort.Strings(refs)
+
+		for _, c := range covers {
+			res, err := translateW(w, translate.Options{Schema: translate.Schema3, Cover: c.cover})
+			if err != nil {
+				return "", err
+			}
+			out, err := runMachine(res, machine.Config{MemLatency: 6})
+			if err != nil {
+				return "", err
+			}
+			t.row(w.Name, c.name, len(res.Universe), c.cover.SynchCost(as, refs),
+				res.Graph.CountKind(dfg.Synch), out.Stats.Cycles, out.Stats.AvgParallelism())
+		}
+	}
+	return t.String(), nil
+}
+
+// e8: Figure 14 — store time N·L sequential vs ~N+L parallelized.
+func e8() (string, error) {
+	g, err := cfg.Build(workloads.Fig14ArrayLoop.Parse())
+	if err != nil {
+		return "", err
+	}
+	seq, err := translate.Translate(g, translate.Options{Schema: translate.Schema2Opt, EliminateMemory: true})
+	if err != nil {
+		return "", err
+	}
+	par, err := translate.Translate(g, translate.Options{Schema: translate.Schema2Opt, EliminateMemory: true, ParallelArrayStores: true})
+	if err != nil {
+		return "", err
+	}
+	t := newTable("store latency L", "sequential cycles", "parallelized cycles", "speedup", "N·L floor")
+	for _, lat := range []int{1, 5, 10, 20, 50} {
+		so, err := machine.Run(seq.Graph, machine.Config{MemLatency: lat})
+		if err != nil {
+			return "", err
+		}
+		po, err := machine.Run(par.Graph, machine.Config{MemLatency: lat})
+		if err != nil {
+			return "", err
+		}
+		t.row(lat, so.Stats.Cycles, po.Stats.Cycles,
+			float64(so.Stats.Cycles)/float64(po.Stats.Cycles), 10*lat)
+	}
+	return t.String(), nil
+}
+
+// e9: §6.1 memory elimination across scalar workloads.
+func e9() (string, error) {
+	t := newTable("workload", "loads+stores", "after elim", "cycles(L=4)", "after elim ", "speedup")
+	for _, w := range []workloads.Workload{
+		workloads.RunningExample,
+		workloads.ByName("fib-iterative"),
+		workloads.ByName("gcd"),
+		workloads.ByName("nested-loops"),
+		workloads.ByName("independent-chains"),
+	} {
+		plain, err := translateW(w, translate.Options{Schema: translate.Schema2Opt})
+		if err != nil {
+			return "", err
+		}
+		elim, err := translateW(w, translate.Options{Schema: translate.Schema2Opt, EliminateMemory: true})
+		if err != nil {
+			return "", err
+		}
+		po, err := runMachine(plain, machine.Config{MemLatency: 4})
+		if err != nil {
+			return "", err
+		}
+		eo, err := runMachine(elim, machine.Config{MemLatency: 4})
+		if err != nil {
+			return "", err
+		}
+		ps, es := plain.Graph.Stats(), elim.Graph.Stats()
+		t.row(w.Name, ps.Loads+ps.Stores, es.Loads+es.Stores, po.Stats.Cycles, eo.Stats.Cycles,
+			float64(po.Stats.Cycles)/float64(eo.Stats.Cycles))
+	}
+	return t.String(), nil
+}
+
+// e10: §6.2 read parallelization vs latency.
+func e10() (string, error) {
+	w := workloads.ByName("read-heavy")
+	g, err := cfg.Build(w.Parse())
+	if err != nil {
+		return "", err
+	}
+	seq, err := translate.Translate(g, translate.Options{Schema: translate.Schema2})
+	if err != nil {
+		return "", err
+	}
+	par, err := translate.Translate(g, translate.Options{Schema: translate.Schema2, ParallelReads: true})
+	if err != nil {
+		return "", err
+	}
+	t := newTable("load latency L", "sequential reads", "parallel reads", "speedup")
+	for _, lat := range []int{1, 4, 8, 16, 32} {
+		so, err := machine.Run(seq.Graph, machine.Config{MemLatency: lat})
+		if err != nil {
+			return "", err
+		}
+		po, err := machine.Run(par.Graph, machine.Config{MemLatency: lat})
+		if err != nil {
+			return "", err
+		}
+		t.row(lat, so.Stats.Cycles, po.Stats.Cycles, float64(so.Stats.Cycles)/float64(po.Stats.Cycles))
+	}
+	return t.String(), nil
+}
+
+// e11: the full schema comparison across the suite.
+func e11() (string, error) {
+	schemas := []translate.Options{
+		{Schema: translate.Schema1},
+		{Schema: translate.Schema2},
+		{Schema: translate.Schema2Opt},
+		{Schema: translate.Schema2Opt, EliminateMemory: true},
+		{Schema: translate.Schema2Opt, EliminateMemory: true, ParallelReads: true, ParallelArrayStores: true},
+	}
+	names := []string{"schema1", "schema2", "schema2-opt", "+mem-elim", "+all §6"}
+	t := newTable("workload", "schema1", "schema2", "schema2-opt", "+mem-elim", "+all §6", "best speedup")
+	_ = names
+	for _, w := range workloads.All() {
+		cells := []any{w.Name}
+		base, best := 0, 1<<62
+		for i, opt := range schemas {
+			res, err := translateW(w, opt)
+			if err != nil {
+				return "", err
+			}
+			out, err := runMachine(res, machine.Config{MemLatency: 4})
+			if err != nil {
+				return "", err
+			}
+			c := out.Stats.Cycles
+			if i == 0 {
+				base = c
+			}
+			if c < best {
+				best = c
+			}
+			cells = append(cells, c)
+		}
+		cells = append(cells, float64(base)/float64(best))
+		t.row(cells...)
+	}
+	return t.String(), nil
+}
+
+// e13: I-structure memory (§6.3): with write-once arrays, the consumer
+// loop's reads defer at the memory instead of waiting for the producer
+// loop's access token, so the two loops overlap.
+func e13() (string, error) {
+	w := workloads.ByName("producer-consumer")
+	g, err := cfg.Build(w.Parse())
+	if err != nil {
+		return "", err
+	}
+	base, err := translate.Translate(g, translate.Options{Schema: translate.Schema2Opt, EliminateMemory: true})
+	if err != nil {
+		return "", err
+	}
+	ist, err := translate.Translate(g, translate.Options{Schema: translate.Schema2Opt, EliminateMemory: true, UseIStructures: true})
+	if err != nil {
+		return "", err
+	}
+	t := newTable("memory latency L", "access-token cycles", "I-structure cycles", "speedup")
+	for _, lat := range []int{1, 4, 8, 16, 32} {
+		bo, err := machine.Run(base.Graph, machine.Config{MemLatency: lat})
+		if err != nil {
+			return "", err
+		}
+		io, err := machine.Run(ist.Graph, machine.Config{MemLatency: lat})
+		if err != nil {
+			return "", err
+		}
+		t.row(lat, bo.Stats.Cycles, io.Stats.Cycles, float64(bo.Stats.Cycles)/float64(io.Stats.Cycles))
+	}
+	return t.String(), nil
+}
+
+// e14: the §5 FORTRAN example end to end: derive the alias structure of
+// SUBROUTINE F(X,Y,Z) from CALL F(A,B,A) and CALL F(C,D,D), compile the
+// body once under Schema 3, and execute it under each call site's storage
+// binding.
+func e14() (string, error) {
+	src := `
+var a, b, c, d
+proc f(x, y, z) {
+  z := x + y
+  x := x * 2
+}
+a := 1
+b := 2
+call f(a, b, a)
+c := 10
+d := 20
+call f(c, d, d)
+`
+	prog := lang.MustParse(src)
+	derived, err := analysis.DeriveAliasStructures(prog)
+	if err != nil {
+		return "", err
+	}
+	f := derived["f"]
+	classOf := func(v string) string {
+		var out []string
+		for _, w := range []string{"x", "y", "z"} {
+			if f.Related(v, w) {
+				out = append(out, w)
+			}
+		}
+		return "{" + strings.Join(out, ",") + "}"
+	}
+	t := newTable("formal", "derived class", "paper (§5)")
+	t.row("x", classOf("x"), "{X,Z}")
+	t.row("y", classOf("y"), "{Y,Z}")
+	t.row("z", classOf("z"), "{X,Y,Z}")
+
+	// Compile once; run under each call site's binding.
+	standalone, err := analysis.StandaloneProc(prog, "f", f)
+	if err != nil {
+		return "", err
+	}
+	g, err := cfg.Build(standalone)
+	if err != nil {
+		return "", err
+	}
+	res, err := translate.Translate(g, translate.Options{Schema: translate.Schema3})
+	if err != nil {
+		return "", err
+	}
+	t2 := newTable("call site", "binding", "one graph correct")
+	for _, cs := range prog.Calls() {
+		b, err := analysis.CallBinding(prog, cs.Call)
+		if err != nil {
+			return "", err
+		}
+		want, err := interp.Run(g, interp.Options{Binding: b})
+		if err != nil {
+			return "", err
+		}
+		out, err := machine.Run(res.Graph, machine.Config{Binding: b, DetectRaces: true})
+		if err != nil {
+			return "", err
+		}
+		var pairs []string
+		for _, k := range []string{"x", "y", "z"} {
+			pairs = append(pairs, k+"→"+b[k])
+		}
+		t2.row(cs.Call.String(), strings.Join(pairs, " "), out.Store.Snapshot() == want.Store.Snapshot())
+	}
+	return t.String() + "\n" + t2.String(), nil
+}
+
+// e15: separate compilation — each procedure body appears once, calls run
+// it under fresh activation frames. Measured: graph size grows with
+// procedure count (not call-site count) while concurrent activations keep
+// the parallelism of inlining.
+func e15() (string, error) {
+	mkSrc := func(nCalls int) string {
+		src := "var a0, a1, a2, a3, a4, a5, a6, a7\n" +
+			"proc work(x) {\n  x := x + 1\n  x := x * 3\n  x := x - 2\n  x := x * x\n  x := x % 97\n}\n"
+		for i := 0; i < nCalls; i++ {
+			src += fmt.Sprintf("call work(a%d)\n", i)
+		}
+		return src
+	}
+	t := newTable("call sites", "inlined nodes", "linked nodes", "inlined cycles(L=4)", "linked cycles(L=4)", "results agree")
+	for _, n := range []int{1, 2, 4, 8} {
+		prog := lang.MustParse(mkSrc(n))
+		inCFG, err := cfg.Build(prog)
+		if err != nil {
+			return "", err
+		}
+		inl, err := translate.Translate(inCFG, translate.Options{Schema: translate.Schema2Opt})
+		if err != nil {
+			return "", err
+		}
+		lnk, err := translate.TranslateLinked(prog)
+		if err != nil {
+			return "", err
+		}
+		io, err := machine.Run(inl.Graph, machine.Config{MemLatency: 4})
+		if err != nil {
+			return "", err
+		}
+		lo, err := machine.Run(lnk.Graph, machine.Config{MemLatency: 4})
+		if err != nil {
+			return "", err
+		}
+		t.row(n, inl.Graph.NumNodes(), lnk.Graph.NumNodes(),
+			io.Stats.Cycles, lo.Stats.Cycles,
+			io.Store.Snapshot() == lo.Store.Snapshot())
+	}
+	return t.String(), nil
+}
+
+// e12: the two engines agree exactly on results and firing counts.
+func e12() (string, error) {
+	t := newTable("workload", "machine ops", "chanexec ops", "states agree")
+	for _, w := range workloads.All() {
+		res, err := translateW(w, translate.Options{Schema: translate.Schema2Opt})
+		if err != nil {
+			return "", err
+		}
+		mo, err := runMachine(res, machine.Config{})
+		if err != nil {
+			return "", err
+		}
+		co, err := chanexec.Run(res.Graph, chanexec.Config{})
+		if err != nil {
+			return "", err
+		}
+		t.row(w.Name, mo.Stats.Ops, co.Ops, mo.Store.Snapshot() == co.Store.Snapshot())
+	}
+	return t.String(), nil
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s (%s): %v", e.ID, e.Title, err)
+			}
+			if len(out) == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+			if !strings.Contains(out, "\n") {
+				t.Errorf("%s output is not a table:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestAllExperimentsDeterministic(t *testing.T) {
+	for _, e := range []string{"E1", "E4", "E7", "E8"} {
+		exp, ok := ByID(e)
+		if !ok {
+			t.Fatalf("missing %s", e)
+		}
+		a, err := exp.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := exp.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Errorf("%s is nondeterministic:\n%s\nvs\n%s", e, a, b)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("E1"); !ok {
+		t.Error("E1 missing")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("E99 should not exist")
+	}
+}
+
+func TestTheorem1ExperimentReportsNoMismatches(t *testing.T) {
+	exp, _ := ByID("E5")
+	out, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Theorem 1 mismatches") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "mismatches") && !strings.Contains(line, " 0") {
+			t.Errorf("Theorem 1 mismatches reported:\n%s", out)
+		}
+	}
+}
+
+func TestEnginesAgreementExperiment(t *testing.T) {
+	exp, _ := ByID("E12")
+	out, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "false") {
+		t.Errorf("engines disagreed somewhere:\n%s", out)
+	}
+}

@@ -1,0 +1,262 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"ctdf/internal/cfg"
+	"ctdf/internal/lang"
+)
+
+func run(t *testing.T, src string) *Result {
+	t.Helper()
+	p, err := lang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRunningExample(t *testing.T) {
+	// l: y := x+1; x := x+1; if x < 5 goto l — terminates with x=5, y=5.
+	r := run(t, `
+var x, y
+l: y := x + 1
+x := x + 1
+if x < 5 then goto l else goto end
+`)
+	if got := r.Store.Get("x"); got != 5 {
+		t.Errorf("x = %d, want 5", got)
+	}
+	if got := r.Store.Get("y"); got != 5 {
+		t.Errorf("y = %d, want 5", got)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	r := run(t, `
+var a, b, c, d, e, f, g, h
+a := 7 + 3
+b := 7 - 3
+c := 7 * 3
+d := 7 / 3
+e := 7 % 3
+f := -a
+g := !0 + !5
+h := (1 < 2) + (2 <= 2) + (3 > 2) + (2 >= 3) + (1 == 1) + (1 != 1)
+`)
+	want := map[string]int64{"a": 10, "b": 4, "c": 21, "d": 2, "e": 1, "f": -10, "g": 1, "h": 4}
+	for k, v := range want {
+		if got := r.Store.Get(k); got != v {
+			t.Errorf("%s = %d, want %d", k, got, v)
+		}
+	}
+}
+
+func TestShortCircuitSemanticsAreStrict(t *testing.T) {
+	// && and || are strict (both sides evaluated) — they operate on 0/1.
+	r := run(t, "var a, b\na := 1 && 2\nb := 0 || 7\n")
+	if r.Store.Get("a") != 1 || r.Store.Get("b") != 1 {
+		t.Errorf("a=%d b=%d, want 1 1", r.Store.Get("a"), r.Store.Get("b"))
+	}
+}
+
+func TestArrays(t *testing.T) {
+	r := run(t, `
+var i, s
+array a[10]
+while i < 10 {
+  a[i] := i * i
+  i := i + 1
+}
+i := 0
+while i < 10 {
+  s := s + a[i]
+  i := i + 1
+}
+`)
+	if got := r.Store.Get("s"); got != 285 {
+		t.Errorf("s = %d, want 285", got)
+	}
+	arr := r.Store.Array("a")
+	if arr[7] != 49 {
+		t.Errorf("a[7] = %d, want 49", arr[7])
+	}
+}
+
+func TestArrayBounds(t *testing.T) {
+	p := lang.MustParse("var i\narray a[3]\ni := 5\na[i] := 1\n")
+	g, err := cfg.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(g, Options{}); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("err = %v, want out of range", err)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	p := lang.MustParse("var x, y\nx := 1 / y\n")
+	g, err := cfg.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(g, Options{}); err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("err = %v, want division by zero", err)
+	}
+}
+
+func TestMaxSteps(t *testing.T) {
+	p := lang.MustParse("var i\nwhile i < 1000 { i := i + 1 }\n")
+	g, err := cfg.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(g, Options{MaxSteps: 10}); err == nil || !strings.Contains(err.Error(), "exceeded") {
+		t.Errorf("err = %v, want step bound exceeded", err)
+	}
+}
+
+func TestAliasBindings(t *testing.T) {
+	// The paper's FORTRAN alias structure: [X]={X,Z}, [Y]={Y,Z}, [Z]={X,Y,Z}.
+	src := `
+var x, y, z
+alias x ~ z
+alias y ~ z
+x := 1
+y := 2
+z := 3
+`
+	p := lang.MustParse(src)
+	g, err := cfg.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identity binding: all distinct.
+	r, err := Run(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Store.Get("x") != 1 || r.Store.Get("y") != 2 || r.Store.Get("z") != 3 {
+		t.Errorf("identity binding: got x=%d y=%d z=%d", r.Store.Get("x"), r.Store.Get("y"), r.Store.Get("z"))
+	}
+
+	// X and Z share a location (CALL F(A,B,A)): z := 3 overwrites x.
+	bXZ := Binding{"x": "x", "z": "x"}
+	r, err = Run(g, Options{Binding: bXZ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Store.Get("x") != 3 || r.Store.Get("z") != 3 || r.Store.Get("y") != 2 {
+		t.Errorf("x~z binding: got x=%d y=%d z=%d, want 3 2 3", r.Store.Get("x"), r.Store.Get("y"), r.Store.Get("z"))
+	}
+
+	// X and Y may NOT share (not declared aliases).
+	bXY := Binding{"x": "x", "y": "x"}
+	if err := bXY.Validate(p); err == nil {
+		t.Error("binding sharing x and y must be rejected")
+	}
+
+	// X, Y, Z all shared is illegal too (x and y not aliases).
+	bAll := Binding{"x": "z", "y": "z", "z": "z"}
+	if err := bAll.Validate(p); err == nil {
+		t.Error("binding sharing x, y, z must be rejected")
+	}
+}
+
+func TestBindingKindMismatch(t *testing.T) {
+	p := lang.MustParse("var x\narray a[3]\nalias x ~ a\nx := 1\n")
+	b := Binding{"x": "x", "a": "x"}
+	if err := b.Validate(p); err == nil {
+		t.Error("binding sharing a scalar and an array must be rejected")
+	}
+}
+
+func TestArrayAliasBinding(t *testing.T) {
+	src := `
+var i
+array a[4]
+array b[4]
+alias a ~ b
+a[0] := 10
+i := b[0]
+`
+	p := lang.MustParse(src)
+	g, err := cfg.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(g, Options{Binding: Binding{"a": "a", "b": "a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Store.Get("i") != 10 {
+		t.Errorf("i = %d, want 10 (a and b share storage)", r.Store.Get("i"))
+	}
+	r, err = Run(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Store.Get("i") != 0 {
+		t.Errorf("i = %d, want 0 (identity binding)", r.Store.Get("i"))
+	}
+}
+
+func TestRunOnLoopControlGraph(t *testing.T) {
+	// The interval transformation must not change sequential semantics.
+	src := `
+var x, y
+l: y := x + 1
+x := x + 1
+if x < 5 then goto l else goto end
+`
+	p := lang.MustParse(src)
+	g, err := cfg.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := cfg.InsertLoopControl(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Run(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(g2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Store.Snapshot() != r2.Store.Snapshot() {
+		t.Errorf("loop control changed semantics:\nbefore:\n%s\nafter:\n%s",
+			r1.Store.Snapshot(), r2.Store.Snapshot())
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	r := run(t, "var b, a\narray z[2], c[2]\na := 1\nb := 2\nz[0] := 3\nc[1] := 4\n")
+	s1 := r.Store.Snapshot()
+	s2 := r.Store.Snapshot()
+	if s1 != s2 {
+		t.Error("snapshot not deterministic")
+	}
+	// Names sorted.
+	if !strings.HasPrefix(s1, "a=") {
+		t.Errorf("snapshot should start with a=: %q", s1)
+	}
+}
+
+func TestEvalUnknownExprRejected(t *testing.T) {
+	if _, err := Eval(nil, NewStore(lang.MustParse("var x\n"))); err == nil {
+		t.Error("Eval(nil) must error")
+	}
+}

@@ -1,0 +1,90 @@
+package interp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ctdf/internal/lang"
+)
+
+// Arithmetic properties of the shared Apply, which every execution engine
+// uses — if these hold, the engines cannot diverge on arithmetic.
+
+func TestQuickApplyProperties(t *testing.T) {
+	cfgq := &quick.Config{MaxCount: 500}
+
+	commutative := func(a, b int64) bool {
+		for _, op := range []lang.Op{lang.OpAdd, lang.OpMul, lang.OpEq, lang.OpNe, lang.OpAnd, lang.OpOr} {
+			x, err1 := Apply(op, a, b)
+			y, err2 := Apply(op, b, a)
+			if (err1 == nil) != (err2 == nil) || x != y {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(commutative, cfgq); err != nil {
+		t.Error(err)
+	}
+
+	comparisonComplements := func(a, b int64) bool {
+		lt, _ := Apply(lang.OpLt, a, b)
+		ge, _ := Apply(lang.OpGe, a, b)
+		eq, _ := Apply(lang.OpEq, a, b)
+		ne, _ := Apply(lang.OpNe, a, b)
+		le, _ := Apply(lang.OpLe, a, b)
+		gt, _ := Apply(lang.OpGt, a, b)
+		return lt+ge == 1 && eq+ne == 1 && le+gt == 1
+	}
+	if err := quick.Check(comparisonComplements, cfgq); err != nil {
+		t.Error(err)
+	}
+
+	booleansAreBits := func(a, b int64) bool {
+		for _, op := range []lang.Op{lang.OpLt, lang.OpLe, lang.OpGt, lang.OpGe, lang.OpEq, lang.OpNe, lang.OpAnd, lang.OpOr} {
+			v, err := Apply(op, a, b)
+			if err != nil || (v != 0 && v != 1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(booleansAreBits, cfgq); err != nil {
+		t.Error(err)
+	}
+
+	divMod := func(a, b int64) bool {
+		if b == 0 {
+			_, err1 := Apply(lang.OpDiv, a, b)
+			_, err2 := Apply(lang.OpMod, a, b)
+			return err1 != nil && err2 != nil
+		}
+		q, err1 := Apply(lang.OpDiv, a, b)
+		r, err2 := Apply(lang.OpMod, a, b)
+		return err1 == nil && err2 == nil && q*b+r == a
+	}
+	if err := quick.Check(divMod, cfgq); err != nil {
+		t.Error(err)
+	}
+}
+
+// Store properties: bindings induce exactly the sharing they describe.
+func TestQuickBindingSharing(t *testing.T) {
+	prog := lang.MustParse("var x, y, z\nalias x ~ z\nalias y ~ z\nx := 0\n")
+	f := func(vx, vz int64, shareXZ bool) bool {
+		var b Binding
+		if shareXZ {
+			b = Binding{"x": "x", "z": "x"}
+		}
+		st := NewStoreWithBinding(prog, b)
+		st.Set("x", vx)
+		st.Set("z", vz)
+		if shareXZ {
+			return st.Get("x") == vz && st.Get("z") == vz
+		}
+		return st.Get("x") == vx && st.Get("z") == vz
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,263 @@
+package lang
+
+import (
+	"fmt"
+)
+
+// Check validates a program: declarations are unique, every referenced
+// variable/array is declared with the right kind, alias declarations name
+// scalar variables, every goto target is a declared label, and labels are
+// unique. Structured statements are checked recursively.
+func Check(p *Program) error {
+	scalars := map[string]bool{}
+	arrays := map[string]bool{}
+	for _, v := range p.Vars {
+		if scalars[v.Name] || arrays[v.Name] {
+			return fmt.Errorf("lang: %s: duplicate declaration of %s", v.Pos, v.Name)
+		}
+		scalars[v.Name] = true
+	}
+	for _, a := range p.Arrays {
+		if scalars[a.Name] || arrays[a.Name] {
+			return fmt.Errorf("lang: %s: duplicate declaration of %s", a.Pos, a.Name)
+		}
+		arrays[a.Name] = true
+	}
+	for _, al := range p.Aliases {
+		if !scalars[al.A] && !arrays[al.A] {
+			return fmt.Errorf("lang: %s: alias declaration references undeclared %s", al.Pos, al.A)
+		}
+		if !scalars[al.B] && !arrays[al.B] {
+			return fmt.Errorf("lang: %s: alias declaration references undeclared %s", al.Pos, al.B)
+		}
+		if al.A == al.B {
+			return fmt.Errorf("lang: %s: alias of %s with itself is implicit (the alias relation is reflexive)", al.Pos, al.A)
+		}
+	}
+
+	// Procedures: unique names, well-formed parameter lists, checked
+	// bodies (formals plus globals in scope; a per-body label namespace
+	// without the implicit "end" — a procedure cannot jump to the program
+	// end).
+	procs := map[string]*ProcDecl{}
+	for i := range p.Procedures {
+		pr := &p.Procedures[i]
+		if procs[pr.Name] != nil {
+			return fmt.Errorf("lang: %s: duplicate procedure %s", pr.Pos, pr.Name)
+		}
+		if scalars[pr.Name] || arrays[pr.Name] {
+			return fmt.Errorf("lang: %s: procedure %s clashes with a variable", pr.Pos, pr.Name)
+		}
+		procs[pr.Name] = pr
+		seen := map[string]bool{}
+		for _, f := range pr.Params {
+			if seen[f] {
+				return fmt.Errorf("lang: %s: duplicate parameter %s in %s", pr.Pos, f, pr.Name)
+			}
+			seen[f] = true
+			if scalars[f] || arrays[f] {
+				return fmt.Errorf("lang: %s: parameter %s of %s shadows a global", pr.Pos, f, pr.Name)
+			}
+		}
+	}
+	for i := range p.Procedures {
+		pr := &p.Procedures[i]
+		bodyScalars := map[string]bool{}
+		for v := range scalars {
+			bodyScalars[v] = true
+		}
+		for _, f := range pr.Params {
+			bodyScalars[f] = true
+		}
+		labels := map[string]bool{}
+		if err := collectLabels(pr.Body, labels); err != nil {
+			return err
+		}
+		c := &checker{scalars: bodyScalars, arrays: arrays, labels: labels, procs: procs, inProc: pr.Name}
+		if err := c.stmts(pr.Body); err != nil {
+			return fmt.Errorf("in procedure %s: %w", pr.Name, err)
+		}
+	}
+	if err := checkNoRecursion(p, procs); err != nil {
+		return err
+	}
+
+	// "end" is implicitly declared: the paper's running example jumps to it
+	// ("... else goto end"). User labels may not redefine it.
+	labels := map[string]bool{"end": true}
+	if err := collectLabels(p.Body, labels); err != nil {
+		return err
+	}
+	c := &checker{scalars: scalars, arrays: arrays, labels: labels, procs: procs}
+	return c.stmts(p.Body)
+}
+
+func collectLabels(stmts []Stmt, labels map[string]bool) error {
+	for _, s := range stmts {
+		switch x := s.(type) {
+		case *Label:
+			if x.Name == "end" {
+				return fmt.Errorf("lang: %s: label \"end\" is reserved for the end node", x.Pos)
+			}
+			if labels[x.Name] {
+				return fmt.Errorf("lang: %s: duplicate label %s", x.Pos, x.Name)
+			}
+			labels[x.Name] = true
+		case *If:
+			if err := collectLabels(x.Then, labels); err != nil {
+				return err
+			}
+			if err := collectLabels(x.Else, labels); err != nil {
+				return err
+			}
+		case *While:
+			if err := collectLabels(x.Body, labels); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	scalars map[string]bool
+	arrays  map[string]bool
+	labels  map[string]bool
+	procs   map[string]*ProcDecl
+	inProc  string
+}
+
+func (c *checker) stmts(stmts []Stmt) error {
+	for _, s := range stmts {
+		if err := c.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) stmt(s Stmt) error {
+	switch x := s.(type) {
+	case *Assign:
+		if !c.scalars[x.Name] {
+			return fmt.Errorf("lang: %s: assignment to undeclared scalar %s", x.Pos, x.Name)
+		}
+		return c.expr(x.Expr)
+	case *ArrayAssign:
+		if !c.arrays[x.Name] {
+			return fmt.Errorf("lang: %s: assignment to undeclared array %s", x.Pos, x.Name)
+		}
+		if err := c.expr(x.Index); err != nil {
+			return err
+		}
+		return c.expr(x.Expr)
+	case *If:
+		if err := c.expr(x.Cond); err != nil {
+			return err
+		}
+		if err := c.stmts(x.Then); err != nil {
+			return err
+		}
+		return c.stmts(x.Else)
+	case *While:
+		if err := c.expr(x.Cond); err != nil {
+			return err
+		}
+		return c.stmts(x.Body)
+	case *Goto:
+		if !c.labels[x.Label] {
+			return fmt.Errorf("lang: %s: goto to undeclared label %s", x.Pos, x.Label)
+		}
+		return nil
+	case *CondGoto:
+		if err := c.expr(x.Cond); err != nil {
+			return err
+		}
+		if !c.labels[x.True] {
+			return fmt.Errorf("lang: %s: goto to undeclared label %s", x.Pos, x.True)
+		}
+		if !c.labels[x.False] {
+			return fmt.Errorf("lang: %s: goto to undeclared label %s", x.Pos, x.False)
+		}
+		return nil
+	case *Label:
+		return nil
+	case *CallStmt:
+		pr, ok := c.procs[x.Proc]
+		if !ok {
+			return fmt.Errorf("lang: %s: call of undeclared procedure %s", x.Pos, x.Proc)
+		}
+		if len(x.Args) != len(pr.Params) {
+			return fmt.Errorf("lang: %s: call of %s with %d arguments, want %d", x.Pos, x.Proc, len(x.Args), len(pr.Params))
+		}
+		for _, a := range x.Args {
+			if !c.scalars[a] {
+				return fmt.Errorf("lang: %s: call argument %s is not a declared scalar", x.Pos, a)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("lang: unknown statement type %T", s)
+}
+
+func (c *checker) expr(e Expr) error {
+	switch x := e.(type) {
+	case *IntLit:
+		return nil
+	case *VarRef:
+		if !c.scalars[x.Name] {
+			return fmt.Errorf("lang: %s: reference to undeclared scalar %s", x.Pos, x.Name)
+		}
+		return nil
+	case *IndexRef:
+		if !c.arrays[x.Name] {
+			return fmt.Errorf("lang: %s: index of undeclared array %s", x.Pos, x.Name)
+		}
+		return c.expr(x.Index)
+	case *BinExpr:
+		if err := c.expr(x.L); err != nil {
+			return err
+		}
+		return c.expr(x.R)
+	case *UnExpr:
+		return c.expr(x.X)
+	}
+	return fmt.Errorf("lang: unknown expression type %T", e)
+}
+
+// VarNames returns the declared scalar variable names in declaration order.
+func (p *Program) VarNames() []string {
+	out := make([]string, len(p.Vars))
+	for i, v := range p.Vars {
+		out[i] = v.Name
+	}
+	return out
+}
+
+// ArrayNames returns the declared array names in declaration order.
+func (p *Program) ArrayNames() []string {
+	out := make([]string, len(p.Arrays))
+	for i, a := range p.Arrays {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// AllNames returns scalar names followed by array names: the variable name
+// universe V over which access tokens and alias structures are defined.
+func (p *Program) AllNames() []string {
+	return append(p.VarNames(), p.ArrayNames()...)
+}
+
+// ArraySize returns the declared size of array name, or 0 if not an array.
+func (p *Program) ArraySize(name string) int {
+	for _, a := range p.Arrays {
+		if a.Name == name {
+			return a.Size
+		}
+	}
+	return 0
+}
+
+// IsArray reports whether name is a declared array.
+func (p *Program) IsArray(name string) bool { return p.ArraySize(name) > 0 }

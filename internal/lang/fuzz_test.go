@@ -1,0 +1,43 @@
+package lang
+
+import (
+	"testing"
+)
+
+// FuzzParse checks the front end never panics and that anything it accepts
+// survives a Format→Parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"var x, y\nl: y := x + 1\nx := x + 1\nif x < 5 then goto l else goto end\n",
+		"var a\narray b[4]\nalias a ~ a\n",
+		"proc f(x) { x := 1 }\n",
+		"var a\nwhile a < 3 { a := a + 1 }\n",
+		"var a\nif a { } else { }\n",
+		"x :=",
+		"goto goto goto",
+		"var\n",
+		"array a[999999999999999999999]\n",
+		"var x\nx := ((((((1))))))\n",
+		"var x\nx := 1 / 0 % -0\n",
+		"if 1 then goto end else goto end\n",
+		"\x00\x01\x02",
+		"var π\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		formatted := p.Format()
+		p2, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("accepted program does not reparse after Format: %v\noriginal: %q\nformatted: %q", err, src, formatted)
+		}
+		if p2.Format() != formatted {
+			t.Fatalf("Format not a fixed point for %q", src)
+		}
+	})
+}

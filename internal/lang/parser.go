@@ -1,0 +1,426 @@
+package lang
+
+import (
+	"fmt"
+)
+
+// Parse parses source text into a Program and checks it (undeclared
+// variables, unknown labels, duplicate declarations).
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.parseProgram()
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse, panicking on error; for tests and fixed fixtures.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+func (p *parser) peek() token {
+	if p.i+1 < len(p.toks) {
+		return p.toks[p.i+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("lang: %s: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	if p.cur().kind != kind {
+		return token{}, p.errorf("expected %s, found %s", what, p.cur())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if p.cur().kind != tokKeyword || p.cur().text != kw {
+		return p.errorf("expected %q, found %s", kw, p.cur())
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	// Declarations come first.
+	for p.cur().kind == tokKeyword {
+		switch p.cur().text {
+		case "var":
+			pos := p.advance().pos
+			for {
+				id, err := p.expect(tokIdent, "variable name")
+				if err != nil {
+					return nil, err
+				}
+				prog.Vars = append(prog.Vars, VarDecl{Name: id.text, Pos: pos})
+				if p.cur().kind != tokComma {
+					break
+				}
+				p.advance()
+			}
+		case "array":
+			pos := p.advance().pos
+			for {
+				id, err := p.expect(tokIdent, "array name")
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokLBracket, "'['"); err != nil {
+					return nil, err
+				}
+				sz, err := p.expect(tokInt, "array size")
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokRBracket, "']'"); err != nil {
+					return nil, err
+				}
+				if sz.val <= 0 {
+					return nil, fmt.Errorf("lang: %s: array %s has non-positive size %d", sz.pos, id.text, sz.val)
+				}
+				prog.Arrays = append(prog.Arrays, ArrayDecl{Name: id.text, Size: int(sz.val), Pos: pos})
+				if p.cur().kind != tokComma {
+					break
+				}
+				p.advance()
+			}
+		case "alias":
+			pos := p.advance().pos
+			a, err := p.expect(tokIdent, "variable name")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokTilde, "'~'"); err != nil {
+				return nil, err
+			}
+			b, err := p.expect(tokIdent, "variable name")
+			if err != nil {
+				return nil, err
+			}
+			prog.Aliases = append(prog.Aliases, AliasDecl{A: a.text, B: b.text, Pos: pos})
+		case "proc":
+			pos := p.advance().pos
+			name, err := p.expect(tokIdent, "procedure name")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokLParen, "'('"); err != nil {
+				return nil, err
+			}
+			var params []string
+			if p.cur().kind != tokRParen {
+				for {
+					id, err := p.expect(tokIdent, "parameter name")
+					if err != nil {
+						return nil, err
+					}
+					params = append(params, id.text)
+					if p.cur().kind != tokComma {
+						break
+					}
+					p.advance()
+				}
+			}
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+				return nil, err
+			}
+			body, err := p.parseStmts(tokRBrace)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBrace, "'}'"); err != nil {
+				return nil, err
+			}
+			prog.Procedures = append(prog.Procedures, ProcDecl{Name: name.text, Params: params, Body: body, Pos: pos})
+		default:
+			// Start of the statement list.
+			goto body
+		}
+	}
+body:
+	body, err := p.parseStmts(tokEOF)
+	if err != nil {
+		return nil, err
+	}
+	prog.Body = body
+	if p.cur().kind != tokEOF {
+		return nil, p.errorf("unexpected %s", p.cur())
+	}
+	return prog, nil
+}
+
+// parseStmts parses statements until the terminator kind (tokEOF or tokRBrace).
+func (p *parser) parseStmts(end tokenKind) ([]Stmt, error) {
+	var out []Stmt
+	for p.cur().kind != end && p.cur().kind != tokEOF {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokIdent && p.peek().kind == tokColon:
+		p.advance()
+		p.advance()
+		return &Label{Name: t.text, Pos: t.pos}, nil
+	case t.kind == tokIdent && p.peek().kind == tokAssign:
+		p.advance()
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Assign{Name: t.text, Expr: e, Pos: t.pos}, nil
+	case t.kind == tokIdent && p.peek().kind == tokLBracket:
+		p.advance()
+		p.advance()
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBracket, "']'"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokAssign, "':='"); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ArrayAssign{Name: t.text, Index: idx, Expr: e, Pos: t.pos}, nil
+	case t.kind == tokKeyword && t.text == "goto":
+		p.advance()
+		id, err := p.expect(tokIdent, "label")
+		if err != nil {
+			return nil, err
+		}
+		return &Goto{Label: id.text, Pos: t.pos}, nil
+	case t.kind == tokKeyword && t.text == "call":
+		p.advance()
+		name, err := p.expect(tokIdent, "procedure name")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		var args []string
+		if p.cur().kind != tokRParen {
+			for {
+				id, err := p.expect(tokIdent, "argument variable")
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, id.text)
+				if p.cur().kind != tokComma {
+					break
+				}
+				p.advance()
+			}
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return &CallStmt{Proc: name.text, Args: args, Pos: t.pos}, nil
+	case t.kind == tokKeyword && t.text == "if":
+		p.advance()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().kind == tokKeyword && p.cur().text == "then" {
+			// Paper-style fork: if p then goto lt else goto lf.
+			p.advance()
+			if err := p.expectKeyword("goto"); err != nil {
+				return nil, err
+			}
+			lt, err := p.expect(tokIdent, "label")
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("else"); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("goto"); err != nil {
+				return nil, err
+			}
+			lf, err := p.expect(tokIdent, "label")
+			if err != nil {
+				return nil, err
+			}
+			return &CondGoto{Cond: cond, True: lt.text, False: lf.text, Pos: t.pos}, nil
+		}
+		// Structured if.
+		if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmts(tokRBrace)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBrace, "'}'"); err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.cur().kind == tokKeyword && p.cur().text == "else" {
+			p.advance()
+			if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+				return nil, err
+			}
+			els, err = p.parseStmts(tokRBrace)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBrace, "'}'"); err != nil {
+				return nil, err
+			}
+		}
+		return &If{Cond: cond, Then: then, Else: els, Pos: t.pos}, nil
+	case t.kind == tokKeyword && t.text == "while":
+		p.advance()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmts(tokRBrace)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRBrace, "'}'"); err != nil {
+			return nil, err
+		}
+		return &While{Cond: cond, Body: body, Pos: t.pos}, nil
+	}
+	return nil, p.errorf("expected statement, found %s", t)
+}
+
+// Operator precedence (higher binds tighter).
+var precedence = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+	"+": 4, "-": 4,
+	"*": 5, "/": 5, "%": 5,
+}
+
+var binOps = map[string]Op{
+	"+": OpAdd, "-": OpSub, "*": OpMul, "/": OpDiv, "%": OpMod,
+	"<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe, "==": OpEq, "!=": OpNe,
+	"&&": OpAnd, "||": OpOr,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokOp {
+		prec, ok := precedence[p.cur().text]
+		if !ok || prec < minPrec {
+			break
+		}
+		opTok := p.advance()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinExpr{Op: binOps[opTok.text], L: lhs, R: rhs, Pos: opTok.pos}
+	}
+	return lhs, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.kind == tokOp && (t.text == "-" || t.text == "!") {
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		op := OpNeg
+		if t.text == "!" {
+			op = OpNot
+		}
+		return &UnExpr{Op: op, X: x, Pos: t.pos}, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *parser) parseAtom() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokInt:
+		p.advance()
+		return &IntLit{Value: t.val, Pos: t.pos}, nil
+	case tokIdent:
+		p.advance()
+		if p.cur().kind == tokLBracket {
+			p.advance()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRBracket, "']'"); err != nil {
+				return nil, err
+			}
+			return &IndexRef{Name: t.text, Index: idx, Pos: t.pos}, nil
+		}
+		return &VarRef{Name: t.text, Pos: t.pos}, nil
+	case tokLParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errorf("expected expression, found %s", t)
+}

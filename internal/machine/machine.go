@@ -1,0 +1,553 @@
+// Package machine simulates an explicit token store dataflow machine in
+// the style of Monsoon (paper §2.2): tokens carry tags identifying their
+// loop iteration context, tokens destined for a multi-input operator
+// rendezvous in a matching store (the ETS frame memory), loads and stores
+// are split-phase operations with configurable latency, and a configurable
+// number of processors issues enabled operations each cycle.
+//
+// Running the same graph with an unlimited processor count measures the
+// program's critical path; the per-cycle issue counts form its parallelism
+// profile. This is the measurement substrate for every experiment in
+// EXPERIMENTS.md.
+package machine
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"ctdf/internal/dfg"
+	"ctdf/internal/interp"
+	"ctdf/internal/lang"
+	"ctdf/internal/token"
+)
+
+// Config configures a simulation run.
+type Config struct {
+	// Processors bounds how many operations issue per cycle; 0 means
+	// unlimited (critical-path mode).
+	Processors int
+	// MemLatency is the number of cycles a split-phase load or store takes
+	// (minimum and default 1). All other operators take one cycle.
+	MemLatency int
+	// MaxCycles aborts runaway executions (default one million).
+	MaxCycles int
+	// Binding selects which aliased names share storage this run.
+	Binding interp.Binding
+	// RandomSeed, when nonzero, issues enabled operations in a
+	// pseudo-random order instead of the deterministic one — the final
+	// store must not depend on it (dataflow determinacy).
+	RandomSeed int64
+	// DetectRaces additionally checks that no two memory operations on the
+	// same location overlap in time unless both are reads.
+	DetectRaces bool
+	// ProfileLimit caps the recorded parallelism profile length (default
+	// 1<<16 cycles); statistics remain exact beyond it.
+	ProfileLimit int
+	// Trace, when non-nil, receives one line per operator firing
+	// ("cycle 12: d5: binop + [tag 0.1]").
+	Trace io.Writer
+}
+
+// Stats describes an execution.
+type Stats struct {
+	// Cycles is the total execution time; with unlimited processors this
+	// is the critical path length.
+	Cycles int
+	// Ops is the number of operator firings.
+	Ops int
+	// MemOps counts load/store firings.
+	MemOps int
+	// Matches counts tokens that had to wait in the matching store.
+	Matches int
+	// MaxParallelism is the peak number of operations issued in one cycle.
+	MaxParallelism int
+	// PeakMatchStore is the peak number of partially matched activations
+	// waiting in the matching store (the explicit-token-store frame memory
+	// pressure).
+	PeakMatchStore int
+	// Profile[i] is the number of operations issued at cycle i (truncated
+	// to ProfileLimit entries).
+	Profile []int
+}
+
+// AvgParallelism is Ops/Cycles.
+func (s Stats) AvgParallelism() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Ops) / float64(s.Cycles)
+}
+
+// Outcome is the result of a run.
+type Outcome struct {
+	// Store is the final memory state.
+	Store *interp.Store
+	// EndValues holds the value carried by each token collected at the end
+	// node, indexed by end input port (meaningful for §6.1 value-carrying
+	// token lines).
+	EndValues []int64
+	Stats     Stats
+}
+
+// token is a value travelling an arc.
+type tok struct {
+	to  dfg.Target
+	val int64
+	tg  token.Tag
+}
+
+// matchKey identifies a frame slot set: one operator activation.
+type matchKey struct {
+	node int
+	tg   string
+}
+
+type matchEntry struct {
+	have uint64
+	vals []int64
+	tg   token.Tag
+	n    int
+}
+
+// firing is an enabled operator activation.
+type firing struct {
+	node int
+	vals []int64
+	tg   token.Tag
+	// port is the arriving port for any-arrival operators (merge, loop
+	// entry).
+	port int
+}
+
+// Run executes the dataflow graph to completion.
+func Run(g *dfg.Graph, cfgc Config) (*Outcome, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if cfgc.MemLatency < 1 {
+		cfgc.MemLatency = 1
+	}
+	if cfgc.MaxCycles == 0 {
+		cfgc.MaxCycles = 1_000_000
+	}
+	if cfgc.ProfileLimit == 0 {
+		cfgc.ProfileLimit = 1 << 16
+	}
+	if err := cfgc.Binding.Validate(g.Prog); err != nil {
+		return nil, err
+	}
+	m := &sim{
+		g:     g,
+		cfg:   cfgc,
+		store: interp.NewStoreWithBinding(g.Prog, cfgc.Binding),
+		match: map[matchKey]*matchEntry{},
+	}
+	if cfgc.RandomSeed != 0 {
+		m.rng = rand.New(rand.NewSource(cfgc.RandomSeed))
+	}
+	if cfgc.DetectRaces {
+		m.locs = newRaceDetector(g.Prog, cfgc.Binding)
+	}
+	m.istruct = newIStructUnit(g)
+	m.procs = newProcLinkage(g)
+	return m.run()
+}
+
+type sim struct {
+	g     *dfg.Graph
+	cfg   Config
+	store *interp.Store
+	rng   *rand.Rand
+
+	match   map[matchKey]*matchEntry
+	enabled []firing
+	// inflight memory completions: cycle → emissions.
+	inflight map[int][]delayed
+	cycle    int
+	stats    Stats
+
+	endVals  []int64
+	endCycle int
+	done     bool
+
+	locs    *raceDetector
+	istruct *istructUnit
+	procs   *procLinkage
+}
+
+type delayed struct {
+	tokens []tok
+	// race bookkeeping: location released at completion.
+	release func()
+}
+
+func (m *sim) run() (*Outcome, error) {
+	m.inflight = map[int][]delayed{}
+	m.endVals = make([]int64, m.g.Nodes[m.g.EndID].NIns)
+
+	// Cycle 0: start emits one dummy token per out arc at the root tag.
+	for _, a := range m.g.OutArcs(m.g.StartID, 0) {
+		if err := m.deliver(tok{to: dfg.Target{Node: a.To, Port: a.ToPort}, val: 0, tg: token.Root}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Execution runs until end fires, then drains remaining enabled work:
+	// tokens routed by a switch onto an unconnected output (a path where
+	// the token's value is dead, e.g. after §6.1 elimination) are dropped
+	// at that switch, and the drops may be scheduled after end's inputs
+	// completed.
+	for !m.done || len(m.enabled) > 0 || len(m.inflight) > 0 {
+		if m.cycle > m.cfg.MaxCycles {
+			return nil, fmt.Errorf("machine: exceeded %d cycles (deadlock or runaway loop?)", m.cfg.MaxCycles)
+		}
+		if !m.done && len(m.enabled) == 0 && len(m.inflight) == 0 {
+			return nil, m.deadlockError()
+		}
+		// Issue up to Processors enabled operations this cycle.
+		m.orderEnabled()
+		issue := len(m.enabled)
+		if m.cfg.Processors > 0 && issue > m.cfg.Processors {
+			issue = m.cfg.Processors
+		}
+		batch := m.enabled[:issue]
+		m.enabled = append([]firing(nil), m.enabled[issue:]...)
+		if issue > m.stats.MaxParallelism {
+			m.stats.MaxParallelism = issue
+		}
+		if m.cycle < m.cfg.ProfileLimit {
+			for len(m.stats.Profile) <= m.cycle {
+				m.stats.Profile = append(m.stats.Profile, 0)
+			}
+			m.stats.Profile[m.cycle] = issue
+		}
+
+		var emitted []tok
+		for _, f := range batch {
+			if m.cfg.Trace != nil {
+				fmt.Fprintf(m.cfg.Trace, "cycle %d: %s [tag %s]\n", m.cycle, m.g.Nodes[f.node], f.tg.Key())
+			}
+			out, err := m.fire(f)
+			if err != nil {
+				return nil, err
+			}
+			emitted = append(emitted, out...)
+		}
+		// Completions scheduled for the next cycle boundary.
+		m.cycle++
+		m.stats.Ops += issue
+		for _, d := range m.inflight[m.cycle] {
+			if d.release != nil {
+				d.release()
+			}
+			emitted = append(emitted, d.tokens...)
+		}
+		delete(m.inflight, m.cycle)
+		for _, t := range emitted {
+			if err := m.deliver(t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	m.stats.Cycles = m.endCycle
+	if err := m.istruct.pendingError(); err != nil {
+		return nil, err
+	}
+	if m.procs != nil && len(m.procs.live) != 0 {
+		return nil, fmt.Errorf("machine: %d procedure activations never returned", len(m.procs.live))
+	}
+	// Strict conservation: after the drain, no partially matched
+	// activation may remain in the matching store (a waiting token whose
+	// partner can never arrive is a translation bug).
+	if len(m.match) != 0 {
+		var b strings.Builder
+		fmt.Fprintf(&b, "machine: %d tokens left after end fired (token leak):", len(m.match))
+		count := 0
+		for k, e := range m.match {
+			if count++; count > 8 {
+				fmt.Fprintf(&b, " …")
+				break
+			}
+			fmt.Fprintf(&b, " %s(tag %q, %d/%d)", m.g.Nodes[k.node], k.tg, e.n, m.g.Nodes[k.node].NIns)
+		}
+		return nil, fmt.Errorf("%s", b.String())
+	}
+	return &Outcome{Store: m.store, EndValues: m.endVals, Stats: m.stats}, nil
+}
+
+// orderEnabled makes issue order deterministic (or seeded-random).
+func (m *sim) orderEnabled() {
+	sort.Slice(m.enabled, func(i, j int) bool {
+		a, b := m.enabled[i], m.enabled[j]
+		if a.node != b.node {
+			return a.node < b.node
+		}
+		if a.tg.Key() != b.tg.Key() {
+			return a.tg.Key() < b.tg.Key()
+		}
+		return a.port < b.port
+	})
+	if m.rng != nil {
+		m.rng.Shuffle(len(m.enabled), func(i, j int) {
+			m.enabled[i], m.enabled[j] = m.enabled[j], m.enabled[i]
+		})
+	}
+}
+
+// deliver routes a token to its destination, enabling a firing when the
+// activation's operands are complete.
+func (m *sim) deliver(t tok) error {
+	n := m.g.Nodes[t.to.Node]
+	switch n.Kind {
+	case dfg.Merge, dfg.LoopEntry, dfg.Param:
+		// Any-arrival operators: each token fires the node on its own.
+		m.enabled = append(m.enabled, firing{node: n.ID, tg: t.tg, vals: []int64{t.val}, port: t.to.Port})
+		return nil
+	case dfg.End:
+		if !t.tg.IsRoot() {
+			return fmt.Errorf("machine: token reached end with non-root tag %q (unbalanced loop context)", t.tg.Key())
+		}
+	}
+	if n.NIns == 1 {
+		m.enabled = append(m.enabled, firing{node: n.ID, tg: t.tg, vals: []int64{t.val}})
+		return nil
+	}
+	key := matchKey{node: n.ID, tg: t.tg.Key()}
+	e := m.match[key]
+	if e == nil {
+		e = &matchEntry{vals: make([]int64, n.NIns), tg: t.tg}
+		m.match[key] = e
+	}
+	bit := uint64(1) << uint(t.to.Port)
+	if e.have&bit != 0 {
+		return fmt.Errorf("machine: duplicate token at %s port %d tag %q", n, t.to.Port, t.tg.Key())
+	}
+	e.have |= bit
+	e.vals[t.to.Port] = t.val
+	e.n++
+	if e.n == n.NIns {
+		delete(m.match, key)
+		m.enabled = append(m.enabled, firing{node: n.ID, tg: e.tg, vals: e.vals})
+	} else {
+		m.stats.Matches++
+		if len(m.match) > m.stats.PeakMatchStore {
+			m.stats.PeakMatchStore = len(m.match)
+		}
+	}
+	return nil
+}
+
+// emitAll broadcasts val on every arc leaving (node, port).
+func (m *sim) emitAll(node, port int, val int64, tg token.Tag) []tok {
+	arcs := m.g.OutArcs(node, port)
+	out := make([]tok, 0, len(arcs))
+	for _, a := range arcs {
+		out = append(out, tok{to: dfg.Target{Node: a.To, Port: a.ToPort}, val: val, tg: tg})
+	}
+	return out
+}
+
+// fire executes one operator activation, returning the tokens it emits
+// this cycle (memory operations park their results in the in-flight queue
+// instead).
+func (m *sim) fire(f firing) ([]tok, error) {
+	n := m.g.Nodes[f.node]
+	switch n.Kind {
+	case dfg.End:
+		copy(m.endVals, f.vals)
+		m.endCycle = m.cycle + 1
+		m.done = true
+		return nil, nil
+
+	case dfg.Const:
+		return m.emitAll(n.ID, 0, n.Val, f.tg), nil
+
+	case dfg.BinOp:
+		v, err := interp.Apply(n.Op, f.vals[0], f.vals[1])
+		if err != nil {
+			return nil, fmt.Errorf("machine: %s: %w", n, err)
+		}
+		return m.emitAll(n.ID, 0, v, f.tg), nil
+
+	case dfg.UnOp:
+		var v int64
+		switch n.Op {
+		case lang.OpNeg:
+			v = -f.vals[0]
+		case lang.OpNot:
+			if f.vals[0] == 0 {
+				v = 1
+			}
+		default:
+			return nil, fmt.Errorf("machine: bad unary op %v", n.Op)
+		}
+		return m.emitAll(n.ID, 0, v, f.tg), nil
+
+	case dfg.Switch:
+		port := 0
+		if f.vals[1] == 0 {
+			port = 1
+		}
+		return m.emitAll(n.ID, port, f.vals[0], f.tg), nil
+
+	case dfg.Merge, dfg.Param:
+		return m.emitAll(n.ID, 0, f.vals[0], f.tg), nil
+
+	case dfg.Apply:
+		return m.fireApply(f)
+
+	case dfg.ProcReturn:
+		return m.fireProcReturn(f)
+
+	case dfg.Synch:
+		return m.emitAll(n.ID, 0, 0, f.tg), nil
+
+	case dfg.LoopEntry:
+		var nt token.Tag
+		var err error
+		if f.port == 0 {
+			nt = f.tg.Push()
+		} else {
+			nt, err = f.tg.Bump()
+			if err != nil {
+				return nil, fmt.Errorf("machine: %s: %w", n, err)
+			}
+		}
+		return m.emitAll(n.ID, 0, f.vals[0], nt), nil
+
+	case dfg.LoopExit:
+		nt, err := f.tg.Pop()
+		if err != nil {
+			return nil, fmt.Errorf("machine: %s: %w", n, err)
+		}
+		return m.emitAll(n.ID, 0, f.vals[0], nt), nil
+
+	case dfg.Load:
+		m.stats.MemOps++
+		name := m.resolveName(n.Var, f.tg)
+		release, err := m.acquire(name, -1, false)
+		if err != nil {
+			return nil, err
+		}
+		v := m.store.Get(name)
+		toks := append(m.emitAll(n.ID, 0, v, f.tg), m.emitAll(n.ID, 1, 0, f.tg)...)
+		m.park(toks, release)
+		return nil, nil
+
+	case dfg.Store:
+		m.stats.MemOps++
+		name := m.resolveName(n.Var, f.tg)
+		release, err := m.acquire(name, -1, true)
+		if err != nil {
+			return nil, err
+		}
+		m.store.Set(name, f.vals[0])
+		m.park(m.emitAll(n.ID, 0, 0, f.tg), release)
+		return nil, nil
+
+	case dfg.LoadIdx:
+		m.stats.MemOps++
+		name := m.resolveName(n.Var, f.tg)
+		release, err := m.acquire(name, f.vals[0], false)
+		if err != nil {
+			return nil, err
+		}
+		v, err := m.store.GetIdx(name, f.vals[0])
+		if err != nil {
+			return nil, fmt.Errorf("machine: %s: %w", n, err)
+		}
+		toks := append(m.emitAll(n.ID, 0, v, f.tg), m.emitAll(n.ID, 1, 0, f.tg)...)
+		m.park(toks, release)
+		return nil, nil
+
+	case dfg.StoreIdx:
+		m.stats.MemOps++
+		name := m.resolveName(n.Var, f.tg)
+		release, err := m.acquire(name, f.vals[0], true)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.store.SetIdx(name, f.vals[0], f.vals[1]); err != nil {
+			return nil, fmt.Errorf("machine: %s: %w", n, err)
+		}
+		m.park(m.emitAll(n.ID, 0, 0, f.tg), release)
+		return nil, nil
+
+	case dfg.ILoad:
+		m.stats.MemOps++
+		ready, err := m.istruct.read(n.Var, f.vals[0], istructWaiter{node: n.ID, tg: f.tg})
+		if err != nil {
+			return nil, err
+		}
+		if ready {
+			v, err := m.store.GetIdx(n.Var, f.vals[0])
+			if err != nil {
+				return nil, fmt.Errorf("machine: %s: %w", n, err)
+			}
+			m.park(m.emitAll(n.ID, 0, v, f.tg), nil)
+		}
+		// A deferred read emits when the write arrives.
+		return nil, nil
+
+	case dfg.IStore:
+		m.stats.MemOps++
+		waiters, err := m.istruct.write(n.Var, f.vals[0])
+		if err != nil {
+			return nil, err
+		}
+		if err := m.store.SetIdx(n.Var, f.vals[0], f.vals[1]); err != nil {
+			return nil, fmt.Errorf("machine: %s: %w", n, err)
+		}
+		var toks []tok
+		for _, w := range waiters {
+			toks = append(toks, m.emitAll(w.node, 0, f.vals[1], w.tg)...)
+		}
+		m.park(toks, nil)
+		return nil, nil
+	}
+	return nil, fmt.Errorf("machine: cannot fire %s", n)
+}
+
+// park schedules memory-operation results to appear after MemLatency
+// cycles (split-phase operation, §2.2).
+func (m *sim) park(tokens []tok, release func()) {
+	at := m.cycle + m.cfg.MemLatency
+	m.inflight[at] = append(m.inflight[at], delayed{tokens: tokens, release: release})
+}
+
+func (m *sim) acquire(name string, idx int64, write bool) (func(), error) {
+	if m.locs == nil {
+		return nil, nil
+	}
+	return m.locs.acquire(name, idx, write)
+}
+
+func (m *sim) deadlockError() error {
+	if err := m.istruct.pendingError(); err != nil {
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine: deadlock at cycle %d; %d activations waiting:", m.cycle, len(m.match))
+	keys := make([]matchKey, 0, len(m.match))
+	for k := range m.match {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].node != keys[j].node {
+			return keys[i].node < keys[j].node
+		}
+		return keys[i].tg < keys[j].tg
+	})
+	for i, k := range keys {
+		if i == 8 {
+			fmt.Fprintf(&b, " …")
+			break
+		}
+		e := m.match[k]
+		fmt.Fprintf(&b, " %s(tag %q, %d/%d)", m.g.Nodes[k.node], k.tg, e.n, m.g.Nodes[k.node].NIns)
+	}
+	return fmt.Errorf("%s", b.String())
+}

@@ -1,0 +1,105 @@
+package machine
+
+import (
+	"fmt"
+
+	"ctdf/internal/dfg"
+	"ctdf/internal/token"
+)
+
+// Procedure linkage (separate compilation): every firing of an Apply node
+// allocates an activation — a fresh tag frame plus a binding of the
+// callee's formals to resolved storage names — and sends the callee's
+// tokens into its shared body. The callee's ProcReturn pops the frame and
+// signals the calling Apply's return ports. This realizes §2.2's "each
+// invocation of a procedure ... gets an activation context" on the shared
+// once-compiled body, so concurrent activations of one procedure overlap
+// freely (their tags differ).
+
+// activation is one dynamic procedure call in flight.
+type activation struct {
+	info      *dfg.CallInfo
+	callerTag token.Tag
+	// resolved maps each formal to the storage name it denotes during this
+	// activation (fully resolved through the caller's own activation).
+	resolved map[string]string
+}
+
+// procLinkage is the per-run activation registry.
+type procLinkage struct {
+	byApply map[int]*dfg.CallInfo
+	live    map[int]*activation
+	nextID  int
+}
+
+func newProcLinkage(g *dfg.Graph) *procLinkage {
+	if len(g.Calls) == 0 {
+		return nil
+	}
+	l := &procLinkage{byApply: map[int]*dfg.CallInfo{}, live: map[int]*activation{}}
+	for i := range g.Calls {
+		l.byApply[g.Calls[i].Apply] = &g.Calls[i]
+	}
+	return l
+}
+
+// resolveName maps a variable name to the storage it denotes under the
+// given tag: formals resolve through the innermost activation's binding;
+// globals are themselves.
+func (m *sim) resolveName(name string, tg token.Tag) string {
+	if m.procs == nil {
+		return name
+	}
+	act := tg.Activation()
+	if act < 0 {
+		return name
+	}
+	rec := m.procs.live[act]
+	if rec == nil {
+		return name
+	}
+	if r, ok := rec.resolved[name]; ok {
+		return r
+	}
+	return name
+}
+
+// fireApply allocates an activation and sends the callee's entry tokens.
+func (m *sim) fireApply(f firing) ([]tok, error) {
+	info := m.procs.byApply[f.node]
+	if info == nil {
+		return nil, fmt.Errorf("machine: apply d%d has no call linkage", f.node)
+	}
+	id := m.procs.nextID
+	m.procs.nextID++
+	rec := &activation{info: info, callerTag: f.tg, resolved: map[string]string{}}
+	for formal, actual := range info.Bindings {
+		rec.resolved[formal] = m.resolveName(actual, f.tg)
+	}
+	m.procs.live[id] = rec
+	nt := f.tg.PushCall(id)
+	var out []tok
+	for j := range info.Params {
+		out = append(out, m.emitAll(f.node, len(info.InTokens)+j, 0, nt)...)
+	}
+	return out, nil
+}
+
+// fireProcReturn closes the activation and signals the calling Apply's
+// return ports in the caller's context.
+func (m *sim) fireProcReturn(f firing) ([]tok, error) {
+	_, id, err := f.tg.PopCall()
+	if err != nil {
+		return nil, fmt.Errorf("machine: %s: %w", m.g.Nodes[f.node], err)
+	}
+	rec := m.procs.live[id]
+	if rec == nil {
+		return nil, fmt.Errorf("machine: return for unknown activation %d", id)
+	}
+	delete(m.procs.live, id)
+	var out []tok
+	for p := 0; p < len(rec.info.InTokens); p++ {
+		out = append(out, m.emitAll(rec.info.Apply, p, 0, rec.callerTag)...)
+	}
+	return out, nil
+}

@@ -1,0 +1,70 @@
+package machine
+
+import (
+	"fmt"
+
+	"ctdf/internal/interp"
+	"ctdf/internal/lang"
+)
+
+// raceDetector checks that no two memory operations on the same location
+// overlap in time unless both are reads. A correct translation's access
+// token discipline makes conflicts impossible; the detector turns a
+// translation bug into a loud error instead of a silently wrong answer.
+// Locations are canonicalized through the run's alias binding, so a
+// conflict between two aliased names sharing storage is caught too.
+type raceDetector struct {
+	canon map[string]string
+	// busy[loc] counts current readers; -1 marks a writer.
+	busy map[string]int
+}
+
+func newRaceDetector(prog *lang.Program, b interp.Binding) *raceDetector {
+	r := &raceDetector{canon: map[string]string{}, busy: map[string]int{}}
+	for _, n := range prog.AllNames() {
+		r.canon[n] = n
+	}
+	if b != nil {
+		for n, c := range b {
+			r.canon[n] = c
+		}
+	}
+	return r
+}
+
+func (r *raceDetector) key(name string, idx int64) string {
+	c := r.canon[name]
+	if idx < 0 {
+		return c
+	}
+	return fmt.Sprintf("%s[%d]", c, idx)
+}
+
+// acquire registers an operation on (name, idx); idx -1 means a scalar.
+// It returns the release callback to invoke at the operation's completion,
+// or an error describing the race.
+func (r *raceDetector) acquire(name string, idx int64, write bool) (func(), error) {
+	k := r.key(name, idx)
+	cur := r.busy[k]
+	switch {
+	case cur == 0:
+	case cur > 0 && !write:
+		// Concurrent readers are fine (§6.2).
+	case cur > 0 && write:
+		return nil, fmt.Errorf("machine: data race: write to %s overlaps %d in-flight read(s)", k, cur)
+	default:
+		return nil, fmt.Errorf("machine: data race: access to %s overlaps an in-flight write", k)
+	}
+	if write {
+		r.busy[k] = -1
+		return func() { delete(r.busy, k) }, nil
+	}
+	r.busy[k] = cur + 1
+	return func() {
+		if r.busy[k] == 1 {
+			delete(r.busy, k)
+		} else {
+			r.busy[k]--
+		}
+	}, nil
+}

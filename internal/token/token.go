@@ -1,0 +1,114 @@
+// Package token defines the tagged-token identity shared by the execution
+// engines: a Tag is the loop iteration vector of a token (the dynamic
+// dataflow context of §2.2/§3 — each loop iteration is a fresh activation
+// context). Tags are immutable; Push opens a new innermost loop context,
+// Bump advances the innermost iteration (a token crossing a loop back
+// edge), and Pop closes it (a token leaving the loop).
+package token
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Tag is an activation context: a stack of frames, one per enclosing loop
+// iteration (holding the iteration index) or procedure activation (holding
+// a machine-assigned activation id). The zero Tag is the root context. A
+// canonical string form serves as the matching-store key.
+type Tag struct {
+	ix []frame
+	s  string
+}
+
+type frame struct {
+	call bool
+	v    int
+}
+
+// Root is the outermost activation context.
+var Root = Tag{}
+
+// Key returns the canonical string form ("" for the root; "0.2.1" for
+// iteration 1 of a loop inside iteration 2 of a loop inside iteration 0).
+func (t Tag) Key() string { return t.s }
+
+// Depth returns the loop nesting depth of the context.
+func (t Tag) Depth() int { return len(t.ix) }
+
+// IsRoot reports whether the tag is the root context.
+func (t Tag) IsRoot() bool { return len(t.ix) == 0 }
+
+// Push opens a new innermost loop context at iteration 0.
+func (t Tag) Push() Tag {
+	ix := append(append([]frame(nil), t.ix...), frame{})
+	return Tag{ix: ix, s: encode(ix)}
+}
+
+// Bump advances the innermost iteration index; it fails at the root or
+// inside a procedure frame (a back-edge token outside any loop context
+// indicates unbalanced tags).
+func (t Tag) Bump() (Tag, error) {
+	if len(t.ix) == 0 || t.ix[len(t.ix)-1].call {
+		return Tag{}, fmt.Errorf("token: iteration advance outside any loop context")
+	}
+	ix := append([]frame(nil), t.ix...)
+	ix[len(ix)-1].v++
+	return Tag{ix: ix, s: encode(ix)}, nil
+}
+
+// Pop closes the innermost loop context; it fails at the root or inside a
+// procedure frame.
+func (t Tag) Pop() (Tag, error) {
+	if len(t.ix) == 0 || t.ix[len(t.ix)-1].call {
+		return Tag{}, fmt.Errorf("token: loop exit outside any loop context (unbalanced tags)")
+	}
+	ix := append([]frame(nil), t.ix[:len(t.ix)-1]...)
+	return Tag{ix: ix, s: encode(ix)}, nil
+}
+
+// PushCall opens a procedure activation frame carrying the machine's
+// activation id.
+func (t Tag) PushCall(activation int) Tag {
+	ix := append(append([]frame(nil), t.ix...), frame{call: true, v: activation})
+	return Tag{ix: ix, s: encode(ix)}
+}
+
+// PopCall closes the innermost frame, which must be a procedure
+// activation, and returns its activation id.
+func (t Tag) PopCall() (Tag, int, error) {
+	if len(t.ix) == 0 || !t.ix[len(t.ix)-1].call {
+		return Tag{}, 0, fmt.Errorf("token: procedure return outside any activation (unbalanced tags)")
+	}
+	id := t.ix[len(t.ix)-1].v
+	ix := append([]frame(nil), t.ix[:len(t.ix)-1]...)
+	return Tag{ix: ix, s: encode(ix)}, id, nil
+}
+
+// Activation returns the innermost procedure activation id, or -1 at the
+// root program level.
+func (t Tag) Activation() int {
+	for i := len(t.ix) - 1; i >= 0; i-- {
+		if t.ix[i].call {
+			return t.ix[i].v
+		}
+	}
+	return -1
+}
+
+func encode(ix []frame) string {
+	if len(ix) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, f := range ix {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		if f.call {
+			b.WriteByte('c')
+		}
+		b.WriteString(strconv.Itoa(f.v))
+	}
+	return b.String()
+}

@@ -1,0 +1,122 @@
+package token
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTagBasics(t *testing.T) {
+	r := Root
+	if !r.IsRoot() || r.Key() != "" || r.Depth() != 0 {
+		t.Fatal("root tag malformed")
+	}
+	a := r.Push()
+	if a.Key() != "0" || a.Depth() != 1 {
+		t.Errorf("push: key=%q depth=%d", a.Key(), a.Depth())
+	}
+	b, err := a.Bump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Key() != "1" {
+		t.Errorf("bump: key=%q, want 1", b.Key())
+	}
+	c := b.Push()
+	if c.Key() != "1.0" {
+		t.Errorf("nested push: key=%q, want 1.0", c.Key())
+	}
+	d, err := c.Pop()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Key() != b.Key() {
+		t.Errorf("pop did not restore: %q vs %q", d.Key(), b.Key())
+	}
+}
+
+func TestTagRootErrors(t *testing.T) {
+	if _, err := Root.Bump(); err == nil {
+		t.Error("bump at root must fail")
+	}
+	if _, err := Root.Pop(); err == nil {
+		t.Error("pop at root must fail")
+	}
+}
+
+func TestTagImmutability(t *testing.T) {
+	a := Root.Push()
+	b := a.Push()
+	c, _ := b.Bump()
+	if a.Key() != "0" || b.Key() != "0.0" || c.Key() != "0.1" {
+		t.Errorf("tags mutated: %q %q %q", a.Key(), b.Key(), c.Key())
+	}
+	// Bump must not disturb earlier derivatives sharing backing arrays.
+	d, _ := b.Bump()
+	if c.Key() != "0.1" || d.Key() != "0.1" {
+		t.Errorf("aliasing bug: %q %q", c.Key(), d.Key())
+	}
+}
+
+func TestTagPushPopRoundTrip(t *testing.T) {
+	// Property: any sequence of pushes and bumps, undone by the same
+	// number of pops, restores the original key.
+	f := func(ops []bool) bool {
+		tg := Root.Push() // start inside one loop so bumps are legal
+		base := tg
+		depth := 0
+		for _, push := range ops {
+			if push {
+				tg = tg.Push()
+				depth++
+			} else {
+				var err error
+				tg, err = tg.Bump()
+				if err != nil {
+					return false
+				}
+				if depth == 0 {
+					base = tg // bumping the base level changes the base
+				}
+			}
+		}
+		for i := 0; i < depth; i++ {
+			var err error
+			tg, err = tg.Pop()
+			if err != nil {
+				return false
+			}
+		}
+		return tg.Depth() == base.Depth()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTagKeysUnique(t *testing.T) {
+	// Distinct iteration vectors must have distinct keys (matching
+	// correctness depends on it).
+	seen := map[string]bool{}
+	tags := []Tag{Root}
+	for depth := 0; depth < 3; depth++ {
+		var next []Tag
+		for _, tg := range tags {
+			cur := tg.Push()
+			for i := 0; i < 4; i++ {
+				next = append(next, cur)
+				cur, _ = cur.Bump()
+			}
+		}
+		for _, tg := range next {
+			if seen[tg.Key()] {
+				t.Fatalf("duplicate key %q", tg.Key())
+			}
+			seen[tg.Key()] = true
+		}
+		tags = next
+	}
+	// 4 + 16 + 64 keys.
+	if len(seen) != 84 {
+		t.Errorf("generated %d distinct keys, want 84", len(seen))
+	}
+}

@@ -1,0 +1,68 @@
+package translate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ctdf/internal/cfg"
+	"ctdf/internal/chanexec"
+	"ctdf/internal/interp"
+	"ctdf/internal/machine"
+	"ctdf/internal/workloads"
+)
+
+// Random procedure programs — repeated actuals (aliased formals), calls in
+// loops, nested procedures — must compute the interpreter's answer under
+// separate compilation, on both engines.
+func TestQuickLinkedSoundness(t *testing.T) {
+	f := func(seed int64, calls uint8) bool {
+		w := workloads.RandomProcs(seed%4096, int(calls)%4+1)
+		prog := w.Parse()
+		res, err := TranslateLinked(prog)
+		if err != nil {
+			t.Logf("%s: translate: %v\n%s", w.Name, err, w.Source)
+			return false
+		}
+		inlined, err := cfg.Build(prog)
+		if err != nil {
+			t.Logf("%s: cfg: %v", w.Name, err)
+			return false
+		}
+		want, err := interp.Run(inlined, interp.Options{})
+		if err != nil {
+			t.Logf("%s: interp: %v", w.Name, err)
+			return false
+		}
+		mo, err := machine.Run(res.Graph, machine.Config{DetectRaces: true})
+		if err != nil {
+			t.Logf("%s: machine: %v\n%s", w.Name, err, w.Source)
+			return false
+		}
+		if mo.Store.Snapshot() != want.Store.Snapshot() {
+			t.Logf("%s: wrong result\n%s", w.Name, w.Source)
+			return false
+		}
+		co, err := chanexec.Run(res.Graph, chanexec.Config{})
+		if err != nil {
+			t.Logf("%s: chanexec: %v", w.Name, err)
+			return false
+		}
+		return co.Store.Snapshot() == want.Store.Snapshot()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomProcsParseAndTerminate(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		w := workloads.RandomProcs(seed, 3)
+		g, err := cfg.Build(w.Parse())
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, w.Source)
+		}
+		if _, err := interp.Run(g, interp.Options{}); err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, w.Source)
+		}
+	}
+}

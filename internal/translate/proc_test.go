@@ -1,0 +1,145 @@
+package translate
+
+import (
+	"testing"
+
+	"ctdf/internal/analysis"
+	"ctdf/internal/cfg"
+	"ctdf/internal/interp"
+	"ctdf/internal/machine"
+	"ctdf/internal/workloads"
+)
+
+var procWorkloads = []workloads.Workload{
+	{
+		Name: "proc-fortran",
+		Source: `
+var a, b, c, d
+proc f(x, y, z) {
+  z := x + y
+  x := x * 2
+}
+a := 1
+b := 2
+call f(a, b, a)
+c := 10
+d := 20
+call f(c, d, d)
+`,
+	},
+	{
+		Name: "proc-loop-body",
+		Source: `
+var n, acc, i
+proc addsq(v, out) {
+  out := out + v * v
+}
+i := 0
+while i < 6 {
+  call addsq(i, acc)
+  i := i + 1
+}
+n := acc
+`,
+	},
+	{
+		Name: "proc-nested",
+		Source: `
+var a, r, s
+proc inner(p, q) {
+  q := p * 10
+}
+proc outer(u) {
+  call inner(u, r)
+  s := r + 1
+}
+a := 7
+call outer(a)
+`,
+	},
+}
+
+// Procedure programs run through the whole pipeline (inline expansion →
+// CFG → every schema → machine) and match the interpreter.
+func TestProceduresAllSchemas(t *testing.T) {
+	for _, w := range procWorkloads {
+		for _, opt := range allSchemas {
+			t.Run(w.Name+"/"+opt.Schema.String(), func(t *testing.T) {
+				checkEquivalence(t, w, opt, nil)
+			})
+		}
+	}
+}
+
+// The §5 separate-compilation story: the procedure body is compiled ONCE
+// under its derived alias structure; the single dataflow graph computes
+// the interpreter's answer under the binding each call site induces.
+func TestStandaloneProcCorrectUnderEveryCallBinding(t *testing.T) {
+	prog := procWorkloads[0].Parse()
+	derived, err := analysis.DeriveAliasStructures(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	standalone, err := analysis.StandaloneProc(prog, "f", derived["f"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(standalone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, schema := range []Schema{Schema3, Schema3Opt} {
+		res, err := Translate(g, Options{Schema: schema})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cs := range prog.Calls() {
+			b, err := analysis.CallBinding(prog, cs.Call)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := interp.Run(g, interp.Options{Binding: b})
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := machine.Run(res.Graph, machine.Config{Binding: b, DetectRaces: true})
+			if err != nil {
+				t.Fatalf("%v under %s: %v", schema, cs.Call, err)
+			}
+			if out.Store.Snapshot() != want.Store.Snapshot() {
+				t.Errorf("%v under %s: dataflow disagrees with interpreter\n%s\nvs\n%s",
+					schema, cs.Call, out.Store.Snapshot(), want.Store.Snapshot())
+			}
+		}
+	}
+}
+
+// Soundness property: for randomized call shapes, the induced binding is
+// always legal under the derived structure.
+func TestDerivedStructureCoversCallBindings(t *testing.T) {
+	srcs := []string{
+		"var a, b\nproc f(x, y) { y := x + 1 }\ncall f(a, a)\ncall f(a, b)\ncall f(b, b)\n",
+		"var a, b, c\nalias a ~ b\nproc f(x, y, z) { z := x + y }\ncall f(a, b, c)\ncall f(c, c, a)\n",
+		"var a\nproc g(p, q) { q := p }\nproc h(u, v) { call g(u, v) }\ncall h(a, a)\n",
+	}
+	for _, src := range srcs {
+		prog := workloads.Workload{Name: "t", Source: src}.Parse()
+		derived, err := analysis.DeriveAliasStructures(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cs := range prog.Calls() {
+			standalone, err := analysis.StandaloneProc(prog, cs.Call.Proc, derived[cs.Call.Proc])
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := analysis.CallBinding(prog, cs.Call)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Validate(standalone); err != nil {
+				t.Errorf("%q call %s: %v", src, cs.Call, err)
+			}
+		}
+	}
+}

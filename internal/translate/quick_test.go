@@ -1,0 +1,122 @@
+package translate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ctdf/internal/cfg"
+	"ctdf/internal/chanexec"
+	"ctdf/internal/interp"
+	"ctdf/internal/machine"
+	"ctdf/internal/workloads"
+)
+
+// End-to-end property tests driven by testing/quick over generator seeds.
+
+// TestQuickTranslationSoundness: for arbitrary generated programs and any
+// schema, machine execution equals sequential interpretation.
+func TestQuickTranslationSoundness(t *testing.T) {
+	f := func(seed int64, unstructured bool, schemaPick uint8, elim, parReads, parStores bool) bool {
+		var w workloads.Workload
+		if unstructured {
+			w = workloads.RandomUnstructured(seed%4096, 2)
+		} else {
+			w = workloads.Random(seed%4096, 3, 2)
+		}
+		g, err := mustBuild(w)
+		if err != nil {
+			return false
+		}
+		schema := []Schema{Schema1, Schema2, Schema2Opt, Schema3, Schema3Opt}[int(schemaPick)%5]
+		opt := Options{Schema: schema}
+		if schema == Schema2 || schema == Schema2Opt {
+			opt.EliminateMemory = elim
+			opt.ParallelArrayStores = parStores
+		}
+		if schema != Schema1 {
+			opt.ParallelReads = parReads
+		}
+		res, err := Translate(g, opt)
+		if err != nil {
+			return false
+		}
+		want, err := interp.Run(g, interp.Options{})
+		if err != nil {
+			return false
+		}
+		out, err := machine.Run(res.Graph, machine.Config{DetectRaces: true})
+		if err != nil {
+			return false
+		}
+		return FinalSnapshot(res, out.Store, out.EndValues) == want.Store.Snapshot()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEngineAgreement: both engines, any seed, identical stores and
+// firing counts.
+func TestQuickEngineAgreement(t *testing.T) {
+	f := func(seed int64, unstructured bool) bool {
+		var w workloads.Workload
+		if unstructured {
+			w = workloads.RandomUnstructured(seed%4096, 2)
+		} else {
+			w = workloads.Random(seed%4096, 3, 2)
+		}
+		g, err := mustBuild(w)
+		if err != nil {
+			return false
+		}
+		res, err := Translate(g, Options{Schema: Schema2Opt})
+		if err != nil {
+			return false
+		}
+		mo, err := machine.Run(res.Graph, machine.Config{})
+		if err != nil {
+			return false
+		}
+		co, err := chanexec.Run(res.Graph, chanexec.Config{})
+		if err != nil {
+			return false
+		}
+		return mo.Store.Snapshot() == co.Store.Snapshot() && int64(mo.Stats.Ops) == co.Ops
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickProcessorCountIrrelevantToResult: the processor count changes
+// timing, never results or total work.
+func TestQuickProcessorCountIrrelevantToResult(t *testing.T) {
+	f := func(seed int64, procs uint8) bool {
+		w := workloads.Random(seed%4096, 3, 2)
+		g, err := mustBuild(w)
+		if err != nil {
+			return false
+		}
+		res, err := Translate(g, Options{Schema: Schema2})
+		if err != nil {
+			return false
+		}
+		ref, err := machine.Run(res.Graph, machine.Config{})
+		if err != nil {
+			return false
+		}
+		p := int(procs)%7 + 1
+		out, err := machine.Run(res.Graph, machine.Config{Processors: p})
+		if err != nil {
+			return false
+		}
+		return out.Store.Snapshot() == ref.Store.Snapshot() && out.Stats.Ops == ref.Stats.Ops
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustBuild(w workloads.Workload) (*cfg.Graph, error) {
+	return cfg.Build(w.Parse())
+}

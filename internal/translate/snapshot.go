@@ -1,0 +1,18 @@
+package translate
+
+import (
+	"ctdf/internal/interp"
+)
+
+// FinalSnapshot renders the final program state of an execution: the
+// memory store, with §6.1 value-carrying token lines (whose variables
+// never touch memory) patched in from the values collected at the end
+// node. endValues is indexed like the translation's token universe.
+func FinalSnapshot(res *Result, store *interp.Store, endValues []int64) string {
+	for i, tok := range res.Universe {
+		if v, ok := res.ValueTokens[tok]; ok {
+			store.Set(v, endValues[i])
+		}
+	}
+	return store.Snapshot()
+}

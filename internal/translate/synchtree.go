@@ -1,0 +1,70 @@
+package translate
+
+import (
+	"ctdf/internal/dfg"
+)
+
+// LegalizeSynchTrees rewrites every synch operator with more than two
+// inputs into a balanced tree of two-input synchs. The paper's Figure 2
+// presents the n-input collector as a synch *tree*; explicit token store
+// machines match at most two operands per activation frame, so wide
+// collectors must be decomposed before such a machine could run the graph.
+// The builder emits flat n-ary synchs for clarity; this pass is the
+// machine-level legalization. End nodes (the program's terminal collector)
+// and three-input stores are left alone — they model machine services, not
+// single instructions.
+//
+// Returns a new graph and the number of synch nodes added; the input is
+// unchanged.
+func LegalizeSynchTrees(g *dfg.Graph) (*dfg.Graph, int) {
+	m := newMutGraph(g)
+	added := 0
+	for _, id := range m.liveIDs() {
+		n := m.nodes[id]
+		if n == nil || n.Kind != dfg.Synch || n.NIns <= 2 {
+			continue
+		}
+		srcs := make([]arcEnd, n.NIns)
+		for p := 0; p < n.NIns; p++ {
+			srcs[p] = m.ins[id][p][0]
+		}
+		consumers := append([]arcEnd(nil), m.outs[id][0]...)
+		tok, stmt := n.Tok, n.Stmt
+		m.removeNode(id)
+
+		// Pairwise reduction to a balanced binary tree.
+		cur := srcs
+		for len(cur) > 1 {
+			var next []arcEnd
+			for i := 0; i+1 < len(cur); i += 2 {
+				s := m.addNode(&dfg.Node{Kind: dfg.Synch, NIns: 2, Tok: tok, Stmt: stmt})
+				m.addArc(cur[i], arcEnd{s, 0})
+				m.dummy[[2]arcEnd{cur[i], {s, 0}}] = true
+				m.addArc(cur[i+1], arcEnd{s, 1})
+				m.dummy[[2]arcEnd{cur[i+1], {s, 1}}] = true
+				next = append(next, arcEnd{s, 0})
+				added++
+			}
+			if len(cur)%2 == 1 {
+				next = append(next, cur[len(cur)-1])
+			}
+			cur = next
+		}
+		for _, c := range consumers {
+			m.addArc(cur[0], c)
+			m.dummy[[2]arcEnd{cur[0], c}] = true
+		}
+	}
+	return m.rebuild(g), added
+}
+
+// MaxSynchArity returns the widest synch operator in the graph (0 if none).
+func MaxSynchArity(g *dfg.Graph) int {
+	max := 0
+	for _, n := range g.Nodes {
+		if n.Kind == dfg.Synch && n.NIns > max {
+			max = n.NIns
+		}
+	}
+	return max
+}

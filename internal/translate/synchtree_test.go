@@ -1,0 +1,118 @@
+package translate
+
+import (
+	"testing"
+
+	"ctdf/internal/analysis"
+	"ctdf/internal/cfg"
+	"ctdf/internal/machine"
+	"ctdf/internal/workloads"
+)
+
+// wideSynchWorkload produces wide synch trees: Schema 3 with the singleton
+// cover on a variable aliased to many others collects many tokens per
+// operation.
+func wideSynchWorkload() (workloads.Workload, *analysis.Cover) {
+	w := workloads.Workload{Name: "wide-synch", Source: `
+var a, b, c, d, e
+alias a ~ e
+alias b ~ e
+alias c ~ e
+alias d ~ e
+a := 1
+b := 2
+c := 3
+d := 4
+e := a + b + c + d
+`}
+	as := analysis.NewAliasStructure(w.Parse())
+	return w, analysis.SingletonCover(as)
+}
+
+func TestLegalizeSynchTrees(t *testing.T) {
+	w, cover := wideSynchWorkload()
+	g := cfg.MustBuild(w.Parse())
+	res, err := Translate(g, Options{Schema: Schema3, Cover: cover})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxSynchArity(res.Graph) <= 2 {
+		t.Skip("fixture produced no wide synchs; nothing to legalize")
+	}
+	leg, added := LegalizeSynchTrees(res.Graph)
+	if added == 0 {
+		t.Fatal("nothing legalized")
+	}
+	if err := leg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := MaxSynchArity(leg); got > 2 {
+		t.Errorf("max synch arity after legalization = %d, want ≤ 2", got)
+	}
+	// Behavior identical.
+	a, err := machine.Run(res.Graph, machine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := machine.Run(leg, machine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Store.Snapshot() != b.Store.Snapshot() {
+		t.Error("legalization changed semantics")
+	}
+	// The tree deepens the critical path by at most ⌈log2⌉ of the widest
+	// collector per operation — sanity-check it didn't explode.
+	if b.Stats.Cycles > a.Stats.Cycles*3 {
+		t.Errorf("legalized path %d vs %d cycles: unreasonable growth", b.Stats.Cycles, a.Stats.Cycles)
+	}
+}
+
+func TestLegalizeSynchTreesAcrossSuite(t *testing.T) {
+	for _, w := range workloads.All() {
+		g := cfg.MustBuild(w.Parse())
+		for _, opt := range []Options{
+			{Schema: Schema3},
+			{Schema: Schema2Opt, ParallelReads: true},
+			{Schema: Schema2Opt, ParallelArrayStores: true},
+		} {
+			res, err := Translate(g, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			leg, _ := LegalizeSynchTrees(res.Graph)
+			if err := leg.Validate(); err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+			if MaxSynchArity(leg) > 2 {
+				t.Errorf("%s: synch arity %d remains", w.Name, MaxSynchArity(leg))
+			}
+			a, err := machine.Run(res.Graph, machine.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := machine.Run(leg, machine.Config{})
+			if err != nil {
+				t.Fatalf("%s: legalized graph failed: %v", w.Name, err)
+			}
+			if a.Store.Snapshot() != b.Store.Snapshot() {
+				t.Errorf("%s: legalization changed semantics", w.Name)
+			}
+		}
+	}
+}
+
+func TestLegalizeIdempotentOnNarrowGraphs(t *testing.T) {
+	g := cfg.MustBuild(workloads.RunningExample.Parse())
+	res, err := Translate(g, Options{Schema: Schema2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leg, added := LegalizeSynchTrees(res.Graph)
+	if added != 0 {
+		t.Errorf("added %d synchs to a graph with none wide", added)
+	}
+	if leg.NumNodes() != res.Graph.NumNodes() {
+		t.Error("node count changed")
+	}
+}

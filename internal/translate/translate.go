@@ -1,0 +1,410 @@
+// Package translate implements the paper's translation schemas from
+// control-flow graphs to dataflow graphs:
+//
+//   - Schema 1 (§2.3): a single access token visits every memory operation
+//     in sequence, playing the role of the program counter.
+//   - Schema 2 (§3): one access token per variable; independent memory
+//     operations proceed in parallel; cyclic intervals get loop entry/exit
+//     control.
+//   - The optimized direct construction (§4.2): switches are created only
+//     where switch placement (Figure 10) demands them and wiring follows
+//     the source vectors of Figure 11, so access tokens bypass conditionals
+//     and loops that never reference their variables.
+//   - Schema 3 (§5): one access token per cover element of an alias
+//     structure; a memory operation on x collects the access set C[x]
+//     through a synch tree and regenerates it on completion.
+//
+// The §6 parallelizing transformations — memory-operation elimination for
+// unaliased scalars (§6.1), read parallelization (§6.2), and array store
+// parallelization across loop iterations (§6.3, Figure 14) — are options
+// layered on the same builder.
+//
+// All schemas share one generic builder: they differ only in the token
+// universe, the variable→tokens mapping, and the switch placement. Schema
+// 1 is the single-token instance; Schema 2 places a switch at every fork
+// for every token (which makes the Figure 11 computation degenerate to
+// "tokens follow control-flow edges"); the optimized construction uses
+// computed placement; Schema 3 maps variables to access sets.
+package translate
+
+import (
+	"fmt"
+	"sort"
+
+	"ctdf/internal/analysis"
+	"ctdf/internal/cfg"
+	"ctdf/internal/dfg"
+)
+
+// Schema selects a translation schema.
+type Schema int
+
+// Translation schema variants.
+const (
+	// Schema1 circulates a single access token (sequential semantics).
+	Schema1 Schema = iota
+	// Schema2 circulates one access token per variable, switched at every
+	// fork along control-flow edges.
+	Schema2
+	// Schema2Opt is the §4.2 direct optimized construction: Schema 2
+	// tokens, switches only where needed.
+	Schema2Opt
+	// Schema3 circulates one access token per cover element (aliasing).
+	Schema3
+	// Schema3Opt is Schema 3 with optimized switch placement.
+	Schema3Opt
+)
+
+var schemaNames = map[Schema]string{
+	Schema1: "schema1", Schema2: "schema2", Schema2Opt: "schema2-opt",
+	Schema3: "schema3", Schema3Opt: "schema3-opt",
+}
+
+func (s Schema) String() string { return schemaNames[s] }
+
+// ParseSchema parses a schema name as printed by String.
+func ParseSchema(name string) (Schema, error) {
+	for s, n := range schemaNames {
+		if n == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("translate: unknown schema %q", name)
+}
+
+// Options configures a translation.
+type Options struct {
+	Schema Schema
+
+	// Cover parameterizes Schema 3 (ignored otherwise). Nil selects the
+	// singleton cover.
+	Cover *analysis.Cover
+
+	// EliminateMemory applies §6.1: unaliased scalars lose their loads and
+	// stores; their access tokens carry the values. Valid for Schema2,
+	// Schema2Opt.
+	EliminateMemory bool
+
+	// ParallelReads applies §6.2 within statements: the loads of a maximal
+	// load sequence on a token line receive replicas of the incoming token
+	// and their completions are collected by a synch tree.
+	ParallelReads bool
+
+	// ParallelArrayStores applies §6.3 (Figure 14) to every loop/array
+	// pair that the independence check of FindParallelStores accepts.
+	ParallelArrayStores bool
+
+	// UseIStructures applies §6.3's final enhancement to every array the
+	// write-once analysis of FindIStructures accepts: its reads and writes
+	// drop their access tokens entirely and the memory defers premature
+	// reads (I-structure semantics). Valid for Schema2, Schema2Opt.
+	UseIStructures bool
+}
+
+// SingleTokenName is the access token name used by Schema 1.
+const SingleTokenName = "π"
+
+// doneSuffix marks the store-completion token lines introduced by the
+// §6.3 transformation.
+const doneSuffix = "#done"
+
+// Result bundles the dataflow graph with the intermediate artifacts of
+// the translation, for inspection and experiments.
+type Result struct {
+	Graph *dfg.Graph
+	// CFG is the loop-control-transformed control-flow graph the
+	// translation ran on.
+	CFG   *cfg.Graph
+	Loops []cfg.Loop
+	// Placement is the switch placement used (for Schema 1/2/3 this is
+	// "every token at every fork").
+	Placement *analysis.Placement
+	// SV holds the source vectors that wired the graph.
+	SV *analysis.SourceVectors
+	// Universe is the access-token name universe.
+	Universe []string
+	// TokensOf maps each variable to the tokens its memory operations
+	// collect (Schema 3 access sets; identity for Schema 2).
+	TokensOf map[string][]string
+	// ValueTokens names tokens that carry variable values instead of
+	// dummy synchronization payloads (§6.1); maps token name → variable.
+	ValueTokens map[string]string
+	// ParallelStores lists the (loop entry, array) pairs transformed by
+	// §6.3.
+	ParallelStores []ParallelStore
+	// IStructures lists the arrays given I-structure semantics.
+	IStructures []string
+	// CopiedNodes is the number of CFG nodes duplicated to make
+	// irreducible control flow reducible (paper footnote 5).
+	CopiedNodes int
+}
+
+// Translate builds the dataflow graph for prog's CFG under the given
+// options.
+func Translate(g0 *cfg.Graph, opt Options) (*Result, error) {
+	// Footnote 5: irreducible control flow is made reducible by code
+	// copying before the interval decomposition.
+	g0, copied, err := cfg.MakeReducible(g0)
+	if err != nil {
+		return nil, err
+	}
+	g, loops, err := cfg.InsertLoopControl(g0)
+	if err != nil {
+		return nil, err
+	}
+
+	// Token universe and variable→token mapping.
+	prog := g.Prog
+	tokensOf := map[string][]string{}
+	var universe []string
+	valueTokens := map[string]string{}
+	switch opt.Schema {
+	case Schema1:
+		universe = []string{SingleTokenName}
+		for _, v := range prog.AllNames() {
+			tokensOf[v] = []string{SingleTokenName}
+		}
+		if opt.EliminateMemory {
+			return nil, fmt.Errorf("translate: memory elimination requires per-variable tokens (Schema 2)")
+		}
+	case Schema2, Schema2Opt:
+		universe = append(universe, prog.AllNames()...)
+		sort.Strings(universe)
+		for _, v := range prog.AllNames() {
+			tokensOf[v] = []string{v}
+		}
+		if opt.EliminateMemory {
+			as := analysis.NewAliasStructure(prog)
+			for _, v := range prog.VarNames() {
+				if len(as.Class(v)) == 1 {
+					valueTokens[v] = v
+				}
+			}
+		}
+	case Schema3, Schema3Opt:
+		as := analysis.NewAliasStructure(prog)
+		cover := opt.Cover
+		if cover == nil {
+			cover = analysis.SingletonCover(as)
+		}
+		if err := cover.Validate(as); err != nil {
+			return nil, err
+		}
+		universe = cover.TokenNames()
+		for _, v := range prog.AllNames() {
+			tokensOf[v] = cover.AccessSet(as, v)
+		}
+		if opt.EliminateMemory {
+			return nil, fmt.Errorf("translate: memory elimination is not defined for Schema 3 covers")
+		}
+	default:
+		return nil, fmt.Errorf("translate: unknown schema %v", opt.Schema)
+	}
+
+	// §6.3: arrays with provably write-once stores and post-loop reads get
+	// I-structure semantics — no access token at all.
+	istructs := map[string]bool{}
+	var istructList []string
+	if opt.UseIStructures {
+		if opt.Schema != Schema2 && opt.Schema != Schema2Opt {
+			return nil, fmt.Errorf("translate: I-structures require per-variable tokens (Schema 2)")
+		}
+		istructList = FindIStructures(g, loops)
+		for _, a := range istructList {
+			istructs[a] = true
+		}
+		universe = removeTokens(universe, istructs)
+	}
+
+	// §6.3: find loop/array pairs with provably independent stores, give
+	// each a completion token line.
+	var pstores []ParallelStore
+	if opt.ParallelArrayStores {
+		if opt.Schema == Schema1 {
+			return nil, fmt.Errorf("translate: array store parallelization requires per-variable tokens")
+		}
+		for _, ps := range FindParallelStores(g, loops) {
+			if istructs[ps.Array] {
+				// Already tokenless; Figure 14's token duplication is moot.
+				continue
+			}
+			pstores = append(pstores, ps)
+			universe = append(universe, ps.DoneToken())
+		}
+		sort.Strings(universe)
+	}
+
+	need := makeNeed(g, tokensOf, pstores, istructs)
+
+	var placement *analysis.Placement
+	switch opt.Schema {
+	case Schema2Opt, Schema3Opt:
+		cd := analysis.ComputeControlDeps(g)
+		need, placement = placeWithLoopControl(g, loops, cd, need)
+	default:
+		placement = allSwitches(g, universe)
+	}
+
+	sv, err := analysis.ComputeSourceVectors(g, loops, universe, need, placement)
+	if err != nil {
+		return nil, err
+	}
+
+	b := &builder{
+		g:           g,
+		loops:       loops,
+		sv:          sv,
+		placement:   placement,
+		tokensOf:    tokensOf,
+		universe:    universe,
+		valueTokens: invertValueTokens(valueTokens),
+		parReads:    opt.ParallelReads,
+		pstores:     indexParallelStores(pstores),
+		istructs:    istructs,
+		out:         dfg.NewGraph(prog),
+	}
+	if err := b.build(); err != nil {
+		return nil, err
+	}
+	if err := b.out.Validate(); err != nil {
+		return nil, fmt.Errorf("translate: built an invalid graph: %w", err)
+	}
+	return &Result{
+		Graph:          b.out,
+		CFG:            g,
+		Loops:          loops,
+		Placement:      placement,
+		SV:             sv,
+		Universe:       universe,
+		TokensOf:       tokensOf,
+		ValueTokens:    invertValueTokens(valueTokens),
+		ParallelStores: pstores,
+		IStructures:    istructList,
+		CopiedNodes:    copied,
+	}, nil
+}
+
+// removeTokens drops the named tokens from the universe.
+func removeTokens(universe []string, drop map[string]bool) []string {
+	out := universe[:0:0]
+	for _, tok := range universe {
+		if !drop[tok] {
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+// makeNeed derives the NeedFunc: a node needs the union of the token sets
+// of the variables it references (I-structure arrays have none);
+// statements carrying a §6.3-parallelized store additionally need the
+// loop's completion token.
+func makeNeed(g *cfg.Graph, tokensOf map[string][]string, pstores []ParallelStore, istructs map[string]bool) analysis.NeedFunc {
+	doneAt := map[int][]string{}
+	for _, ps := range pstores {
+		doneAt[ps.StoreStmt] = append(doneAt[ps.StoreStmt], ps.DoneToken())
+	}
+	return func(id int) []string {
+		set := map[string]bool{}
+		for v := range g.Refs(id) {
+			if istructs[v] {
+				continue
+			}
+			for _, tok := range tokensOf[v] {
+				set[tok] = true
+			}
+		}
+		for _, tok := range doneAt[id] {
+			set[tok] = true
+		}
+		out := make([]string, 0, len(set))
+		for tok := range set {
+			out = append(out, tok)
+		}
+		sort.Strings(out)
+		return out
+	}
+}
+
+// placeWithLoopControl computes switch placement for the optimized
+// schemas. The loop entry/exit statements are themselves users of every
+// token that circulates through their loop — a token that must cross a
+// back edge (to get its next iteration tag) has to be routed back-or-out
+// by every fork between the loop entry and that fork's postdominator, even
+// when the token's next real reference lies beyond the postdominator.
+// Treating loop control statements as referencing their loop's needed
+// tokens makes the Figure 10 algorithm place those switches. Because the
+// needed-token set itself grows when new switches appear at in-loop forks,
+// placement and loop needs are iterated to a (monotone, hence terminating)
+// fixpoint. The returned NeedFunc is the extended one the source-vector
+// computation must also see.
+func placeWithLoopControl(g *cfg.Graph, loops []cfg.Loop, cd *analysis.ControlDeps, base analysis.NeedFunc) (analysis.NeedFunc, *analysis.Placement) {
+	loopNeed := map[int]map[string]bool{}
+	extended := func(id int) []string {
+		if set, ok := loopNeed[id]; ok {
+			merged := map[string]bool{}
+			for _, tok := range base(id) {
+				merged[tok] = true
+			}
+			for tok := range set {
+				merged[tok] = true
+			}
+			return sortedTokens(merged)
+		}
+		return base(id)
+	}
+	var placement *analysis.Placement
+	for {
+		placement = analysis.PlaceSwitches(g, cd, extended)
+		next := analysis.LoopNeeds(g, loops, base, placement)
+		if loopNeedsEqual(loopNeed, next) {
+			return extended, placement
+		}
+		loopNeed = next
+	}
+}
+
+func loopNeedsEqual(a, b map[int]map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for tok := range av {
+			if !bv[tok] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// allSwitches is the Schema 1/2/3 placement: every fork switches every
+// token, so tokens follow control-flow edges exactly.
+func allSwitches(g *cfg.Graph, universe []string) *analysis.Placement {
+	p := &analysis.Placement{Needs: map[int]map[string]bool{}}
+	for _, n := range g.Nodes {
+		if n.Kind != cfg.KindFork {
+			continue
+		}
+		set := map[string]bool{}
+		for _, tok := range universe {
+			set[tok] = true
+		}
+		p.Needs[n.ID] = set
+	}
+	return p
+}
+
+// invertValueTokens turns var→token into token→var (they coincide for
+// Schema 2 tokens but the indirection keeps the builder honest).
+func invertValueTokens(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for v, tok := range m {
+		out[tok] = v
+	}
+	return out
+}

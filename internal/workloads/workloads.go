@@ -1,0 +1,623 @@
+// Package workloads supplies the programs the experiments and tests run:
+// the paper's own examples (the running example of §2.1, the redundant
+// switch example of Figure 9, the array store loop of §6.3, the FORTRAN
+// aliasing example of §5), a set of classic kernels, and seeded random
+// program generators for property testing.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ctdf/internal/lang"
+)
+
+// Workload is a named source program.
+type Workload struct {
+	Name string
+	// Paper identifies the paper artifact this reproduces, if any.
+	Paper  string
+	Source string
+}
+
+// Parse parses the workload's source.
+func (w Workload) Parse() *lang.Program { return lang.MustParse(w.Source) }
+
+// RunningExample is the paper's running example (§2.1, Figures 1, 5, 8):
+// terminates with x = 5, y = 5.
+var RunningExample = Workload{
+	Name:  "running-example",
+	Paper: "Figure 1",
+	Source: `
+var x, y
+l: y := x + 1
+x := x + 1
+if x < 5 then goto l else goto end
+`,
+}
+
+// Fig9Example is the restrictive-sequential-ordering example of Figure 9:
+// x is not used inside the conditional, so its access token should bypass
+// the construct entirely under the optimized construction.
+var Fig9Example = Workload{
+	Name:  "fig9-bypass",
+	Paper: "Figure 9",
+	Source: `
+var x, w, y
+x := x + 1
+if w == 0 {
+  y := 1
+} else {
+  y := 2
+}
+x := 0
+`,
+}
+
+// Fig14ArrayLoop is the array store loop of §6.3 (stores to successive
+// elements are independent).
+var Fig14ArrayLoop = Workload{
+	Name:  "fig14-array-stores",
+	Paper: "Figure 14",
+	Source: `
+var i
+array x[11]
+start: i := i + 1
+x[i] := 1
+if i < 10 then goto start else goto end
+`,
+}
+
+// FortranAlias mirrors the §5 FORTRAN example: [X]={X,Z}, [Y]={Y,Z},
+// [Z]={X,Y,Z}.
+var FortranAlias = Workload{
+	Name:  "fortran-alias",
+	Paper: "§5 example",
+	Source: `
+var x, y, z, r
+alias x ~ z
+alias y ~ z
+x := 10
+y := 20
+z := x + y
+r := z * 2
+`,
+}
+
+// Kernels is a set of classic terminating programs exercising loops,
+// conditionals, arrays, and scalar dataflow.
+var Kernels = []Workload{
+	{
+		Name: "straightline",
+		Source: `
+var a, b, c, d
+a := 3
+b := a * a
+c := b - a
+d := (a + b) * (c + 1)
+`,
+	},
+	{
+		Name: "independent-chains",
+		Source: `
+var a, b, c, d, e, f
+a := 1
+a := a + 1
+a := a * 3
+b := 2
+b := b + 5
+b := b * 7
+c := 3
+c := c - 1
+c := c * c
+d := a
+e := b
+f := c
+`,
+	},
+	{
+		Name: "diamond",
+		Source: `
+var a, b, m
+a := 7
+b := 9
+if a < b {
+  m := b
+} else {
+  m := a
+}
+`,
+	},
+	{
+		Name: "fib-iterative",
+		Source: `
+var a, b, t, i, n
+n := 12
+a := 0
+b := 1
+i := 0
+while i < n {
+  t := a + b
+  a := b
+  b := t
+  i := i + 1
+}
+`,
+	},
+	{
+		Name: "gcd",
+		Source: `
+var a, b, t
+a := 252
+b := 105
+while b != 0 {
+  t := a % b
+  a := b
+  b := t
+}
+`,
+	},
+	{
+		Name: "nested-loops",
+		Source: `
+var i, j, s
+i := 0
+while i < 6 {
+  j := 0
+  while j < 4 {
+    s := s + i * j
+    j := j + 1
+  }
+  i := i + 1
+}
+`,
+	},
+	{
+		Name: "array-sum",
+		Source: `
+var i, s
+array a[16]
+i := 0
+while i < 16 {
+  a[i] := i * i
+  i := i + 1
+}
+i := 0
+while i < 16 {
+  s := s + a[i]
+  i := i + 1
+}
+`,
+	},
+	{
+		Name: "prefix-recurrence",
+		Source: `
+var i
+array a[12]
+a[0] := 1
+i := 1
+while i < 12 {
+  a[i] := a[i-1] * 2 + 1
+  i := i + 1
+}
+`,
+	},
+	{
+		Name: "matmul-2x2-flat",
+		Source: `
+var i, j, k, s
+array a[4], b[4], c[4]
+a[0] := 1
+a[1] := 2
+a[2] := 3
+a[3] := 4
+b[0] := 5
+b[1] := 6
+b[2] := 7
+b[3] := 8
+i := 0
+while i < 2 {
+  j := 0
+  while j < 2 {
+    s := 0
+    k := 0
+    while k < 2 {
+      s := s + a[i*2+k] * b[k*2+j]
+      k := k + 1
+    }
+    c[i*2+j] := s
+    j := j + 1
+  }
+  i := i + 1
+}
+`,
+	},
+	{
+		Name: "unstructured-two-exit",
+		Source: `
+var x, y
+top:
+x := x + 1
+if x > 9 then goto out else goto more
+more:
+y := y + 1
+if y > 6 then goto out else goto top
+out:
+y := y * 10
+`,
+	},
+	{
+		Name: "unstructured-skip",
+		Source: `
+var x, w
+x := x + 1
+if w == 0 then goto l1 else goto l2
+l1:
+w := 1
+goto l3
+l2:
+w := 2
+l3:
+x := x * 10
+`,
+	},
+	{
+		Name: "early-exit-goto-end",
+		Source: `
+var a, b
+a := 5
+if a > 3 then goto quit else goto cont
+cont:
+b := 77
+quit:
+`,
+	},
+	{
+		Name: "aliased-swap",
+		Source: `
+var x, y, z, t
+alias x ~ z
+alias y ~ z
+x := 1
+y := 2
+t := x
+x := y
+y := t
+z := z + 100
+`,
+	},
+	{
+		Name: "aliased-arrays",
+		Source: `
+var i, s
+array p[8], q[8]
+alias p ~ q
+i := 0
+while i < 8 {
+  p[i] := i
+  i := i + 1
+}
+i := 0
+while i < 8 {
+  s := s + q[7-i]
+  i := i + 1
+}
+`,
+	},
+	{
+		// A loop that never references x, yet its forks decide which
+		// x-assignment runs after it: access_x must circulate through the
+		// loop under the optimized construction.
+		Name: "loop-external-consumer",
+		Source: `
+var x, y
+top:
+y := y + 1
+if y > 9 then goto hot else goto cold
+hot:
+x := 1
+goto after
+cold:
+if y < 5 then goto top else goto coldexit
+coldexit:
+x := 2
+after:
+x := x * 3
+`,
+	},
+	{
+		// Producer loop filling an array, consumer loop folding it: the
+		// §6.3 I-structure case (the consumer can overlap the producer
+		// when the array is write-once).
+		Name: "producer-consumer",
+		Source: `
+var i, j, s
+array a[16]
+i := 0
+while i < 16 {
+  a[i] := i * 3
+  i := i + 1
+}
+j := 0
+while j < 16 {
+  s := s + a[j]
+  j := j + 1
+}
+`,
+	},
+	{
+		// The §5 tradeoff workload: an alias cluster (x~z, y~z) beside
+		// three independent unaliased chains. A fine cover keeps the
+		// chains parallel at the cost of multi-token collections on the
+		// cluster; the monolithic cover collects one token everywhere but
+		// serializes the chains.
+		Name: "cover-tradeoff",
+		Source: `
+var x, y, z, a, b, c
+alias x ~ z
+alias y ~ z
+x := 1
+z := x + 1
+y := z * 2
+a := 10
+a := a * a
+a := a - 7
+b := 20
+b := b + b
+b := b * 3
+c := 30
+c := c % 7
+c := c + 100
+`,
+	},
+	{
+		Name: "read-heavy",
+		Source: `
+var s
+array a[8]
+a[0] := 3
+a[1] := 1
+a[2] := 4
+a[3] := 1
+a[4] := 5
+a[5] := 9
+a[6] := 2
+a[7] := 6
+s := a[0] + a[1] + a[2] + a[3] + a[4] + a[5] + a[6] + a[7]
+`,
+	},
+	{
+		Name: "bubble-sort",
+		Source: `
+var i, j, t, n
+array a[10]
+n := 10
+i := 0
+while i < n {
+  a[i] := (7 * i + 3) % 11
+  i := i + 1
+}
+i := 0
+while i < n - 1 {
+  j := 0
+  while j < n - 1 - i {
+    if a[j] > a[j+1] {
+      t := a[j]
+      a[j] := a[j+1]
+      a[j+1] := t
+    }
+    j := j + 1
+  }
+  i := i + 1
+}
+`,
+	},
+	{
+		Name: "sieve",
+		Source: `
+var i, j, count
+array prime[30]
+i := 2
+while i < 30 {
+  prime[i] := 1
+  i := i + 1
+}
+i := 2
+while i * i < 30 {
+  if prime[i] == 1 {
+    j := i * i
+    while j < 30 {
+      prime[j] := 0
+      j := j + i
+    }
+  }
+  i := i + 1
+}
+i := 2
+while i < 30 {
+  count := count + prime[i]
+  i := i + 1
+}
+`,
+	},
+	{
+		Name: "collatz-bounded",
+		Source: `
+var n, steps
+n := 27
+while n != 1 && steps < 120 {
+  if n % 2 == 0 {
+    n := n / 2
+  } else {
+    n := 3 * n + 1
+  }
+  steps := steps + 1
+}
+`,
+	},
+	{
+		Name:  "proc-fortran",
+		Paper: "§5 subroutine example",
+		Source: `
+var a, b, c, d
+proc f(x, y, z) {
+  z := x + y
+  x := x * 2
+}
+a := 1
+b := 2
+call f(a, b, a)
+c := 10
+d := 20
+call f(c, d, d)
+`,
+	},
+	{
+		Name: "proc-in-loop",
+		Source: `
+var acc, i
+proc addsq(v, out) {
+  out := out + v * v
+}
+i := 0
+while i < 6 {
+  call addsq(i, acc)
+  i := i + 1
+}
+`,
+	},
+	{
+		Name: "deep-expression",
+		Source: `
+var a, b, c
+a := 2
+b := 3
+c := ((a+b)*(a-b) + (a*b - a/b)) * ((b-a)*(b+a) % 17 + 1) - (a+1)*(b+1)
+`,
+	},
+}
+
+// All returns the paper examples plus every kernel.
+func All() []Workload {
+	out := []Workload{RunningExample, Fig9Example, Fig14ArrayLoop, FortranAlias}
+	return append(out, Kernels...)
+}
+
+// ByName returns the named workload, panicking if absent (fixture lookup).
+func ByName(name string) Workload {
+	for _, w := range All() {
+		if w.Name == name {
+			return w
+		}
+	}
+	panic("workloads: no workload named " + name)
+}
+
+// Random generates a seeded random structured program that terminates by
+// construction: loops are canned counters, conditionals branch on computed
+// scalars, and a pool of scalars and one array receive random assignments.
+// Depth controls nesting; size roughly controls statement count.
+func Random(seed int64, size, depth int) Workload {
+	r := rand.New(rand.NewSource(seed))
+	g := &gen{r: r, counters: 0}
+	nvars := 3 + r.Intn(4)
+	var names []string
+	for i := 0; i < nvars; i++ {
+		names = append(names, fmt.Sprintf("v%d", i))
+	}
+	g.scalars = names
+	g.arr = "arr"
+	g.arrSize = 8
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "var %s\n", strings.Join(names, ", "))
+	fmt.Fprintf(&b, "array %s[%d]\n", g.arr, g.arrSize)
+	body := g.block(size, depth)
+	b.WriteString(body)
+	// Declare the loop counters the generator invented.
+	src := b.String()
+	if g.counters > 0 {
+		var cs []string
+		for i := 0; i < g.counters; i++ {
+			cs = append(cs, fmt.Sprintf("c%d", i))
+		}
+		src = strings.Replace(src, "array", fmt.Sprintf("var %s\narray", strings.Join(cs, ", ")), 1)
+	}
+	return Workload{Name: fmt.Sprintf("random-%d", seed), Source: src}
+}
+
+// RandomAliased is Random plus alias declarations over a few scalars.
+func RandomAliased(seed int64, size, depth int) Workload {
+	w := Random(seed, size, depth)
+	r := rand.New(rand.NewSource(seed ^ 0x5eed))
+	// Declare v0~v1 and possibly v1~v2 (non-transitive chain, like the
+	// paper's X~Z, Y~Z example).
+	extra := "alias v0 ~ v1\n"
+	if r.Intn(2) == 0 {
+		extra += "alias v1 ~ v2\n"
+	}
+	idx := strings.Index(w.Source, "array")
+	w.Source = w.Source[:idx] + extra + w.Source[idx:]
+	w.Name = fmt.Sprintf("random-aliased-%d", seed)
+	return w
+}
+
+type gen struct {
+	r        *rand.Rand
+	scalars  []string
+	arr      string
+	arrSize  int
+	counters int
+}
+
+func (g *gen) v() string { return g.scalars[g.r.Intn(len(g.scalars))] }
+
+// expr returns a random expression of bounded depth.
+func (g *gen) expr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return fmt.Sprint(g.r.Intn(20))
+		case 1:
+			return g.v()
+		default:
+			return fmt.Sprintf("%s[(%s %% %d + %d) %% %d]", g.arr, g.v(), g.arrSize, g.arrSize, g.arrSize)
+		}
+	}
+	ops := []string{"+", "-", "*"}
+	op := ops[g.r.Intn(len(ops))]
+	return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), op, g.expr(depth-1))
+}
+
+func (g *gen) cond() string {
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	return fmt.Sprintf("%s %s %s", g.v(), ops[g.r.Intn(len(ops))], g.expr(1))
+}
+
+func (g *gen) block(size, depth int) string {
+	var b strings.Builder
+	for i := 0; i < size; i++ {
+		switch k := g.r.Intn(10); {
+		case k < 5 || depth == 0:
+			if g.r.Intn(4) == 0 {
+				fmt.Fprintf(&b, "%s[(%s %% %d + %d) %% %d] := %s\n", g.arr, g.v(), g.arrSize, g.arrSize, g.arrSize, g.expr(2))
+			} else {
+				fmt.Fprintf(&b, "%s := %s\n", g.v(), g.expr(2))
+			}
+		case k < 8:
+			fmt.Fprintf(&b, "if %s {\n%s}", g.cond(), g.block(1+g.r.Intn(3), depth-1))
+			if g.r.Intn(2) == 0 {
+				fmt.Fprintf(&b, " else {\n%s}", g.block(1+g.r.Intn(3), depth-1))
+			}
+			b.WriteString("\n")
+		default:
+			c := fmt.Sprintf("c%d", g.counters)
+			g.counters++
+			n := 2 + g.r.Intn(4)
+			fmt.Fprintf(&b, "%s := 0\nwhile %s < %d {\n%s%s := %s + 1\n}\n",
+				c, c, n, g.block(1+g.r.Intn(3), depth-1), c, c)
+		}
+	}
+	return b.String()
+}

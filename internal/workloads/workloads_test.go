@@ -1,0 +1,108 @@
+package workloads
+
+import (
+	"testing"
+
+	"ctdf/internal/cfg"
+	"ctdf/internal/interp"
+	"ctdf/internal/lang"
+)
+
+func TestAllWorkloadsParseAndTerminate(t *testing.T) {
+	for _, w := range All() {
+		t.Run(w.Name, func(t *testing.T) {
+			p, err := lang.Parse(w.Source)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			g, err := cfg.Build(p)
+			if err != nil {
+				t.Fatalf("cfg: %v", err)
+			}
+			if _, err := interp.Run(g, interp.Options{MaxSteps: 1_000_000}); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+		})
+	}
+}
+
+func TestWorkloadValues(t *testing.T) {
+	run := func(w Workload) *interp.Store {
+		g := cfg.MustBuild(w.Parse())
+		r, err := interp.Run(g, interp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Store
+	}
+	if s := run(RunningExample); s.Get("x") != 5 || s.Get("y") != 5 {
+		t.Error("running example must end with x=5 y=5")
+	}
+	if s := run(ByName("fib-iterative")); s.Get("a") != 144 {
+		t.Errorf("fib(12) = %d, want 144", s.Get("a"))
+	}
+	if s := run(ByName("gcd")); s.Get("a") != 21 {
+		t.Errorf("gcd(252,105) = %d, want 21", s.Get("a"))
+	}
+	if s := run(ByName("matmul-2x2-flat")); s.Array("c")[0] != 19 || s.Array("c")[3] != 50 {
+		t.Errorf("matmul c = %v, want [19 22 43 50]", s.Array("c"))
+	}
+	if s := run(ByName("array-sum")); s.Get("s") != 1240 {
+		t.Errorf("array-sum s = %d, want 1240", s.Get("s"))
+	}
+	if s := run(Fig14ArrayLoop); s.Array("x")[10] != 1 || s.Array("x")[0] != 0 {
+		t.Errorf("fig14 x = %v", s.Array("x"))
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	a := Random(7, 4, 2)
+	b := Random(7, 4, 2)
+	if a.Source != b.Source {
+		t.Error("Random not deterministic for a fixed seed")
+	}
+	c := Random(8, 4, 2)
+	if a.Source == c.Source {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+func TestRandomProgramsParseAndTerminate(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		w := Random(seed, 5, 3)
+		p, err := lang.Parse(w.Source)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, w.Source)
+		}
+		g, err := cfg.Build(p)
+		if err != nil {
+			t.Fatalf("seed %d: cfg: %v\n%s", seed, err, w.Source)
+		}
+		if _, err := interp.Run(g, interp.Options{MaxSteps: 2_000_000}); err != nil {
+			t.Fatalf("seed %d: run: %v\n%s", seed, err, w.Source)
+		}
+	}
+}
+
+func TestRandomAliasedLegalBindings(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		w := RandomAliased(seed, 3, 2)
+		p, err := lang.Parse(w.Source)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, w.Source)
+		}
+		b := interp.Binding{"v0": "v0", "v1": "v0"}
+		if err := b.Validate(p); err != nil {
+			t.Fatalf("seed %d: binding illegal: %v", seed, err)
+		}
+	}
+}
+
+func TestByNamePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ByName must panic for unknown names")
+		}
+	}()
+	ByName("no-such-workload")
+}

@@ -1,0 +1,64 @@
+package ctdf
+
+import (
+	"strings"
+	"testing"
+
+	"ctdf/internal/workloads"
+)
+
+// The textual graph format round-trips through the public API: translate,
+// serialize, reload, run — identical results.
+func TestSerializedGraphRunsIdentically(t *testing.T) {
+	for _, w := range []string{"running-example", "matmul-2x2-flat", "fortran-alias", "bubble-sort"} {
+		wl := workloads.ByName(w)
+		p, err := Compile(wl.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := p.Translate(Options{Schema: Schema2Opt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := d.Run(RunConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadDataflow(strings.NewReader(d.Text()))
+		if err != nil {
+			t.Fatalf("%s: reload: %v", w, err)
+		}
+		got, err := loaded.Run(RunConfig{})
+		if err != nil {
+			t.Fatalf("%s: run reloaded: %v", w, err)
+		}
+		if got.Snapshot != want.Snapshot {
+			t.Errorf("%s: reloaded graph computed a different result", w)
+		}
+		if got.Ops != want.Ops || got.Cycles != want.Cycles {
+			t.Errorf("%s: reloaded graph has different dynamics: %d/%d vs %d/%d ops/cycles",
+				w, got.Ops, got.Cycles, want.Ops, want.Cycles)
+		}
+	}
+}
+
+func TestListingViaFacade(t *testing.T) {
+	p, err := Compile("var x\nx := x + 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Translate(Options{Schema: Schema1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := d.Listing()
+	if !strings.Contains(l, "load x") || !strings.Contains(l, "store x") {
+		t.Errorf("listing missing memory ops:\n%s", l)
+	}
+}
+
+func TestLoadDataflowRejectsGarbage(t *testing.T) {
+	if _, err := LoadDataflow(strings.NewReader("not a graph")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
