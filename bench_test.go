@@ -376,6 +376,44 @@ func BenchmarkScalingSimulate(b *testing.B) {
 	}
 }
 
+// BenchmarkObsDisabled measures Run with no observability attached —
+// the engines carry the instrumentation hooks but pay only a nil check
+// per firing. Compare against BenchmarkObsEnabled (and against the
+// pre-obs seed, where this benchmark's workload matched the seed Run
+// within ~2%).
+func BenchmarkObsDisabled(b *testing.B) {
+	p := compileBench(b, workloads.ByName("fib-iterative").Source)
+	d, err := p.Translate(Options{Schema: Schema2Opt})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Run(RunConfig{MemLatency: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObsEnabled is the same run with full observability: counters,
+// an in-memory event ring, and firing-DAG recording for the critical
+// path.
+func BenchmarkObsEnabled(b *testing.B) {
+	p := compileBench(b, workloads.ByName("fib-iterative").Source)
+	d, err := p.Translate(Options{Schema: Schema2Opt})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		r, err := d.Run(RunConfig{MemLatency: 4, Obs: &ObsOptions{CriticalPath: true}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Obs == nil || r.Obs.CriticalPathLength() == 0 {
+			b.Fatal("observability report missing")
+		}
+	}
+}
+
 // BenchmarkSynchLegalization measures the two-input legalization pass and
 // its runtime effect.
 func BenchmarkSynchLegalization(b *testing.B) {

@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	ctdf run [flags] (file | -workload name)   execute a program
-//	ctdf dot [flags] (file | -workload name)   emit Graphviz (CFG or DFG)
-//	ctdf stats [flags] (file | -workload name) dataflow graph sizes per schema
-//	ctdf experiments [id ...]                  regenerate EXPERIMENTS.md tables
-//	ctdf workloads                             list built-in workloads
+//	ctdf run [flags] (file | -workload name)      execute a program
+//	ctdf profile [flags] (file | -workload name)  observed run: NDJSON events + report
+//	ctdf dot [flags] (file | -workload name)      emit Graphviz (CFG or DFG)
+//	ctdf stats [flags] (file | -workload name)    dataflow graph sizes per schema
+//	ctdf experiments [flags] [id ...]             regenerate EXPERIMENTS.md tables
+//	ctdf workloads                                list built-in workloads
 //
 // Programs use the paper's language: `var`/`array`/`alias` declarations,
 // assignments, structured if/while, and `if p then goto l1 else goto l2`.
@@ -35,6 +36,8 @@ func main() {
 	switch os.Args[1] {
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "profile":
+		err = cmdProfile(os.Args[2:])
 	case "dot":
 		err = cmdDot(os.Args[2:])
 	case "stats":
@@ -62,11 +65,12 @@ func main() {
 func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   ctdf run [flags] (file | -workload name)
+  ctdf profile [flags] (file | -workload name)
   ctdf dot [flags] (file | -workload name)
   ctdf stats (file | -workload name)
   ctdf aliases (file | -workload name)
   ctdf explain [flags] (file | -workload name)
-  ctdf experiments [id ...]
+  ctdf experiments [flags] [id ...]
   ctdf workloads
 Use 'ctdf run -h' etc. for per-command flags.
 `)
@@ -350,9 +354,19 @@ func cmdAliases(args []string) error {
 }
 
 func cmdExperiments(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	jsonDir := fs.String("json", "", "also write one JSON artifact per experiment into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	want := map[string]bool{}
-	for _, a := range args {
+	for _, a := range fs.Args() {
 		want[a] = true
+	}
+	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			return err
+		}
 	}
 	for _, e := range experiments.All() {
 		if len(want) > 0 && !want[e.ID] {
@@ -364,6 +378,17 @@ func cmdExperiments(args []string) error {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		fmt.Println(out)
+		if *jsonDir != "" {
+			js, err := e.JSON()
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			js = append(js, '\n')
+			path := *jsonDir + string(os.PathSeparator) + e.Artifact
+			if err := os.WriteFile(path, js, 0o644); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

@@ -33,6 +33,7 @@ import (
 	"ctdf/internal/interp"
 	"ctdf/internal/lang"
 	"ctdf/internal/machine"
+	"ctdf/internal/obs"
 	"ctdf/internal/translate"
 )
 
@@ -166,6 +167,10 @@ type RunConfig struct {
 	// Trace, when non-nil, receives one line per operator firing
 	// (EngineMachine only).
 	Trace io.Writer
+	// Obs, when non-nil, makes this an observed run: Result.Obs carries
+	// per-node counters, the parallelism histogram, and (if requested)
+	// the critical path; Obs.Events streams NDJSON. See OBSERVABILITY.md.
+	Obs *ObsOptions
 }
 
 // Program is a compiled source program: the AST and its statement-level
@@ -396,12 +401,24 @@ type Result struct {
 	// Profile is the number of operations issued per cycle (EngineMachine
 	// only, truncated for very long runs).
 	Profile []int
+	// Obs is the observability report (nil unless RunConfig.Obs was set).
+	Obs *ObsReport
 }
 
 // Run executes the dataflow graph.
 func (d *Dataflow) Run(cfg RunConfig) (*Result, error) {
 	switch cfg.Engine {
 	case EngineMachine:
+		var col *obs.Collector
+		if cfg.Obs != nil {
+			col = obs.NewCollector(d.res.Graph, obs.Options{CriticalPath: cfg.Obs.CriticalPath})
+			if cfg.Obs.Events != nil {
+				if err := obs.WriteMeta(cfg.Obs.Events, col.Meta()); err != nil {
+					return nil, err
+				}
+				col.AddSink(obs.NewNDJSONSink(cfg.Obs.Events))
+			}
+		}
 		out, err := machine.Run(d.res.Graph, machine.Config{
 			Processors:  cfg.Processors,
 			MemLatency:  cfg.MemLatency,
@@ -410,11 +427,12 @@ func (d *Dataflow) Run(cfg RunConfig) (*Result, error) {
 			RandomSeed:  cfg.RandomSeed,
 			DetectRaces: cfg.DetectRaces,
 			Trace:       cfg.Trace,
+			Collector:   col,
 		})
 		if err != nil {
 			return nil, err
 		}
-		return &Result{
+		res := &Result{
 			Snapshot:       translate.FinalSnapshot(d.res, out.Store, out.EndValues),
 			Cycles:         out.Stats.Cycles,
 			Ops:            out.Stats.Ops,
@@ -423,19 +441,51 @@ func (d *Dataflow) Run(cfg RunConfig) (*Result, error) {
 			AvgParallelism: out.Stats.AvgParallelism(),
 			PeakMatchStore: out.Stats.PeakMatchStore,
 			Profile:        out.Stats.Profile,
-		}, nil
+		}
+		if col != nil {
+			rep := col.Report(out.Stats.Cycles, out.Stats.Profile)
+			rep.Engine = "machine"
+			rep.Schema = cfg.Obs.Label
+			if cfg.Obs.Events != nil {
+				if err := obs.WriteSummary(cfg.Obs.Events, rep); err != nil {
+					return nil, err
+				}
+			}
+			res.Obs = &ObsReport{rep: rep}
+		}
+		return res, nil
 	case EngineChannels:
+		var counters *obs.NodeCounters
+		if cfg.Obs != nil {
+			counters = obs.NewNodeCounters(d.res.Graph.NumNodes())
+		}
 		out, err := chanexec.Run(d.res.Graph, chanexec.Config{
-			Binding: interp.Binding(cfg.Binding),
-			MaxOps:  cfg.MaxOps,
+			Binding:  interp.Binding(cfg.Binding),
+			MaxOps:   cfg.MaxOps,
+			Counters: counters,
 		})
 		if err != nil {
 			return nil, err
 		}
-		return &Result{
+		res := &Result{
 			Snapshot: translate.FinalSnapshot(d.res, out.Store, out.EndValues),
 			Ops:      int(out.Ops),
-		}, nil
+		}
+		if counters != nil {
+			rep := obs.NewCountersReport(d.res.Graph.Meta(), counters.Firings())
+			rep.Engine = "channels"
+			rep.Schema = cfg.Obs.Label
+			if cfg.Obs.Events != nil {
+				if err := obs.WriteMeta(cfg.Obs.Events, d.res.Graph.Meta()); err != nil {
+					return nil, err
+				}
+				if err := obs.WriteSummary(cfg.Obs.Events, rep); err != nil {
+					return nil, err
+				}
+			}
+			res.Obs = &ObsReport{rep: rep}
+		}
+		return res, nil
 	}
 	return nil, fmt.Errorf("ctdf: unknown engine %d", cfg.Engine)
 }

@@ -3,6 +3,23 @@
 // Definitions 4–5, Theorem 1), switch placement (Figure 10), source
 // vectors (Figure 11), and alias structures with covers and access sets
 // (§5, Definitions 6–7).
+//
+// Map to the paper:
+//
+//   - controldep.go — CD (Definition 4) over the postdominator tree, and
+//     iterated control dependence CD+ (Definition 5); Theorem 1 equates
+//     CD+(N) with the forks F such that N lies between F and ipdom(F),
+//     which is what TestSwitchPlacementMatchesTheorem1 checks by brute
+//     force.
+//   - switchplace.go — switch placement (Figure 10): a token for x needs a
+//     switch at fork F iff some statement referencing x is in CD+ of F.
+//   - sourcevec.go — source vectors (Figure 11) for the §4.2 direct
+//     construction; sourcevec_literal.go is a line-by-line transliteration
+//     of the figure kept as a cross-check.
+//   - alias.go — alias structures, covers, and access sets C[x]
+//     (Definitions 6–7) with cover legality checking.
+//   - procalias.go — deriving alias structures from FORTRAN-style call
+//     sites (§5's CALL F(A,B,A) example).
 package analysis
 
 import (

@@ -9,6 +9,14 @@
 // in-flight token count reaches zero; if that happens before the end node
 // has collected all access tokens, the graph deadlocked (a translation
 // bug) and the engine reports it.
+//
+// The engine has no global clock, so its observability surface is the
+// clockless subset of the machine simulator's: Config.Counters (an
+// *obs.NodeCounters) records per-node firing counts, each slot written
+// only by the owning node's goroutine. Dataflow determinacy makes those
+// counts comparable across engines at per-instruction granularity —
+// TestCrossEngineFiringCountsAgree asserts they match the machine
+// simulator's exactly on the whole workload suite (see OBSERVABILITY.md).
 package chanexec
 
 import (
@@ -19,6 +27,7 @@ import (
 	"ctdf/internal/dfg"
 	"ctdf/internal/interp"
 	"ctdf/internal/lang"
+	"ctdf/internal/obs"
 	"ctdf/internal/token"
 )
 
@@ -28,6 +37,10 @@ type Config struct {
 	Binding interp.Binding
 	// MaxOps bounds total firings (default ten million).
 	MaxOps int64
+	// Counters, when non-nil, receives per-node firing counts. Each
+	// node's slot is written only by that node's worker goroutine, so
+	// plain increments are race-free; read it only after Run returns.
+	Counters *obs.NodeCounters
 }
 
 // Outcome is the result of an execution.
@@ -88,9 +101,10 @@ func (b *mailbox) close() {
 }
 
 type engine struct {
-	g     *dfg.Graph
-	store *interp.Store
-	boxes []*mailbox
+	g        *dfg.Graph
+	store    *interp.Store
+	boxes    []*mailbox
+	counters *obs.NodeCounters
 
 	inflight atomic.Int64
 	ops      atomic.Int64
@@ -146,11 +160,12 @@ func Run(g *dfg.Graph, cfg Config) (*Outcome, error) {
 		maxOps = 10_000_000
 	}
 	e := &engine{
-		g:      g,
-		store:  interp.NewStoreWithBinding(g.Prog, cfg.Binding),
-		boxes:  make([]*mailbox, len(g.Nodes)),
-		maxOps: maxOps,
-		done:   make(chan struct{}),
+		g:        g,
+		store:    interp.NewStoreWithBinding(g.Prog, cfg.Binding),
+		boxes:    make([]*mailbox, len(g.Nodes)),
+		counters: cfg.Counters,
+		maxOps:   maxOps,
+		done:     make(chan struct{}),
 	}
 	e.endVals = make([]int64, g.Nodes[g.EndID].NIns)
 	for i := range e.boxes {
@@ -338,6 +353,7 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 		e.fail(fmt.Errorf("chanexec: exceeded %d firings (runaway loop?)", e.maxOps))
 		return
 	}
+	e.counters.Inc(n.ID)
 	switch n.Kind {
 	case dfg.End:
 		if !tg.IsRoot() {

@@ -1,0 +1,64 @@
+package chanexec_test
+
+import (
+	"testing"
+
+	"ctdf/internal/cfg"
+	"ctdf/internal/chanexec"
+	"ctdf/internal/machine"
+	"ctdf/internal/obs"
+	"ctdf/internal/translate"
+	"ctdf/internal/workloads"
+)
+
+// TestCrossEngineFiringCountsAgree asserts dataflow determinacy at the
+// operator level: the cycle-driven machine and the goroutine-per-node
+// channel engine must fire every node exactly the same number of times
+// on every workload — scheduling freedom may reorder firings but never
+// add or remove one.
+func TestCrossEngineFiringCountsAgree(t *testing.T) {
+	schemas := []translate.Options{
+		{Schema: translate.Schema2},
+		{Schema: translate.Schema2Opt},
+	}
+	for _, w := range workloads.All() {
+		for _, opt := range schemas {
+			g := cfg.MustBuild(w.Parse())
+			res, err := translate.Translate(g, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", w.Name, err)
+			}
+
+			col := obs.NewCollector(res.Graph, obs.Options{})
+			mout, err := machine.Run(res.Graph, machine.Config{Collector: col})
+			if err != nil {
+				t.Fatalf("%s/%v machine: %v", w.Name, opt.Schema, err)
+			}
+			mrep := col.Report(mout.Stats.Cycles, nil)
+
+			counters := obs.NewNodeCounters(res.Graph.NumNodes())
+			cout, err := chanexec.Run(res.Graph, chanexec.Config{Counters: counters})
+			if err != nil {
+				t.Fatalf("%s/%v chanexec: %v", w.Name, opt.Schema, err)
+			}
+
+			if mout.Stats.Ops != int(cout.Ops) {
+				t.Errorf("%s/%v: total ops differ: machine %d, chanexec %d",
+					w.Name, opt.Schema, mout.Stats.Ops, cout.Ops)
+			}
+			mf, cf := mrep.NodeFirings(), counters.Firings()
+			if len(mf) != len(cf) {
+				t.Fatalf("%s/%v: counter lengths differ: %d vs %d", w.Name, opt.Schema, len(mf), len(cf))
+			}
+			for id := range mf {
+				if mf[id] != cf[id] {
+					t.Errorf("%s/%v: node %s fired %d times on machine, %d on chanexec",
+						w.Name, opt.Schema, res.Graph.Nodes[id], mf[id], cf[id])
+				}
+			}
+			if mout.Store.Snapshot() != cout.Store.Snapshot() {
+				t.Errorf("%s/%v: final stores differ", w.Name, opt.Schema)
+			}
+		}
+	}
+}

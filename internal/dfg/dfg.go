@@ -388,6 +388,37 @@ func (g *Graph) DOT() string {
 	return b.String()
 }
 
+// Meta is the stable, serializable description of one node that the
+// observability layer (internal/obs) uses to attribute measurements:
+// the node id, its operator kind, the diagnostic label, and — where the
+// kind carries them — the scalar operator, the variable or array the
+// operation touches, the access token it serves, and the originating
+// CFG statement (provenance; -1 when synthetic). Field names are part
+// of the NDJSON event-stream format documented in OBSERVABILITY.md.
+type Meta struct {
+	Node  int    `json:"node"`
+	Kind  string `json:"kind"`
+	Label string `json:"label"`
+	Op    string `json:"op,omitempty"`
+	Var   string `json:"var,omitempty"`
+	Tok   string `json:"tok,omitempty"`
+	Stmt  int    `json:"stmt"`
+	Ins   int    `json:"ins"`
+}
+
+// Meta returns the per-node attribution metadata, indexed by node id.
+func (g *Graph) Meta() []Meta {
+	out := make([]Meta, len(g.Nodes))
+	for i, n := range g.Nodes {
+		m := Meta{Node: n.ID, Kind: n.Kind.String(), Label: n.String(), Var: n.Var, Tok: n.Tok, Stmt: n.Stmt, Ins: n.NIns}
+		if n.Kind == BinOp || n.Kind == UnOp {
+			m.Op = n.Op.String()
+		}
+		out[i] = m
+	}
+	return out
+}
+
 // SortedByKind returns node IDs sorted by kind then ID (deterministic
 // iteration helper for engines and tests).
 func (g *Graph) SortedByKind() []int {

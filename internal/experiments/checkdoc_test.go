@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestExperimentsDocInSync keeps EXPERIMENTS.md honest: every experiment's
+// section must embed the experiment's current table output verbatim (the
+// doc right-trims the final table line before the closing code fence),
+// link the experiment's JSON artifact, and state its asserted metric.
+// If a table goes stale, regenerate it with `go run ./cmd/ctdf experiments`.
+func TestExperimentsDocInSync(t *testing.T) {
+	doc, err := os.ReadFile("../../EXPERIMENTS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(doc)
+	for _, e := range All() {
+		out, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		block := "```\n" + strings.TrimRight(out, " \n") + "\n```"
+		if !strings.Contains(s, block) {
+			t.Errorf("%s: EXPERIMENTS.md table is stale (regenerate with `go run ./cmd/ctdf experiments`)", e.ID)
+		}
+		if !strings.Contains(s, fmt.Sprintf("artifacts/%s", e.Artifact)) {
+			t.Errorf("%s: EXPERIMENTS.md does not link artifact %q", e.ID, e.Artifact)
+		}
+		if !strings.Contains(s, e.Asserts) {
+			t.Errorf("%s: EXPERIMENTS.md does not state the asserted metric %q", e.ID, e.Asserts)
+		}
+	}
+}
+
+// TestArtifactsDirInSync verifies the checked-in artifacts/ directory
+// holds a current JSON artifact for every experiment.
+func TestArtifactsDirInSync(t *testing.T) {
+	for _, e := range All() {
+		got, err := os.ReadFile("../../artifacts/" + e.Artifact)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate with `go run ./cmd/ctdf experiments -json artifacts`)", e.ID, err)
+		}
+		want, err := e.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.TrimRight(string(got), "\n") != string(want) {
+			t.Errorf("%s: artifacts/%s is stale (regenerate with `go run ./cmd/ctdf experiments -json artifacts`)", e.ID, e.Artifact)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -27,28 +28,93 @@ type Experiment struct {
 	Title string
 	// Paper names the artifact reproduced.
 	Paper string
-	Run   func() (string, error)
+	// Artifact is the JSON artifact file name this experiment writes
+	// under `ctdf experiments -json DIR`.
+	Artifact string
+	// Asserts states the metric the experiment (and its tests) check.
+	Asserts string
+	run     func() ([]*table, error)
 }
 
 // All returns every experiment in report order.
 func All() []Experiment {
 	return []Experiment{
-		{"E1", "Schema 1 on the running example", "Figures 1, 3–5", e1},
-		{"E2", "Schema 2 exposes cross-statement parallelism", "Figures 6–8", e2},
-		{"E3", "Schema 2 graph size is O(E·V)", "§3 size bound", e3},
-		{"E4", "Redundant switch elimination on Figure 9", "Figure 9", e4},
-		{"E5", "Switch placement = iterated control dependence", "Theorem 1 / Figure 10", e5},
-		{"E6", "Direct construction vs iterative elimination", "§4.2 / Figure 11", e6},
-		{"E7", "Cover choice: parallelism vs synchronization", "Figures 12–13, §5", e7},
-		{"E8", "Array store parallelization", "Figure 14, §6.3", e8},
-		{"E9", "Memory operation elimination", "§6.1", e9},
-		{"E10", "Read parallelization", "§6.2", e10},
-		{"E11", "Schema comparison across the suite", "headline claim", e11},
-		{"E12", "Machine simulator vs goroutine engine", "§2.2 firing rules", e12},
-		{"E13", "I-structure memory overlaps producer and consumer", "§6.3 (write-once arrays)", e13},
-		{"E14", "Alias structures derived from subroutine call sites", "§5 FORTRAN example", e14},
-		{"E15", "Separate compilation with activation contexts", "§2.2 (procedure invocations get activation contexts)", e15},
+		{"E1", "Schema 1 on the running example", "Figures 1, 3–5", "e1.json",
+			"avg parallelism stays near 1 (sequential schedule) and the final store matches the interpreter", e1},
+		{"E2", "Schema 2 exposes cross-statement parallelism", "Figures 6–8", "e2.json",
+			"schema2 cycle count <= schema1's on every workload; speedup > 1 on independent-chains", e2},
+		{"E3", "Schema 2 graph size is O(E·V)", "§3 size bound", "e3.json",
+			"DFG arcs / (CFG edges x tokens) stays bounded by a small constant across the suite", e3},
+		{"E4", "Redundant switch elimination on Figure 9", "Figure 9", "e4.json",
+			"schema2-opt removes the switch for x and does not lengthen the critical path", e4},
+		{"E5", "Switch placement = iterated control dependence", "Theorem 1 / Figure 10", "e5.json",
+			"0 mismatches between iterated control dependence and the between-ness characterization", e5},
+		{"E6", "Direct construction vs iterative elimination", "§4.2 / Figure 11", "e6.json",
+			"iterative switch elimination reaches the direct construction's switch count on acyclic programs", e6},
+		{"E7", "Cover choice: parallelism vs synchronization", "Figures 12–13, §5", "e7.json",
+			"finer covers lower cycles and raise token collections; monolithic minimizes synchronization", e7},
+		{"E8", "Array store parallelization", "Figure 14, §6.3", "e8.json",
+			"sequential store time grows ~N*L while the parallelized loop approaches ~N+L", e8},
+		{"E9", "Memory operation elimination", "§6.1", "e9.json",
+			"unaliased scalar loads/stores drop to zero and cycle counts shrink (speedup >= 1)", e9},
+		{"E10", "Read parallelization", "§6.2", "e10.json",
+			"speedup of parallel reads grows with load latency L", e10},
+		{"E11", "Schema comparison across the suite", "headline claim", "e11.json",
+			"cycles are monotonically nonincreasing from schema1 through the §6 transformations", e11},
+		{"E12", "Machine simulator vs goroutine engine", "§2.2 firing rules", "e12.json",
+			"identical firing counts and final stores on every workload (dataflow determinacy)", e12},
+		{"E13", "I-structure memory overlaps producer and consumer", "§6.3 (write-once arrays)", "e13.json",
+			"I-structure speedup over access tokens grows with memory latency", e13},
+		{"E14", "Alias structures derived from subroutine call sites", "§5 FORTRAN example", "e14.json",
+			"derived classes equal the paper's {X,Z} {Y,Z} {X,Y,Z}; one compiled body is correct at every call site", e14},
+		{"E15", "Separate compilation with activation contexts", "§2.2 (procedure invocations get activation contexts)", "e15.json",
+			"linked graph size grows with procedure count, not call sites, and results agree with inlining", e15},
 	}
+}
+
+// Run executes the experiment and renders its tables as plain text (the
+// exact format EXPERIMENTS.md embeds).
+func (e Experiment) Run() (string, error) {
+	ts, err := e.run()
+	if err != nil {
+		return "", err
+	}
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, "\n"), nil
+}
+
+// tableJSON is the machine-readable form of one rendered table.
+type tableJSON struct {
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// artifact is the JSON document `ctdf experiments -json` writes per
+// experiment.
+type artifact struct {
+	ID      string      `json:"id"`
+	Title   string      `json:"title"`
+	Paper   string      `json:"paper"`
+	Asserts string      `json:"asserts"`
+	Tables  []tableJSON `json:"tables"`
+}
+
+// JSON executes the experiment and renders the result as an indented
+// JSON artifact carrying the same tables as the text output plus the
+// experiment's metadata and asserted metric.
+func (e Experiment) JSON() ([]byte, error) {
+	ts, err := e.run()
+	if err != nil {
+		return nil, err
+	}
+	a := artifact{ID: e.ID, Title: e.Title, Paper: e.Paper, Asserts: e.Asserts}
+	for _, t := range ts {
+		a.Tables = append(a.Tables, tableJSON{Columns: t.cols, Rows: t.rows})
+	}
+	return json.MarshalIndent(a, "", "  ")
 }
 
 // ByID returns the experiment with the given ID.
@@ -74,7 +140,6 @@ func runMachine(res *translate.Result, cfgc machine.Config) (*machine.Outcome, e
 }
 
 type table struct {
-	b      strings.Builder
 	cols   []string
 	widths []int
 	rows   [][]string
@@ -124,14 +189,14 @@ func (t *table) String() string {
 }
 
 // e1: Schema 1 executes the running example sequentially.
-func e1() (string, error) {
+func e1() ([]*table, error) {
 	res, err := translateW(workloads.RunningExample, translate.Options{Schema: translate.Schema1})
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	out, err := runMachine(res, machine.Config{MemLatency: 4})
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	s := res.Graph.Stats()
 	t := newTable("metric", "value")
@@ -144,22 +209,22 @@ func e1() (string, error) {
 	t.row("avg parallelism", out.Stats.AvgParallelism())
 	t.row("final x", out.Store.Get("x"))
 	t.row("final y", out.Store.Get("y"))
-	return t.String(), nil
+	return []*table{t}, nil
 }
 
 // e2: Schema 2 vs Schema 1 on the running example and a parallel workload.
-func e2() (string, error) {
+func e2() ([]*table, error) {
 	t := newTable("workload", "schema", "tokens", "cycles(L=4)", "ops", "avg par", "speedup")
 	for _, w := range []workloads.Workload{workloads.RunningExample, workloads.ByName("independent-chains")} {
 		base := 0
 		for _, schema := range []translate.Schema{translate.Schema1, translate.Schema2} {
 			res, err := translateW(w, translate.Options{Schema: schema})
 			if err != nil {
-				return "", err
+				return nil, err
 			}
 			out, err := runMachine(res, machine.Config{MemLatency: 4})
 			if err != nil {
-				return "", err
+				return nil, err
 			}
 			if schema == translate.Schema1 {
 				base = out.Stats.Cycles
@@ -168,11 +233,11 @@ func e2() (string, error) {
 				out.Stats.AvgParallelism(), float64(base)/float64(out.Stats.Cycles))
 		}
 	}
-	return t.String(), nil
+	return []*table{t}, nil
 }
 
 // e3: graph size scales as O(E·V).
-func e3() (string, error) {
+func e3() ([]*table, error) {
 	t := newTable("workload", "E (CFG edges)", "V (tokens)", "E·V", "DFG arcs", "arcs/(E·V)")
 	ws := append([]workloads.Workload{}, workloads.All()...)
 	for seed := int64(300); seed < 306; seed++ {
@@ -181,23 +246,23 @@ func e3() (string, error) {
 	for _, w := range ws {
 		res, err := translateW(w, translate.Options{Schema: translate.Schema2})
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		e := res.CFG.NumEdges()
 		v := len(res.Universe)
 		t.row(w.Name, e, v, e*v, res.Graph.NumArcs(), float64(res.Graph.NumArcs())/float64(e*v))
 	}
-	return t.String(), nil
+	return []*table{t}, nil
 }
 
 // e4: Figure 9 — the bypass removes the switch for x and shortens the
 // critical path.
-func e4() (string, error) {
+func e4() ([]*table, error) {
 	t := newTable("schema", "switches", "switch for x", "cycles(L=8)")
 	for _, schema := range []translate.Schema{translate.Schema2, translate.Schema2Opt} {
 		res, err := translateW(workloads.Fig9Example, translate.Options{Schema: schema})
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		swx := 0
 		for _, n := range res.Graph.Nodes {
@@ -207,15 +272,15 @@ func e4() (string, error) {
 		}
 		out, err := runMachine(res, machine.Config{MemLatency: 8})
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		t.row(schema, res.Graph.CountKind(dfg.Switch), swx, out.Stats.Cycles)
 	}
-	return t.String(), nil
+	return []*table{t}, nil
 }
 
 // e5: Theorem 1 verified exhaustively over the suite plus random CFGs.
-func e5() (string, error) {
+func e5() ([]*table, error) {
 	ws := append([]workloads.Workload{}, workloads.All()...)
 	for seed := int64(400); seed < 420; seed++ {
 		ws = append(ws, workloads.Random(seed, 4, 2))
@@ -224,7 +289,7 @@ func e5() (string, error) {
 	for _, w := range ws {
 		g, err := cfg.Build(w.Parse())
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		cd := analysis.ComputeControlDeps(g)
 		pdom := cd.PostDom()
@@ -242,17 +307,17 @@ func e5() (string, error) {
 	t.row("programs checked", len(ws))
 	t.row("(F, N) pairs checked", pairs)
 	t.row("Theorem 1 mismatches", mismatches)
-	return t.String(), nil
+	return []*table{t}, nil
 }
 
 // e6: the §4 iterative algorithm reaches the direct construction on
 // acyclic programs.
-func e6() (string, error) {
+func e6() ([]*table, error) {
 	t := newTable("workload", "schema2 switches", "after iterative", "direct (Fig 11)", "agree")
 	for _, w := range workloads.All() {
 		g, err := cfg.Build(w.Parse())
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		_, loops, err := cfg.InsertLoopControl(g)
 		if err != nil || len(loops) > 0 {
@@ -260,22 +325,22 @@ func e6() (string, error) {
 		}
 		s2, err := translate.Translate(g, translate.Options{Schema: translate.Schema2})
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		direct, err := translate.Translate(g, translate.Options{Schema: translate.Schema2Opt})
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		iter, _ := translate.EliminateRedundantSwitches(s2.Graph)
 		a := iter.CountKind(dfg.Switch)
 		b := direct.Graph.CountKind(dfg.Switch)
 		t.row(w.Name, s2.Graph.CountKind(dfg.Switch), a, b, a == b)
 	}
-	return t.String(), nil
+	return []*table{t}, nil
 }
 
 // e7: covers trade parallelism against synchronization (§5).
-func e7() (string, error) {
+func e7() ([]*table, error) {
 	t := newTable("workload", "cover", "tokens", "token collections", "synch nodes", "cycles(L=6)", "avg par")
 	for _, w := range []workloads.Workload{workloads.FortranAlias, workloads.ByName("cover-tradeoff")} {
 		prog := w.Parse()
@@ -291,7 +356,7 @@ func e7() (string, error) {
 		// Reference occurrences for the synchronization cost metric.
 		g, err := cfg.Build(prog)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		var refs []string
 		for _, id := range g.SortedIDs() {
@@ -304,51 +369,51 @@ func e7() (string, error) {
 		for _, c := range covers {
 			res, err := translateW(w, translate.Options{Schema: translate.Schema3, Cover: c.cover})
 			if err != nil {
-				return "", err
+				return nil, err
 			}
 			out, err := runMachine(res, machine.Config{MemLatency: 6})
 			if err != nil {
-				return "", err
+				return nil, err
 			}
 			t.row(w.Name, c.name, len(res.Universe), c.cover.SynchCost(as, refs),
 				res.Graph.CountKind(dfg.Synch), out.Stats.Cycles, out.Stats.AvgParallelism())
 		}
 	}
-	return t.String(), nil
+	return []*table{t}, nil
 }
 
 // e8: Figure 14 — store time N·L sequential vs ~N+L parallelized.
-func e8() (string, error) {
+func e8() ([]*table, error) {
 	g, err := cfg.Build(workloads.Fig14ArrayLoop.Parse())
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	seq, err := translate.Translate(g, translate.Options{Schema: translate.Schema2Opt, EliminateMemory: true})
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	par, err := translate.Translate(g, translate.Options{Schema: translate.Schema2Opt, EliminateMemory: true, ParallelArrayStores: true})
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	t := newTable("store latency L", "sequential cycles", "parallelized cycles", "speedup", "N·L floor")
 	for _, lat := range []int{1, 5, 10, 20, 50} {
 		so, err := machine.Run(seq.Graph, machine.Config{MemLatency: lat})
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		po, err := machine.Run(par.Graph, machine.Config{MemLatency: lat})
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		t.row(lat, so.Stats.Cycles, po.Stats.Cycles,
 			float64(so.Stats.Cycles)/float64(po.Stats.Cycles), 10*lat)
 	}
-	return t.String(), nil
+	return []*table{t}, nil
 }
 
 // e9: §6.1 memory elimination across scalar workloads.
-func e9() (string, error) {
+func e9() ([]*table, error) {
 	t := newTable("workload", "loads+stores", "after elim", "cycles(L=4)", "after elim ", "speedup")
 	for _, w := range []workloads.Workload{
 		workloads.RunningExample,
@@ -359,59 +424,59 @@ func e9() (string, error) {
 	} {
 		plain, err := translateW(w, translate.Options{Schema: translate.Schema2Opt})
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		elim, err := translateW(w, translate.Options{Schema: translate.Schema2Opt, EliminateMemory: true})
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		po, err := runMachine(plain, machine.Config{MemLatency: 4})
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		eo, err := runMachine(elim, machine.Config{MemLatency: 4})
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		ps, es := plain.Graph.Stats(), elim.Graph.Stats()
 		t.row(w.Name, ps.Loads+ps.Stores, es.Loads+es.Stores, po.Stats.Cycles, eo.Stats.Cycles,
 			float64(po.Stats.Cycles)/float64(eo.Stats.Cycles))
 	}
-	return t.String(), nil
+	return []*table{t}, nil
 }
 
 // e10: §6.2 read parallelization vs latency.
-func e10() (string, error) {
+func e10() ([]*table, error) {
 	w := workloads.ByName("read-heavy")
 	g, err := cfg.Build(w.Parse())
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	seq, err := translate.Translate(g, translate.Options{Schema: translate.Schema2})
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	par, err := translate.Translate(g, translate.Options{Schema: translate.Schema2, ParallelReads: true})
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	t := newTable("load latency L", "sequential reads", "parallel reads", "speedup")
 	for _, lat := range []int{1, 4, 8, 16, 32} {
 		so, err := machine.Run(seq.Graph, machine.Config{MemLatency: lat})
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		po, err := machine.Run(par.Graph, machine.Config{MemLatency: lat})
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		t.row(lat, so.Stats.Cycles, po.Stats.Cycles, float64(so.Stats.Cycles)/float64(po.Stats.Cycles))
 	}
-	return t.String(), nil
+	return []*table{t}, nil
 }
 
 // e11: the full schema comparison across the suite.
-func e11() (string, error) {
+func e11() ([]*table, error) {
 	schemas := []translate.Options{
 		{Schema: translate.Schema1},
 		{Schema: translate.Schema2},
@@ -428,11 +493,11 @@ func e11() (string, error) {
 		for i, opt := range schemas {
 			res, err := translateW(w, opt)
 			if err != nil {
-				return "", err
+				return nil, err
 			}
 			out, err := runMachine(res, machine.Config{MemLatency: 4})
 			if err != nil {
-				return "", err
+				return nil, err
 			}
 			c := out.Stats.Cycles
 			if i == 0 {
@@ -446,46 +511,46 @@ func e11() (string, error) {
 		cells = append(cells, float64(base)/float64(best))
 		t.row(cells...)
 	}
-	return t.String(), nil
+	return []*table{t}, nil
 }
 
 // e13: I-structure memory (§6.3): with write-once arrays, the consumer
 // loop's reads defer at the memory instead of waiting for the producer
 // loop's access token, so the two loops overlap.
-func e13() (string, error) {
+func e13() ([]*table, error) {
 	w := workloads.ByName("producer-consumer")
 	g, err := cfg.Build(w.Parse())
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	base, err := translate.Translate(g, translate.Options{Schema: translate.Schema2Opt, EliminateMemory: true})
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	ist, err := translate.Translate(g, translate.Options{Schema: translate.Schema2Opt, EliminateMemory: true, UseIStructures: true})
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	t := newTable("memory latency L", "access-token cycles", "I-structure cycles", "speedup")
 	for _, lat := range []int{1, 4, 8, 16, 32} {
 		bo, err := machine.Run(base.Graph, machine.Config{MemLatency: lat})
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		io, err := machine.Run(ist.Graph, machine.Config{MemLatency: lat})
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		t.row(lat, bo.Stats.Cycles, io.Stats.Cycles, float64(bo.Stats.Cycles)/float64(io.Stats.Cycles))
 	}
-	return t.String(), nil
+	return []*table{t}, nil
 }
 
 // e14: the §5 FORTRAN example end to end: derive the alias structure of
 // SUBROUTINE F(X,Y,Z) from CALL F(A,B,A) and CALL F(C,D,D), compile the
 // body once under Schema 3, and execute it under each call site's storage
 // binding.
-func e14() (string, error) {
+func e14() ([]*table, error) {
 	src := `
 var a, b, c, d
 proc f(x, y, z) {
@@ -502,7 +567,7 @@ call f(c, d, d)
 	prog := lang.MustParse(src)
 	derived, err := analysis.DeriveAliasStructures(prog)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	f := derived["f"]
 	classOf := func(v string) string {
@@ -522,29 +587,29 @@ call f(c, d, d)
 	// Compile once; run under each call site's binding.
 	standalone, err := analysis.StandaloneProc(prog, "f", f)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	g, err := cfg.Build(standalone)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	res, err := translate.Translate(g, translate.Options{Schema: translate.Schema3})
 	if err != nil {
-		return "", err
+		return nil, err
 	}
 	t2 := newTable("call site", "binding", "one graph correct")
 	for _, cs := range prog.Calls() {
 		b, err := analysis.CallBinding(prog, cs.Call)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		want, err := interp.Run(g, interp.Options{Binding: b})
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		out, err := machine.Run(res.Graph, machine.Config{Binding: b, DetectRaces: true})
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		var pairs []string
 		for _, k := range []string{"x", "y", "z"} {
@@ -552,14 +617,14 @@ call f(c, d, d)
 		}
 		t2.row(cs.Call.String(), strings.Join(pairs, " "), out.Store.Snapshot() == want.Store.Snapshot())
 	}
-	return t.String() + "\n" + t2.String(), nil
+	return []*table{t, t2}, nil
 }
 
 // e15: separate compilation — each procedure body appears once, calls run
 // it under fresh activation frames. Measured: graph size grows with
 // procedure count (not call-site count) while concurrent activations keep
 // the parallelism of inlining.
-func e15() (string, error) {
+func e15() ([]*table, error) {
 	mkSrc := func(nCalls int) string {
 		src := "var a0, a1, a2, a3, a4, a5, a6, a7\n" +
 			"proc work(x) {\n  x := x + 1\n  x := x * 3\n  x := x - 2\n  x := x * x\n  x := x % 97\n}\n"
@@ -573,48 +638,48 @@ func e15() (string, error) {
 		prog := lang.MustParse(mkSrc(n))
 		inCFG, err := cfg.Build(prog)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		inl, err := translate.Translate(inCFG, translate.Options{Schema: translate.Schema2Opt})
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		lnk, err := translate.TranslateLinked(prog)
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		io, err := machine.Run(inl.Graph, machine.Config{MemLatency: 4})
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		lo, err := machine.Run(lnk.Graph, machine.Config{MemLatency: 4})
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		t.row(n, inl.Graph.NumNodes(), lnk.Graph.NumNodes(),
 			io.Stats.Cycles, lo.Stats.Cycles,
 			io.Store.Snapshot() == lo.Store.Snapshot())
 	}
-	return t.String(), nil
+	return []*table{t}, nil
 }
 
 // e12: the two engines agree exactly on results and firing counts.
-func e12() (string, error) {
+func e12() ([]*table, error) {
 	t := newTable("workload", "machine ops", "chanexec ops", "states agree")
 	for _, w := range workloads.All() {
 		res, err := translateW(w, translate.Options{Schema: translate.Schema2Opt})
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		mo, err := runMachine(res, machine.Config{})
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		co, err := chanexec.Run(res.Graph, chanexec.Config{})
 		if err != nil {
-			return "", err
+			return nil, err
 		}
 		t.row(w.Name, mo.Stats.Ops, co.Ops, mo.Store.Snapshot() == co.Store.Snapshot())
 	}
-	return t.String(), nil
+	return []*table{t}, nil
 }

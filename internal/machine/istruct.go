@@ -21,6 +21,9 @@ type istructUnit struct {
 type istructWaiter struct {
 	node int
 	tg   token.Tag
+	// dep is the deferred read's own firing id in the collector's firing
+	// DAG (-1 when not recording).
+	dep int32
 }
 
 // newIStructUnit prepares presence bits for every array read or written

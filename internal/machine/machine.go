@@ -9,6 +9,23 @@
 // program's critical path; the per-cycle issue counts form its parallelism
 // profile. This is the measurement substrate for every experiment in
 // EXPERIMENTS.md.
+//
+// Map to the paper:
+//
+//   - machine.go — the ETS pipeline of §2.2: tag matching, instruction
+//     issue, split-phase memory, bounded processors per cycle; also the
+//     observability hooks (Config.Collector, an *obs.Collector) that
+//     count firings/waits/stalls and thread the firing DAG used for
+//     critical-path extraction (see OBSERVABILITY.md).
+//   - istruct.go — the I-structure memory unit of §6.3: presence bits,
+//     deferred reads satisfied by the eventual write.
+//   - procs.go — activation contexts for procedure invocations (§2.2),
+//     Apply/Param/ProcReturn linkage.
+//   - race.go — optional checker that no two conflicting memory
+//     operations overlap in time (the §5 correctness condition covers
+//     must enforce).
+//   - trace.go — ASCII parallelism chart; execution traces themselves are
+//     obs.TraceSink events (Config.Trace).
 package machine
 
 import (
@@ -21,6 +38,7 @@ import (
 	"ctdf/internal/dfg"
 	"ctdf/internal/interp"
 	"ctdf/internal/lang"
+	"ctdf/internal/obs"
 	"ctdf/internal/token"
 )
 
@@ -47,8 +65,14 @@ type Config struct {
 	// 1<<16 cycles); statistics remain exact beyond it.
 	ProfileLimit int
 	// Trace, when non-nil, receives one line per operator firing
-	// ("cycle 12: d5: binop + [tag 0.1]").
+	// ("cycle 12: d5: binop + [tag 0.1]"); it is implemented as an
+	// obs.TraceSink on the event stream.
 	Trace io.Writer
+	// Collector, when non-nil, gathers per-node counters, streams
+	// cycle-stamped events to its sinks, and (when enabled) records the
+	// firing DAG for critical-path extraction. Nil disables observability
+	// at the cost of one branch per firing.
+	Collector *obs.Collector
 }
 
 // Stats describes an execution.
@@ -97,6 +121,10 @@ type tok struct {
 	to  dfg.Target
 	val int64
 	tg  token.Tag
+	// dep is the producer firing's id in the collector's firing DAG
+	// (-1 when the DAG is not being recorded or the token has no
+	// producer, e.g. the initial start tokens).
+	dep int32
 }
 
 // matchKey identifies a frame slot set: one operator activation.
@@ -110,6 +138,9 @@ type matchEntry struct {
 	vals []int64
 	tg   token.Tag
 	n    int
+	// dep is the latest-finishing producer firing among the operands
+	// matched so far (critical-path recording only).
+	dep int32
 }
 
 // firing is an enabled operator activation.
@@ -120,6 +151,9 @@ type firing struct {
 	// port is the arriving port for any-arrival operators (merge, loop
 	// entry).
 	port int
+	// dep is the latest-finishing input firing before issue; after issue
+	// it is reused to hold this firing's own id in the firing DAG.
+	dep int32
 }
 
 // Run executes the dataflow graph to completion.
@@ -145,6 +179,20 @@ func Run(g *dfg.Graph, cfgc Config) (*Outcome, error) {
 		store: interp.NewStoreWithBinding(g.Prog, cfgc.Binding),
 		match: map[matchKey]*matchEntry{},
 	}
+	m.col = cfgc.Collector
+	if cfgc.Trace != nil {
+		// The historical trace format is an event sink; traced runs are
+		// observed runs even when the caller attached no collector.
+		if m.col == nil {
+			m.col = obs.NewCollector(g, obs.Options{})
+		}
+		labels := make([]string, len(g.Nodes))
+		for i, n := range g.Nodes {
+			labels[i] = n.String()
+		}
+		m.col.AddSink(&obs.TraceSink{W: cfgc.Trace, Labels: labels})
+	}
+	m.crit = m.col.CriticalPathEnabled()
 	if cfgc.RandomSeed != 0 {
 		m.rng = rand.New(rand.NewSource(cfgc.RandomSeed))
 	}
@@ -173,6 +221,13 @@ type sim struct {
 	endCycle int
 	done     bool
 
+	// Observability: col collects counters/events (nil when disabled),
+	// crit caches col.CriticalPathEnabled(), and curDep is the firing id
+	// the tokens currently being emitted inherit as their producer.
+	col    *obs.Collector
+	crit   bool
+	curDep int32
+
 	locs    *raceDetector
 	istruct *istructUnit
 	procs   *procLinkage
@@ -190,7 +245,7 @@ func (m *sim) run() (*Outcome, error) {
 
 	// Cycle 0: start emits one dummy token per out arc at the root tag.
 	for _, a := range m.g.OutArcs(m.g.StartID, 0) {
-		if err := m.deliver(tok{to: dfg.Target{Node: a.To, Port: a.ToPort}, val: 0, tg: token.Root}); err != nil {
+		if err := m.deliver(tok{to: dfg.Target{Node: a.To, Port: a.ToPort}, val: 0, tg: token.Root, dep: -1}); err != nil {
 			return nil, err
 		}
 	}
@@ -227,9 +282,14 @@ func (m *sim) run() (*Outcome, error) {
 
 		var emitted []tok
 		for _, f := range batch {
-			if m.cfg.Trace != nil {
-				fmt.Fprintf(m.cfg.Trace, "cycle %d: %s [tag %s]\n", m.cycle, m.g.Nodes[f.node], f.tg.Key())
+			if m.col != nil {
+				// f.dep switches meaning here: latest input firing in,
+				// this firing's own DAG id out.
+				f.dep = m.col.Fire(f.node, m.cycle, m.costOf(f.node), len(f.vals), f.dep, f.tg.Key())
+			} else {
+				f.dep = -1
 			}
+			m.curDep = f.dep
 			out, err := m.fire(f)
 			if err != nil {
 				return nil, err
@@ -304,7 +364,7 @@ func (m *sim) deliver(t tok) error {
 	switch n.Kind {
 	case dfg.Merge, dfg.LoopEntry, dfg.Param:
 		// Any-arrival operators: each token fires the node on its own.
-		m.enabled = append(m.enabled, firing{node: n.ID, tg: t.tg, vals: []int64{t.val}, port: t.to.Port})
+		m.enabled = append(m.enabled, firing{node: n.ID, tg: t.tg, vals: []int64{t.val}, port: t.to.Port, dep: t.dep})
 		return nil
 	case dfg.End:
 		if !t.tg.IsRoot() {
@@ -312,14 +372,16 @@ func (m *sim) deliver(t tok) error {
 		}
 	}
 	if n.NIns == 1 {
-		m.enabled = append(m.enabled, firing{node: n.ID, tg: t.tg, vals: []int64{t.val}})
+		m.enabled = append(m.enabled, firing{node: n.ID, tg: t.tg, vals: []int64{t.val}, dep: t.dep})
 		return nil
 	}
 	key := matchKey{node: n.ID, tg: t.tg.Key()}
 	e := m.match[key]
 	if e == nil {
-		e = &matchEntry{vals: make([]int64, n.NIns), tg: t.tg}
+		e = &matchEntry{vals: make([]int64, n.NIns), tg: t.tg, dep: t.dep}
 		m.match[key] = e
+	} else if m.crit {
+		e.dep = m.col.MaxDep(e.dep, t.dep)
 	}
 	bit := uint64(1) << uint(t.to.Port)
 	if e.have&bit != 0 {
@@ -330,9 +392,12 @@ func (m *sim) deliver(t tok) error {
 	e.n++
 	if e.n == n.NIns {
 		delete(m.match, key)
-		m.enabled = append(m.enabled, firing{node: n.ID, tg: e.tg, vals: e.vals})
+		m.enabled = append(m.enabled, firing{node: n.ID, tg: e.tg, vals: e.vals, dep: e.dep})
 	} else {
 		m.stats.Matches++
+		if m.col != nil {
+			m.col.Wait(n.ID, m.cycle, t.tg.Key())
+		}
 		if len(m.match) > m.stats.PeakMatchStore {
 			m.stats.PeakMatchStore = len(m.match)
 		}
@@ -340,14 +405,28 @@ func (m *sim) deliver(t tok) error {
 	return nil
 }
 
-// emitAll broadcasts val on every arc leaving (node, port).
+// emitAll broadcasts val on every arc leaving (node, port). Emitted
+// tokens inherit m.curDep as their producer firing.
 func (m *sim) emitAll(node, port int, val int64, tg token.Tag) []tok {
 	arcs := m.g.OutArcs(node, port)
 	out := make([]tok, 0, len(arcs))
 	for _, a := range arcs {
-		out = append(out, tok{to: dfg.Target{Node: a.To, Port: a.ToPort}, val: val, tg: tg})
+		out = append(out, tok{to: dfg.Target{Node: a.To, Port: a.ToPort}, val: val, tg: tg, dep: m.curDep})
+	}
+	if m.col != nil {
+		m.col.Emitted(node, len(arcs))
 	}
 	return out
+}
+
+// costOf is an operator's duration in cycles: split-phase memory
+// operations take MemLatency, everything else one cycle.
+func (m *sim) costOf(node int) int {
+	switch m.g.Nodes[node].Kind {
+	case dfg.Load, dfg.Store, dfg.LoadIdx, dfg.StoreIdx, dfg.ILoad, dfg.IStore:
+		return m.cfg.MemLatency
+	}
+	return 1
 }
 
 // fire executes one operator activation, returning the tokens it emits
@@ -478,7 +557,7 @@ func (m *sim) fire(f firing) ([]tok, error) {
 
 	case dfg.ILoad:
 		m.stats.MemOps++
-		ready, err := m.istruct.read(n.Var, f.vals[0], istructWaiter{node: n.ID, tg: f.tg})
+		ready, err := m.istruct.read(n.Var, f.vals[0], istructWaiter{node: n.ID, tg: f.tg, dep: f.dep})
 		if err != nil {
 			return nil, err
 		}
@@ -502,9 +581,14 @@ func (m *sim) fire(f firing) ([]tok, error) {
 			return nil, fmt.Errorf("machine: %s: %w", n, err)
 		}
 		var toks []tok
+		storeDep := m.curDep
 		for _, w := range waiters {
+			// A deferred read's result depends on both the read's own
+			// firing and the store that satisfied it.
+			m.curDep = m.col.MaxDep(storeDep, w.dep)
 			toks = append(toks, m.emitAll(w.node, 0, f.vals[1], w.tg)...)
 		}
+		m.curDep = storeDep
 		m.park(toks, nil)
 		return nil, nil
 	}

@@ -1,74 +1,12 @@
 package machine
 
-import (
-	"fmt"
-	"strings"
-)
+import "ctdf/internal/obs"
 
 // ProfileChart renders the parallelism profile as an ASCII bar chart:
 // time flows left to right (bucketed to fit width), bar height is the
-// number of operations issued. The chart is the visual form of the
-// "parallelism profile" measurement the paper's model motivates.
+// number of operations issued. The rendering lives in the shared
+// observability package; the historical trace-line format is likewise
+// produced by an obs.TraceSink attached in Run when Config.Trace is set.
 func (s Stats) ProfileChart(width, height int) string {
-	if width < 8 {
-		width = 8
-	}
-	if height < 2 {
-		height = 2
-	}
-	prof := s.Profile
-	if len(prof) == 0 {
-		return "(empty profile)\n"
-	}
-	// Bucket cycles into columns, keeping the peak of each bucket so
-	// bursts stay visible.
-	cols := width
-	if len(prof) < cols {
-		cols = len(prof)
-	}
-	buckets := make([]int, cols)
-	per := float64(len(prof)) / float64(cols)
-	for c := 0; c < cols; c++ {
-		lo := int(float64(c) * per)
-		hi := int(float64(c+1) * per)
-		if hi <= lo {
-			hi = lo + 1
-		}
-		if hi > len(prof) {
-			hi = len(prof)
-		}
-		peak := 0
-		for _, v := range prof[lo:hi] {
-			if v > peak {
-				peak = v
-			}
-		}
-		buckets[c] = peak
-	}
-	max := 1
-	for _, v := range buckets {
-		if v > max {
-			max = v
-		}
-	}
-	var b strings.Builder
-	for row := height; row >= 1; row-- {
-		threshold := float64(row) * float64(max) / float64(height)
-		if row == height {
-			fmt.Fprintf(&b, "%4d |", max)
-		} else {
-			b.WriteString("     |")
-		}
-		for _, v := range buckets {
-			if float64(v) >= threshold {
-				b.WriteByte('#')
-			} else {
-				b.WriteByte(' ')
-			}
-		}
-		b.WriteString("\n")
-	}
-	b.WriteString("   0 +" + strings.Repeat("-", cols) + "\n")
-	fmt.Fprintf(&b, "      0%*s\n", cols-1, fmt.Sprintf("cycle %d", s.Cycles))
-	return b.String()
+	return obs.ProfileChart(s.Profile, s.Cycles, width, height)
 }

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MetricDelta is one compared metric: the two values, their difference
+// (B−A) and ratio (A/B, so >1 means B improved on a cost metric).
+type MetricDelta struct {
+	Metric string  `json:"metric"`
+	A      int64   `json:"a"`
+	B      int64   `json:"b"`
+	Delta  int64   `json:"delta"`
+	Ratio  float64 `json:"ratio"`
+}
+
+// KindDelta compares per-kind firing counts between two runs.
+type KindDelta struct {
+	Kind    string `json:"kind"`
+	FiresA  int64  `json:"firingsA"`
+	FiresB  int64  `json:"firingsB"`
+	NodesA  int    `json:"nodesA"`
+	NodesB  int    `json:"nodesB"`
+	StallsA int64  `json:"memStallCyclesA"`
+	StallsB int64  `json:"memStallCyclesB"`
+}
+
+// Diff is a machine-readable schema-vs-schema (or engine-vs-engine)
+// comparison of two observed runs — the shape E4/E9/E10/E11-style
+// deltas are exported in.
+type Diff struct {
+	A       string        `json:"a"`
+	B       string        `json:"b"`
+	Metrics []MetricDelta `json:"metrics"`
+	ByKind  []KindDelta   `json:"byKind"`
+	// CriticalPathByKindA/B carry the per-op attribution of each side's
+	// critical path, when both were recorded.
+	CriticalPathByKindA []KindCost `json:"criticalPathByKindA,omitempty"`
+	CriticalPathByKindB []KindCost `json:"criticalPathByKindB,omitempty"`
+}
+
+func delta(metric string, a, b int64) MetricDelta {
+	d := MetricDelta{Metric: metric, A: a, B: b, Delta: b - a}
+	if b != 0 {
+		d.Ratio = float64(a) / float64(b)
+	}
+	return d
+}
+
+// Compare diffs two reports (conventionally A = baseline, B = the
+// configuration under test; Ratio > 1 on a cost metric means B is
+// better).
+func Compare(a, b *Report) *Diff {
+	d := &Diff{A: label(a), B: label(b)}
+	d.Metrics = []MetricDelta{
+		delta("cycles", int64(a.Cycles), int64(b.Cycles)),
+		delta("ops", a.Ops, b.Ops),
+		delta("matchWaits", a.MatchWaits, b.MatchWaits),
+		delta("memStallCycles", a.MemStallCycles, b.MemStallCycles),
+	}
+	if a.CriticalPath != nil && b.CriticalPath != nil {
+		d.Metrics = append(d.Metrics, delta("criticalPath", a.CriticalPath.Length, b.CriticalPath.Length))
+		d.CriticalPathByKindA = a.CriticalPath.ByKind
+		d.CriticalPathByKindB = b.CriticalPath.ByKind
+	}
+	kinds := map[string]*KindDelta{}
+	for _, ks := range a.ByKind {
+		kinds[ks.Kind] = &KindDelta{Kind: ks.Kind, FiresA: ks.Firings, NodesA: ks.Nodes, StallsA: ks.MemStallCycles}
+	}
+	for _, ks := range b.ByKind {
+		kd := kinds[ks.Kind]
+		if kd == nil {
+			kd = &KindDelta{Kind: ks.Kind}
+			kinds[ks.Kind] = kd
+		}
+		kd.FiresB = ks.Firings
+		kd.NodesB = ks.Nodes
+		kd.StallsB = ks.MemStallCycles
+	}
+	for _, kd := range kinds {
+		d.ByKind = append(d.ByKind, *kd)
+	}
+	sort.Slice(d.ByKind, func(i, j int) bool { return d.ByKind[i].Kind < d.ByKind[j].Kind })
+	return d
+}
+
+func label(r *Report) string {
+	if r.Schema != "" {
+		return r.Schema
+	}
+	return r.Engine
+}
+
+// Text renders the diff for humans.
+func (d *Diff) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s vs %s:\n", d.A, d.B)
+	fmt.Fprintf(&b, "  %-16s %10s %10s %10s %8s\n", "metric", d.A, d.B, "delta", "ratio")
+	for _, m := range d.Metrics {
+		fmt.Fprintf(&b, "  %-16s %10d %10d %+10d %8.2f\n", m.Metric, m.A, m.B, m.Delta, m.Ratio)
+	}
+	b.WriteString("\n  firings by kind:\n")
+	for _, k := range d.ByKind {
+		fmt.Fprintf(&b, "  %-16s %10d %10d %+10d\n", k.Kind, k.FiresA, k.FiresB, k.FiresB-k.FiresA)
+	}
+	return b.String()
+}

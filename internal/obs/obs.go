@@ -1,0 +1,206 @@
+// Package obs is the shared observability layer of the two dataflow
+// execution engines (internal/machine and internal/chanexec). It turns
+// the paper's qualitative claims — parallelism profiles, critical paths,
+// synchronization counts (§3, §5, §6) — into machine-readable data:
+//
+//   - per-node counters keyed by dfg node id and operator kind: firings,
+//     tokens consumed and emitted, matching-store waits, and split-phase
+//     memory-latency stall cycles;
+//   - a cycle-stamped event stream with pluggable sinks (in-memory ring
+//     buffer, NDJSON writer, the historical trace format);
+//   - post-run analyses: critical-path extraction over the firing DAG
+//     (the longest dependence chain, with per-operator attribution),
+//     parallelism-profile histograms, and schema-vs-schema diff reports
+//     (Compare) that make experiment deltas machine-readable.
+//
+// A nil *Collector is valid everywhere and every method on it is a
+// no-op, so an engine instrumented with obs pays only a nil check per
+// firing when observability is off (verified by BenchmarkObsDisabled).
+// The event schema and counter semantics are documented in
+// OBSERVABILITY.md at the repository root.
+package obs
+
+import (
+	"ctdf/internal/dfg"
+)
+
+// NodeMeta is the stable per-node metadata used for attribution; it is
+// the dfg graph's own metadata record.
+type NodeMeta = dfg.Meta
+
+// noDep marks a token that carries no recorded producer firing.
+const noDep int32 = -1
+
+// firingRec is one recorded operator firing: a node of the firing DAG.
+type firingRec struct {
+	node int32
+	// pred is the input firing on the longest dependence chain into this
+	// firing (noDep at the start of a chain).
+	pred int32
+	cost int32
+	// cycle is the engine cycle the firing issued at.
+	cycle int32
+	// finish is the length in cycles of the longest dependence chain
+	// ending with this firing's completion.
+	finish int64
+	tag    string
+}
+
+// Collector gathers per-node counters, streams events to an optional
+// sink, and (optionally) records the firing DAG for critical-path
+// extraction. It is single-goroutine (the cycle-driven machine); the
+// concurrent channel engine uses NodeCounters instead.
+//
+// A nil *Collector is valid: every method is a no-op and Fire returns
+// noDep, so engines thread one pointer and pay one branch when
+// observability is disabled.
+type Collector struct {
+	meta     []NodeMeta
+	nodes    []NodeStats
+	sink     Sink
+	critical bool
+	firings  []firingRec
+	endID    int
+}
+
+// Options configures a Collector.
+type Options struct {
+	// Sink receives the cycle-stamped event stream (nil for counters
+	// only).
+	Sink Sink
+	// CriticalPath records every firing's longest dependence chain so
+	// Report can extract the critical path. Costs one small record per
+	// firing.
+	CriticalPath bool
+}
+
+// NewCollector prepares a collector for one run of g.
+func NewCollector(g *dfg.Graph, opt Options) *Collector {
+	meta := g.Meta()
+	c := &Collector{meta: meta, sink: opt.Sink, critical: opt.CriticalPath, endID: g.EndID}
+	c.nodes = make([]NodeStats, len(meta))
+	for i, m := range meta {
+		c.nodes[i].Meta = m
+	}
+	return c
+}
+
+// Meta returns the node metadata the collector attributes against.
+func (c *Collector) Meta() []NodeMeta {
+	if c == nil {
+		return nil
+	}
+	return c.meta
+}
+
+// CriticalPathEnabled reports whether the firing DAG is being recorded.
+func (c *Collector) CriticalPathEnabled() bool { return c != nil && c.critical }
+
+// AddSink attaches an additional event sink.
+func (c *Collector) AddSink(s Sink) {
+	if c == nil || s == nil {
+		return
+	}
+	if c.sink == nil {
+		c.sink = s
+		return
+	}
+	c.sink = MultiSink{c.sink, s}
+}
+
+// Fire records one operator firing: node and issue cycle, the firing's
+// cost in cycles (1 for ordinary operators, the split-phase latency for
+// memory operations), the number of tokens consumed, the producer firing
+// of the firing's latest input (dep), and the token tag. It returns the
+// firing's id for threading onto the tokens the firing emits, or noDep
+// when the firing DAG is not being recorded.
+func (c *Collector) Fire(node, cycle, cost, consumed int, dep int32, tag string) int32 {
+	if c == nil {
+		return noDep
+	}
+	ns := &c.nodes[node]
+	ns.Firings++
+	ns.Consumed += int64(consumed)
+	if cost > 1 {
+		ns.MemStallCycles += int64(cost - 1)
+	}
+	if c.sink != nil {
+		c.sink.Emit(Event{Cycle: cycle, Type: EvFire, Node: node, Kind: ns.Meta.Kind, Tag: tag, Cost: cost})
+	}
+	if !c.critical {
+		return noDep
+	}
+	rec := firingRec{node: int32(node), pred: dep, cost: int32(cost), cycle: int32(cycle), tag: tag}
+	rec.finish = int64(cost)
+	if dep >= 0 {
+		rec.finish += c.firings[dep].finish
+	}
+	c.firings = append(c.firings, rec)
+	return int32(len(c.firings) - 1)
+}
+
+// Emitted credits n emitted tokens to node.
+func (c *Collector) Emitted(node, n int) {
+	if c == nil {
+		return
+	}
+	c.nodes[node].Emitted += int64(n)
+}
+
+// Wait records a token that had to wait in the matching store for its
+// partner operands (ETS frame-memory pressure, §2.2).
+func (c *Collector) Wait(node, cycle int, tag string) {
+	if c == nil {
+		return
+	}
+	c.nodes[node].MatchWaits++
+	if c.sink != nil {
+		c.sink.Emit(Event{Cycle: cycle, Type: EvWait, Node: node, Kind: c.nodes[node].Meta.Kind, Tag: tag})
+	}
+}
+
+// MaxDep returns whichever of two producer firings completes later —
+// the dependence a token matched from both inherits.
+func (c *Collector) MaxDep(a, b int32) int32 {
+	if c == nil || !c.critical {
+		return noDep
+	}
+	if a < 0 {
+		return b
+	}
+	if b < 0 {
+		return a
+	}
+	if c.firings[a].finish >= c.firings[b].finish {
+		return a
+	}
+	return b
+}
+
+// NodeCounters is the lock-free per-node firing counter the concurrent
+// channel engine uses: each node's count must be updated only by the
+// goroutine that owns the node (chanexec's one-goroutine-per-operator
+// discipline), which makes plain int64 slots race-free.
+type NodeCounters struct {
+	fires []int64
+}
+
+// NewNodeCounters allocates counters for n nodes.
+func NewNodeCounters(n int) *NodeCounters { return &NodeCounters{fires: make([]int64, n)} }
+
+// Inc counts one firing of node. A nil receiver is a no-op.
+func (c *NodeCounters) Inc(node int) {
+	if c == nil {
+		return
+	}
+	c.fires[node]++
+}
+
+// Firings returns the per-node firing counts (indexed by node id). Call
+// only after the engine has quiesced.
+func (c *NodeCounters) Firings() []int64 {
+	if c == nil {
+		return nil
+	}
+	return append([]int64(nil), c.fires...)
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRingSinkWraps(t *testing.T) {
+	r := NewRingSink(3)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Cycle: i, Type: EvFire})
+	}
+	if r.Total() != 5 {
+		t.Errorf("total = %d, want 5", r.Total())
+	}
+	ev := r.Events()
+	if len(ev) != 3 {
+		t.Fatalf("retained %d events, want 3", len(ev))
+	}
+	for i, e := range ev {
+		if e.Cycle != i+2 {
+			t.Errorf("event %d has cycle %d, want %d (oldest-first)", i, e.Cycle, i+2)
+		}
+	}
+}
+
+func TestNDJSONSinkOneObjectPerLine(t *testing.T) {
+	var b strings.Builder
+	s := NewNDJSONSink(&b)
+	s.Emit(Event{Cycle: 1, Type: EvFire, Node: 2, Kind: "binop", Tag: "0", Cost: 1})
+	s.Emit(Event{Cycle: 3, Type: EvWait, Node: 4, Kind: "store", Tag: "0.1"})
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e != (Event{Cycle: 1, Type: EvFire, Node: 2, Kind: "binop", Tag: "0", Cost: 1}) {
+		t.Errorf("round-trip mismatch: %+v", e)
+	}
+	var w Event
+	if err := json.Unmarshal([]byte(lines[1]), &w); err != nil {
+		t.Fatal(err)
+	}
+	if w.Type != EvWait || w.Cost != 0 {
+		t.Errorf("wait event round-trip mismatch: %+v", w)
+	}
+}
+
+func TestMultiSinkFansOut(t *testing.T) {
+	a, b := NewRingSink(8), NewRingSink(8)
+	m := MultiSink{a, b}
+	m.Emit(Event{Cycle: 7, Type: EvFire})
+	if a.Total() != 1 || b.Total() != 1 {
+		t.Errorf("fan-out failed: %d, %d", a.Total(), b.Total())
+	}
+}
+
+func TestTraceSinkFormatAndFilter(t *testing.T) {
+	var b strings.Builder
+	s := &TraceSink{W: &b, Labels: []string{"d0: start", "d1: binop +"}}
+	s.Emit(Event{Cycle: 12, Type: EvFire, Node: 1, Tag: "0.1"})
+	s.Emit(Event{Cycle: 13, Type: EvWait, Node: 1, Tag: "0.1"}) // not traced
+	s.Emit(Event{Cycle: 14, Type: EvFire, Node: 1, Tag: ""})    // root tag renders empty
+	want := "cycle 12: d1: binop + [tag 0.1]\ncycle 14: d1: binop + [tag ]\n"
+	if b.String() != want {
+		t.Errorf("trace output %q, want %q", b.String(), want)
+	}
+}
+
+func TestNilCollectorNoOps(t *testing.T) {
+	var c *Collector
+	if got := c.Fire(3, 1, 1, 2, 5, "0"); got != noDep {
+		t.Errorf("nil Fire returned %d", got)
+	}
+	c.Emitted(3, 2)
+	c.Wait(3, 1, "0")
+	if got := c.MaxDep(1, 2); got != noDep {
+		t.Errorf("nil MaxDep returned %d", got)
+	}
+	if c.Report(0, nil) != nil {
+		t.Error("nil Report should be nil")
+	}
+	if c.Meta() != nil || c.CriticalPathEnabled() {
+		t.Error("nil collector leaks state")
+	}
+	var nc *NodeCounters
+	nc.Inc(0)
+	if nc.Firings() != nil {
+		t.Error("nil NodeCounters.Firings should be nil")
+	}
+}
+
+func TestNewCountersReportAggregates(t *testing.T) {
+	meta := []NodeMeta{
+		{Node: 0, Kind: "start", Label: "d0: start"},
+		{Node: 1, Kind: "binop", Label: "d1: binop +"},
+		{Node: 2, Kind: "binop", Label: "d2: binop *"},
+	}
+	r := NewCountersReport(meta, []int64{0, 4, 6})
+	if r.Ops != 10 {
+		t.Errorf("ops = %d, want 10", r.Ops)
+	}
+	if len(r.ByKind) != 2 || r.ByKind[0].Kind != "binop" || r.ByKind[0].Firings != 10 {
+		t.Errorf("byKind = %+v", r.ByKind)
+	}
+	if got := r.NodeFirings(); got[1] != 4 || got[2] != 6 {
+		t.Errorf("node firings = %v", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := &Report{Schema: "schema1", Cycles: 100, Ops: 50,
+		ByKind: []KindStats{{Kind: "load", Nodes: 2, Firings: 20}}}
+	b := &Report{Schema: "schema2", Cycles: 40, Ops: 60,
+		ByKind: []KindStats{{Kind: "load", Nodes: 2, Firings: 20}, {Kind: "switch", Nodes: 1, Firings: 10}}}
+	d := Compare(a, b)
+	if d.A != "schema1" || d.B != "schema2" {
+		t.Errorf("labels %q, %q", d.A, d.B)
+	}
+	var cycles *MetricDelta
+	for i := range d.Metrics {
+		if d.Metrics[i].Metric == "cycles" {
+			cycles = &d.Metrics[i]
+		}
+	}
+	if cycles == nil || cycles.Delta != -60 || cycles.Ratio != 2.5 {
+		t.Errorf("cycles delta = %+v", cycles)
+	}
+	if len(d.ByKind) != 2 {
+		t.Errorf("byKind rows = %d, want 2", len(d.ByKind))
+	}
+	txt := d.Text()
+	for _, want := range []string{"schema1 vs schema2", "cycles", "switch"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("diff text missing %q", want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bins := histogram([]int{0, 2, 2, 1, 0, 0})
+	want := []HistBin{{0, 3}, {1, 1}, {2, 2}}
+	if len(bins) != len(want) {
+		t.Fatalf("bins = %v", bins)
+	}
+	for i := range want {
+		if bins[i] != want[i] {
+			t.Errorf("bin %d = %+v, want %+v", i, bins[i], want[i])
+		}
+	}
+	if histogram(nil) != nil {
+		t.Error("empty profile should give nil histogram")
+	}
+}

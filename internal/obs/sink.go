@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// EventType classifies stream events.
+type EventType string
+
+// Event types. The NDJSON stream additionally contains "meta" lines
+// (one per node, written by WriteMeta before the run) and a "summary"
+// line (the full Report, written by WriteSummary after it).
+const (
+	// EvFire is one operator firing.
+	EvFire EventType = "fire"
+	// EvWait is a token waiting in the matching store for its partner
+	// operands.
+	EvWait EventType = "wait"
+)
+
+// Event is one cycle-stamped occurrence inside an engine.
+type Event struct {
+	Cycle int       `json:"cycle"`
+	Type  EventType `json:"type"`
+	Node  int       `json:"node"`
+	Kind  string    `json:"kind"`
+	Tag   string    `json:"tag,omitempty"`
+	// Cost is the firing's duration in cycles (fire events only): 1 for
+	// ordinary operators, the split-phase latency for memory operations.
+	Cost int `json:"cost,omitempty"`
+}
+
+// Sink receives the event stream. Emit is called once per event, in
+// engine order, from the engine's goroutine.
+type Sink interface {
+	Emit(Event)
+}
+
+// MultiSink fans every event out to several sinks in order.
+type MultiSink []Sink
+
+// Emit implements Sink.
+func (m MultiSink) Emit(e Event) {
+	for _, s := range m {
+		s.Emit(e)
+	}
+}
+
+// RingSink keeps the last N events in memory — the cheap always-on
+// flight recorder for postmortems.
+type RingSink struct {
+	buf   []Event
+	next  int
+	total int
+}
+
+// NewRingSink makes a ring holding the last n events (n >= 1).
+func NewRingSink(n int) *RingSink {
+	if n < 1 {
+		n = 1
+	}
+	return &RingSink{buf: make([]Event, 0, n)}
+}
+
+// Emit implements Sink.
+func (r *RingSink) Emit(e Event) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+}
+
+// Total returns how many events were emitted over the run (including
+// those that have fallen out of the ring).
+func (r *RingSink) Total() int { return r.total }
+
+// Events returns the retained events, oldest first.
+func (r *RingSink) Events() []Event {
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// NDJSONSink streams events as newline-delimited JSON, one event per
+// line. The first write error is retained and stops further output.
+type NDJSONSink struct {
+	enc *json.Encoder
+	err error
+}
+
+// NewNDJSONSink wraps w.
+func NewNDJSONSink(w io.Writer) *NDJSONSink { return &NDJSONSink{enc: json.NewEncoder(w)} }
+
+// Emit implements Sink.
+func (s *NDJSONSink) Emit(e Event) {
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(e)
+}
+
+// Err returns the first write error, if any.
+func (s *NDJSONSink) Err() error { return s.err }
+
+// TraceSink renders fire events in the machine's historical execution
+// trace format, one line per firing:
+//
+//	cycle 12: d5: binop + [tag 0.1]
+//
+// Labels must be the per-node diagnostic labels (NodeMeta.Label). Wait
+// events are not traced, keeping the output byte-compatible with the
+// pre-obs `ctdf run -trace` format (golden-tested in internal/machine).
+type TraceSink struct {
+	W      io.Writer
+	Labels []string
+}
+
+// Emit implements Sink.
+func (s *TraceSink) Emit(e Event) {
+	if e.Type != EvFire {
+		return
+	}
+	fmt.Fprintf(s.W, "cycle %d: %s [tag %s]\n", e.Cycle, s.Labels[e.Node], e.Tag)
+}
+
+// metaLine and summaryLine are the non-event NDJSON stream records.
+type metaLine struct {
+	Type EventType `json:"type"`
+	NodeMeta
+}
+
+type summaryLine struct {
+	Type   EventType `json:"type"`
+	Report *Report   `json:"report"`
+}
+
+// Stream record types for the non-event NDJSON lines.
+const (
+	EvMeta    EventType = "meta"
+	EvSummary EventType = "summary"
+)
+
+// WriteMeta writes one "meta" NDJSON line per node — the stream header
+// that makes an event file self-describing.
+func WriteMeta(w io.Writer, meta []NodeMeta) error {
+	enc := json.NewEncoder(w)
+	for _, m := range meta {
+		if err := enc.Encode(metaLine{Type: EvMeta, NodeMeta: m}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSummary writes the report as a single trailing "summary" NDJSON
+// line.
+func WriteSummary(w io.Writer, r *Report) error {
+	return json.NewEncoder(w).Encode(summaryLine{Type: EvSummary, Report: r})
+}

@@ -25,6 +25,24 @@
 // for every token (which makes the Figure 11 computation degenerate to
 // "tokens follow control-flow edges"); the optimized construction uses
 // computed placement; Schema 3 maps variables to access sets.
+//
+// Map to the paper:
+//
+//   - translate.go, build.go — the generic schema builder (§2.3, §3, §4.2,
+//     §5) and the Options surface selecting schema and transformations.
+//   - iterative.go — the iterative redundant-switch elimination §4
+//     sketches, cross-checked against the direct construction.
+//   - arraypar.go — array store parallelization (§6.3, Figure 14).
+//   - istruct.go — I-structure translation for write-once arrays (§6.3).
+//   - synchtree.go — synch-tree legalization to two-operand ETS matching
+//     (Figure 2).
+//   - linked.go — separate compilation with Apply/Param/ProcReturn linkage
+//     and per-activation tag frames (§2.2).
+//   - snapshot.go — loadable textual graph format and assembly listing.
+//
+// The effect of each choice here is measurable: run the result under
+// ctdf profile (or obs.Compare two runs) to see firing counts, matching
+// waits, and the critical path a schema produces — see OBSERVABILITY.md.
 package translate
 
 import (

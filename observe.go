@@ -1,0 +1,74 @@
+// Observability surface of the public API: RunConfig.Obs turns a run
+// into an observed run, Result.Obs carries its report, and CompareObs
+// diffs two reports. The event schema, counter semantics, and NDJSON
+// format are documented in OBSERVABILITY.md; the full machinery lives
+// in internal/obs and is driven from the command line by `ctdf profile`.
+package ctdf
+
+import (
+	"encoding/json"
+	"io"
+
+	"ctdf/internal/obs"
+)
+
+// ObsOptions enables observability for one Run.
+type ObsOptions struct {
+	// Events, when non-nil, receives the run as an NDJSON stream: one
+	// "meta" line per node, one "fire"/"wait" line per event, and a
+	// trailing "summary" line holding the full report.
+	Events io.Writer
+	// CriticalPath records the firing DAG so the report includes the
+	// longest dependence chain with per-operator attribution
+	// (EngineMachine only; costs one small record per firing).
+	CriticalPath bool
+	// Label names the run in reports and diffs (conventionally the
+	// schema name); empty defaults to the engine name.
+	Label string
+}
+
+// ObsReport is the structured outcome of an observed run: per-node and
+// per-kind counters, the parallelism histogram, and (when requested)
+// the critical path.
+type ObsReport struct {
+	rep *obs.Report
+}
+
+// Text renders the report for humans, showing at most top per-node rows
+// (top <= 0 shows all).
+func (r *ObsReport) Text(top int) string { return r.rep.Text(top) }
+
+// JSON renders the full report as indented JSON.
+func (r *ObsReport) JSON() ([]byte, error) { return json.MarshalIndent(r.rep, "", "  ") }
+
+// NodeFirings returns per-node firing counts indexed by dataflow node
+// id — identical across engines on the same graph (dataflow
+// determinacy).
+func (r *ObsReport) NodeFirings() []int64 { return r.rep.NodeFirings() }
+
+// CriticalPathLength returns the longest dependence chain's length in
+// cycles, or 0 when the critical path was not recorded.
+func (r *ObsReport) CriticalPathLength() int64 {
+	if r.rep.CriticalPath == nil {
+		return 0
+	}
+	return r.rep.CriticalPath.Length
+}
+
+// ObsDiff is a structured comparison of two observed runs.
+type ObsDiff struct {
+	d *obs.Diff
+}
+
+// CompareObs diffs two reports (a the baseline, b the configuration
+// under test): cycles, ops, matching waits, memory stalls, critical
+// path, and per-kind firing counts.
+func CompareObs(a, b *ObsReport) *ObsDiff {
+	return &ObsDiff{d: obs.Compare(a.rep, b.rep)}
+}
+
+// Text renders the diff for humans.
+func (d *ObsDiff) Text() string { return d.d.Text() }
+
+// JSON renders the diff as indented JSON.
+func (d *ObsDiff) JSON() ([]byte, error) { return json.MarshalIndent(d.d, "", "  ") }

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Tier-1 verification gate: build, static checks, tests, benchmark smoke.
+# Run from anywhere; operates on the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build =="
+go build ./...
+
+echo "== go vet =="
+go vet ./...
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go test =="
+go test ./...
+
+echo "== benchmark smoke =="
+go test -run=NONE -bench='BenchmarkE11|BenchmarkObs' -benchtime=1x .
+
+echo "== OK =="
