@@ -62,7 +62,7 @@ func BenchmarkE2Schema2RunningExample(b *testing.B) {
 }
 
 func BenchmarkE2Schema2IndependentChains(b *testing.B) {
-	benchRun(b, workloads.ByName("independent-chains"), Options{Schema: Schema2}, RunConfig{MemLatency: 4})
+	benchRun(b, workloads.MustByName("independent-chains"), Options{Schema: Schema2}, RunConfig{MemLatency: 4})
 }
 
 // --- E3: translation cost and O(E·V) size scaling (§3) ---
@@ -139,7 +139,7 @@ func BenchmarkE7Cover(b *testing.B) {
 		kind CoverKind
 	}{{"singleton", CoverSingleton}, {"class", CoverClass}, {"monolithic", CoverMonolithic}} {
 		b.Run(c.name, func(b *testing.B) {
-			benchRun(b, workloads.ByName("cover-tradeoff"),
+			benchRun(b, workloads.MustByName("cover-tradeoff"),
 				Options{Schema: Schema3, Cover: c.kind}, RunConfig{MemLatency: 6})
 		})
 	}
@@ -170,7 +170,7 @@ func BenchmarkE9MemElim(b *testing.B) {
 			name = "eliminated"
 		}
 		b.Run(name, func(b *testing.B) {
-			benchRun(b, workloads.ByName("fib-iterative"),
+			benchRun(b, workloads.MustByName("fib-iterative"),
 				Options{Schema: Schema2Opt, EliminateMemory: elim}, RunConfig{MemLatency: 4})
 		})
 	}
@@ -185,7 +185,7 @@ func BenchmarkE10ReadPar(b *testing.B) {
 			name = "parallel-reads"
 		}
 		b.Run(name, func(b *testing.B) {
-			benchRun(b, workloads.ByName("read-heavy"),
+			benchRun(b, workloads.MustByName("read-heavy"),
 				Options{Schema: Schema2, ParallelReads: par}, RunConfig{MemLatency: 16})
 		})
 	}
@@ -196,9 +196,9 @@ func BenchmarkE10ReadPar(b *testing.B) {
 func BenchmarkE11SchemaComparison(b *testing.B) {
 	for _, w := range []workloads.Workload{
 		workloads.RunningExample,
-		workloads.ByName("fib-iterative"),
-		workloads.ByName("matmul-2x2-flat"),
-		workloads.ByName("independent-chains"),
+		workloads.MustByName("fib-iterative"),
+		workloads.MustByName("matmul-2x2-flat"),
+		workloads.MustByName("independent-chains"),
 	} {
 		for _, cfg := range []struct {
 			name string
@@ -219,7 +219,7 @@ func BenchmarkE11SchemaComparison(b *testing.B) {
 // --- E12: engine comparison ---
 
 func BenchmarkE12Engines(b *testing.B) {
-	w := workloads.ByName("nested-loops")
+	w := workloads.MustByName("nested-loops")
 	for _, e := range []struct {
 		name   string
 		engine Engine
@@ -248,7 +248,7 @@ func BenchmarkE13IStructures(b *testing.B) {
 			name = "i-structures"
 		}
 		b.Run(name, func(b *testing.B) {
-			benchRun(b, workloads.ByName("producer-consumer"),
+			benchRun(b, workloads.MustByName("producer-consumer"),
 				Options{Schema: Schema2Opt, EliminateMemory: true, UseIStructures: ist},
 				RunConfig{MemLatency: 16})
 		})
@@ -258,7 +258,7 @@ func BenchmarkE13IStructures(b *testing.B) {
 // --- E14: derived alias structures (§5) ---
 
 func BenchmarkE14DeriveAliases(b *testing.B) {
-	p := compileBench(b, workloads.ByName("proc-fortran").Source)
+	p := compileBench(b, workloads.MustByName("proc-fortran").Source)
 	for i := 0; i < b.N; i++ {
 		pas, err := p.DeriveAliases()
 		if err != nil || len(pas) == 0 {
@@ -270,7 +270,7 @@ func BenchmarkE14DeriveAliases(b *testing.B) {
 // --- E15: separate compilation with activation contexts (§2.2) ---
 
 func BenchmarkE15Linked(b *testing.B) {
-	src := workloads.ByName("proc-fortran").Source
+	src := workloads.MustByName("proc-fortran").Source
 	p := compileBench(b, src)
 	for _, linked := range []bool{false, true} {
 		name := "inlined"
@@ -306,7 +306,7 @@ func BenchmarkE15Linked(b *testing.B) {
 // --- Pipeline stage costs ---
 
 func BenchmarkCompile(b *testing.B) {
-	w := workloads.ByName("matmul-2x2-flat")
+	w := workloads.MustByName("matmul-2x2-flat")
 	for i := 0; i < b.N; i++ {
 		if _, err := Compile(w.Source); err != nil {
 			b.Fatal(err)
@@ -315,7 +315,7 @@ func BenchmarkCompile(b *testing.B) {
 }
 
 func BenchmarkTranslateSchemas(b *testing.B) {
-	w := workloads.ByName("matmul-2x2-flat")
+	w := workloads.MustByName("matmul-2x2-flat")
 	p := compileBench(b, w.Source)
 	for _, s := range []Schema{Schema1, Schema2, Schema2Opt, Schema3, Schema3Opt} {
 		b.Run(s.String(), func(b *testing.B) {
@@ -382,7 +382,7 @@ func BenchmarkScalingSimulate(b *testing.B) {
 // pre-obs seed, where this benchmark's workload matched the seed Run
 // within ~2%).
 func BenchmarkObsDisabled(b *testing.B) {
-	p := compileBench(b, workloads.ByName("fib-iterative").Source)
+	p := compileBench(b, workloads.MustByName("fib-iterative").Source)
 	d, err := p.Translate(Options{Schema: Schema2Opt})
 	if err != nil {
 		b.Fatal(err)
@@ -398,7 +398,7 @@ func BenchmarkObsDisabled(b *testing.B) {
 // an in-memory event ring, and firing-DAG recording for the critical
 // path.
 func BenchmarkObsEnabled(b *testing.B) {
-	p := compileBench(b, workloads.ByName("fib-iterative").Source)
+	p := compileBench(b, workloads.MustByName("fib-iterative").Source)
 	d, err := p.Translate(Options{Schema: Schema2Opt})
 	if err != nil {
 		b.Fatal(err)

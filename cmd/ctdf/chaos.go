@@ -1,0 +1,56 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ctdf/internal/chaos"
+)
+
+// cmdChaos runs the fault-injection detection matrix: every injected
+// fault must be caught by a named machine check or by oracle mismatch
+// (see ROBUSTNESS.md). Exits non-zero on any undetected fault or leaked
+// goroutine.
+func cmdChaos(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	smoke := fs.Bool("smoke", false, "fast CI gate: one schema, two workloads")
+	seed := fs.Int64("seed", 1, "seed for deterministic injection-site selection")
+	deadline := fs.Duration("deadline", 10*time.Second, "per-run deadline")
+	jsonPath := fs.String("json", "", "write the detection matrix as JSON to this file")
+	verbose := fs.Bool("v", false, "print every matrix cell")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := chaos.Run(chaos.Config{Smoke: *smoke, Seed: *seed, Deadline: *deadline})
+	if err != nil {
+		return err
+	}
+	if *verbose {
+		for _, c := range m.Cells {
+			fmt.Printf("%-8s %-12s %-16s %-20s site %d/%d: %s\n",
+				c.Engine, c.Schema, c.Workload, c.Class, c.Site, c.Sites, c.Outcome)
+		}
+	}
+	fmt.Print(m.Summary())
+	if *jsonPath != "" {
+		js, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return err
+		}
+		js = append(js, '\n')
+		if err := os.WriteFile(*jsonPath, js, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("matrix written to %s\n", *jsonPath)
+	}
+	if m.Detected != m.Total {
+		return fmt.Errorf("chaos: %d of %d injected faults went undetected", m.Total-m.Detected, m.Total)
+	}
+	if m.LeakedGoroutines != 0 {
+		return fmt.Errorf("chaos: %d goroutines leaked across the sweep", m.LeakedGoroutines)
+	}
+	return nil
+}

@@ -9,6 +9,7 @@
 //	ctdf dot [flags] (file | -workload name)      emit Graphviz (CFG or DFG)
 //	ctdf stats [flags] (file | -workload name)    dataflow graph sizes per schema
 //	ctdf experiments [flags] [id ...]             regenerate EXPERIMENTS.md tables
+//	ctdf chaos [flags]                            fault-injection detection matrix
 //	ctdf workloads                                list built-in workloads
 //
 // Programs use the paper's language: `var`/`array`/`alias` declarations,
@@ -48,6 +49,8 @@ func main() {
 		err = cmdExplain(os.Args[2:])
 	case "experiments":
 		err = cmdExperiments(os.Args[2:])
+	case "chaos":
+		err = cmdChaos(os.Args[2:])
 	case "workloads":
 		err = cmdWorkloads()
 	case "-h", "--help", "help":
@@ -71,6 +74,7 @@ func usage() {
   ctdf aliases (file | -workload name)
   ctdf explain [flags] (file | -workload name)
   ctdf experiments [flags] [id ...]
+  ctdf chaos [flags]
   ctdf workloads
 Use 'ctdf run -h' etc. for per-command flags.
 `)
@@ -83,12 +87,11 @@ func sourceFlags(fs *flag.FlagSet) (workload *string) {
 
 func loadSource(fs *flag.FlagSet, workload string) (string, error) {
 	if workload != "" {
-		for _, w := range workloads.All() {
-			if w.Name == workload {
-				return w.Source, nil
-			}
+		w, err := workloads.ByName(workload)
+		if err != nil {
+			return "", fmt.Errorf("unknown workload %q (see 'ctdf workloads')", workload)
 		}
-		return "", fmt.Errorf("unknown workload %q (see 'ctdf workloads')", workload)
+		return w.Source, nil
 	}
 	if fs.NArg() != 1 {
 		return "", fmt.Errorf("expected exactly one source file (or -workload)")

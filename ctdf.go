@@ -25,11 +25,13 @@ package ctdf
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"ctdf/internal/analysis"
 	"ctdf/internal/cfg"
 	"ctdf/internal/chanexec"
 	"ctdf/internal/dfg"
+	"ctdf/internal/fault"
 	"ctdf/internal/interp"
 	"ctdf/internal/lang"
 	"ctdf/internal/machine"
@@ -164,6 +166,15 @@ type RunConfig struct {
 	// cycles, ten million firings).
 	MaxCycles int
 	MaxOps    int64
+	// Deadline bounds wall-clock execution (0 = none). The machine
+	// simulator reports ErrDeadline on expiry; the channel engine has no
+	// clock, so its deadline doubles as a deadlock watchdog and reports
+	// ErrDeadlock with per-mailbox diagnostics.
+	Deadline time.Duration
+	// Fault, when non-nil, injects one deterministic fault into the run
+	// (see FaultPlan, ROBUSTNESS.md, and the `ctdf chaos` command);
+	// Result.Fault reports what happened.
+	Fault *FaultPlan
 	// Trace, when non-nil, receives one line per operator firing
 	// (EngineMachine only).
 	Trace io.Writer
@@ -403,10 +414,20 @@ type Result struct {
 	Profile []int
 	// Obs is the observability report (nil unless RunConfig.Obs was set).
 	Obs *ObsReport
+	// Fault reports the fault injector's view of the run (nil unless
+	// RunConfig.Fault was set).
+	Fault *FaultReport
 }
 
-// Run executes the dataflow graph.
+// Run executes the dataflow graph. When the run aborts with a machine
+// check (see the Err* sentinels), the returned *Result is non-nil and
+// carries the partial execution state — final store so far, op counts,
+// and the observability report — so failed runs stay inspectable.
 func (d *Dataflow) Run(cfg RunConfig) (*Result, error) {
+	var inj *fault.Injector
+	if cfg.Fault != nil {
+		inj = fault.NewInjector(fault.Plan{Class: cfg.Fault.Class, Site: cfg.Fault.Site, Delay: cfg.Fault.Delay})
+	}
 	switch cfg.Engine {
 	case EngineMachine:
 		var col *obs.Collector
@@ -423,13 +444,17 @@ func (d *Dataflow) Run(cfg RunConfig) (*Result, error) {
 			Processors:  cfg.Processors,
 			MemLatency:  cfg.MemLatency,
 			MaxCycles:   cfg.MaxCycles,
+			MaxOps:      cfg.MaxOps,
+			Deadline:    cfg.Deadline,
+			Inject:      inj,
 			Binding:     interp.Binding(cfg.Binding),
 			RandomSeed:  cfg.RandomSeed,
 			DetectRaces: cfg.DetectRaces,
 			Trace:       cfg.Trace,
 			Collector:   col,
 		})
-		if err != nil {
+		if out == nil {
+			// Validation failed before the simulation started.
 			return nil, err
 		}
 		res := &Result{
@@ -441,19 +466,20 @@ func (d *Dataflow) Run(cfg RunConfig) (*Result, error) {
 			AvgParallelism: out.Stats.AvgParallelism(),
 			PeakMatchStore: out.Stats.PeakMatchStore,
 			Profile:        out.Stats.Profile,
+			Fault:          faultReport(inj),
 		}
 		if col != nil {
 			rep := col.Report(out.Stats.Cycles, out.Stats.Profile)
 			rep.Engine = "machine"
 			rep.Schema = cfg.Obs.Label
 			if cfg.Obs.Events != nil {
-				if err := obs.WriteSummary(cfg.Obs.Events, rep); err != nil {
-					return nil, err
+				if werr := obs.WriteSummary(cfg.Obs.Events, rep); werr != nil && err == nil {
+					err = werr
 				}
 			}
 			res.Obs = &ObsReport{rep: rep}
 		}
-		return res, nil
+		return res, err
 	case EngineChannels:
 		var counters *obs.NodeCounters
 		if cfg.Obs != nil {
@@ -462,32 +488,44 @@ func (d *Dataflow) Run(cfg RunConfig) (*Result, error) {
 		out, err := chanexec.Run(d.res.Graph, chanexec.Config{
 			Binding:  interp.Binding(cfg.Binding),
 			MaxOps:   cfg.MaxOps,
+			Deadline: cfg.Deadline,
+			Inject:   inj,
 			Counters: counters,
 		})
-		if err != nil {
+		if out == nil {
+			// Validation failed before any worker started.
 			return nil, err
 		}
 		res := &Result{
 			Snapshot: translate.FinalSnapshot(d.res, out.Store, out.EndValues),
 			Ops:      int(out.Ops),
+			Fault:    faultReport(inj),
 		}
 		if counters != nil {
 			rep := obs.NewCountersReport(d.res.Graph.Meta(), counters.Firings())
 			rep.Engine = "channels"
 			rep.Schema = cfg.Obs.Label
 			if cfg.Obs.Events != nil {
-				if err := obs.WriteMeta(cfg.Obs.Events, d.res.Graph.Meta()); err != nil {
-					return nil, err
+				if werr := obs.WriteMeta(cfg.Obs.Events, d.res.Graph.Meta()); werr != nil && err == nil {
+					err = werr
 				}
-				if err := obs.WriteSummary(cfg.Obs.Events, rep); err != nil {
-					return nil, err
+				if werr := obs.WriteSummary(cfg.Obs.Events, rep); werr != nil && err == nil {
+					err = werr
 				}
 			}
 			res.Obs = &ObsReport{rep: rep}
 		}
-		return res, nil
+		return res, err
 	}
 	return nil, fmt.Errorf("ctdf: unknown engine %d", cfg.Engine)
+}
+
+// faultReport summarizes an injector's run (nil when injection is off).
+func faultReport(inj *fault.Injector) *FaultReport {
+	if inj == nil {
+		return nil
+	}
+	return &FaultReport{Class: inj.Class(), Sites: inj.Sites(), Injected: inj.Injected()}
 }
 
 // graph exposes the underlying dataflow graph to the module's own

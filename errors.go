@@ -1,0 +1,50 @@
+package ctdf
+
+import (
+	"ctdf/internal/machcheck"
+)
+
+// Machine-check sentinels. Every execution abort in either engine is a
+// typed *internal* machine-check error that matches exactly one of these
+// under errors.Is, so callers can dispatch on the failure class without
+// parsing messages:
+//
+//	r, err := d.Run(ctdf.RunConfig{Deadline: time.Second})
+//	if errors.Is(err, ctdf.ErrDeadlock) { ... inspect r, the partial result ... }
+//
+// Aborted runs still return a partial *Result (final store so far, op
+// counts, observability report), so failures stay inspectable. The full
+// taxonomy and each check's guarantee are documented in ROBUSTNESS.md.
+var (
+	// ErrDeadlock: execution quiesced (or an I-structure read was
+	// deferred forever) before the end node fired — tokens are stuck. On
+	// the channel engine a wall-clock deadline doubles as the deadlock
+	// oracle, so deadline expiry also reports ErrDeadlock there.
+	ErrDeadlock error = machcheck.ErrDeadlock
+	// ErrTokenLeak: strict token conservation failed — partially matched
+	// activations or live procedure activations survived the run.
+	ErrTokenLeak error = machcheck.ErrTokenLeak
+	// ErrTagViolation: a token arrived with an impossible tag — a
+	// duplicate at a matching port, a non-root tag at end, an unbalanced
+	// loop context, or an unknown activation.
+	ErrTagViolation error = machcheck.ErrTagViolation
+	// ErrCyclesExceeded: the run exceeded MaxCycles or MaxOps (runaway
+	// loop or token explosion).
+	ErrCyclesExceeded error = machcheck.ErrCyclesExceeded
+	// ErrDeadline: the machine simulator exceeded its wall-clock
+	// deadline.
+	ErrDeadline error = machcheck.ErrDeadline
+	// ErrOperatorFault: an operator trapped — division by zero, an array
+	// index out of range, an I-structure write-once violation.
+	ErrOperatorFault error = machcheck.ErrOperatorFault
+	// ErrDeterminacy: race detection observed overlapping conflicting
+	// memory operations, contradicting dataflow determinacy.
+	ErrDeterminacy error = machcheck.ErrDeterminacy
+)
+
+// CheckName returns the machine-check name carried by err ("deadlock",
+// "token-leak", ...) and whether err is a machine-check error at all.
+func CheckName(err error) (string, bool) {
+	c, ok := machcheck.Of(err)
+	return string(c), ok
+}

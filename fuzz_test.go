@@ -1,0 +1,48 @@
+package ctdf
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ctdf/internal/workloads"
+)
+
+// FuzzLoadDataflowRun feeds arbitrary graph text through LoadDataflow
+// and, when it parses, executes it on the machine simulator under tight
+// budgets. The property under test is total robustness: no input may
+// panic, hang, or allocate unboundedly — every failure mode must come
+// back as a returned (typed) error. Seeds are the serialized forms of
+// real translated workloads so the fuzzer starts from well-formed graphs
+// and mutates toward near-miss corruptions of them.
+func FuzzLoadDataflowRun(f *testing.F) {
+	for _, name := range []string{"straightline", "fib-iterative", "array-sum"} {
+		w := workloads.MustByName(name)
+		p, err := Compile(w.Source)
+		if err != nil {
+			f.Fatal(err)
+		}
+		d, err := p.Translate(Options{Schema: Schema2Opt})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(d.Text())
+	}
+	f.Add("ctdf-dataflow v1\nvar x\nnode d0 start\nnode d1 end ins=1\narc d0.0 -> d1.0\n")
+	f.Add("ctdf-dataflow v1\narray a 8\nnode d0 start\nnode d1 end ins=1\narc d0.0 -> d1.0\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := LoadDataflow(strings.NewReader(src))
+		if err != nil {
+			return // rejected at parse or validation: fine
+		}
+		res, err := d.Run(RunConfig{
+			Engine:    EngineMachine,
+			MaxCycles: 2_000,
+			MaxOps:    200_000,
+			Deadline:  2 * time.Second,
+		})
+		if err == nil && res == nil {
+			t.Error("successful run returned no result")
+		}
+	})
+}

@@ -20,13 +20,15 @@
 package chanexec
 
 import (
-	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ctdf/internal/dfg"
+	"ctdf/internal/fault"
 	"ctdf/internal/interp"
 	"ctdf/internal/lang"
+	"ctdf/internal/machcheck"
 	"ctdf/internal/obs"
 	"ctdf/internal/token"
 )
@@ -37,6 +39,15 @@ type Config struct {
 	Binding interp.Binding
 	// MaxOps bounds total firings (default ten million).
 	MaxOps int64
+	// Deadline bounds wall-clock execution (0 = none). The engine has no
+	// clock, so the deadline doubles as its deadlock oracle: a run that
+	// has not quiesced when it expires is aborted with a Deadlock machine
+	// check carrying per-mailbox queue depths, and every worker goroutine
+	// is torn down before Run returns.
+	Deadline time.Duration
+	// Inject threads a deterministic fault-injection plan through the
+	// run (nil = no injection; see internal/fault and ROBUSTNESS.md).
+	Inject *fault.Injector
 	// Counters, when non-nil, receives per-node firing counts. Each
 	// node's slot is written only by that node's worker goroutine, so
 	// plain increments are race-free; read it only after Run returns.
@@ -58,12 +69,15 @@ type msg struct {
 }
 
 // mailbox is an unbounded FIFO: sends never block, so cyclic graphs cannot
-// deadlock on channel capacity.
+// deadlock on channel capacity. A wedged mailbox (fault injection) accepts
+// tokens but never yields them, simulating a stuck operator; close() still
+// releases the owning worker, so teardown is guaranteed.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	q      []msg
 	closed bool
+	wedged bool
 }
 
 func newMailbox() *mailbox {
@@ -82,15 +96,29 @@ func (b *mailbox) push(m msg) {
 func (b *mailbox) pop() (msg, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for len(b.q) == 0 && !b.closed {
+	for (len(b.q) == 0 || b.wedged) && !b.closed {
 		b.cond.Wait()
 	}
-	if len(b.q) == 0 {
+	if len(b.q) == 0 || b.wedged {
 		return msg{}, false
 	}
 	m := b.q[0]
 	b.q = b.q[1:]
 	return m, true
+}
+
+// wedge freezes the mailbox: queued and future tokens are never yielded.
+func (b *mailbox) wedge() {
+	b.mu.Lock()
+	b.wedged = true
+	b.mu.Unlock()
+}
+
+// depth returns the number of queued tokens and whether the box is wedged.
+func (b *mailbox) depth() (int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.q), b.wedged
 }
 
 func (b *mailbox) close() {
@@ -110,6 +138,7 @@ type engine struct {
 	ops      atomic.Int64
 	leftover atomic.Int64
 	maxOps   int64
+	inj      *fault.Injector
 
 	done     chan struct{}
 	doneOnce sync.Once
@@ -165,6 +194,7 @@ func Run(g *dfg.Graph, cfg Config) (*Outcome, error) {
 		boxes:    make([]*mailbox, len(g.Nodes)),
 		counters: cfg.Counters,
 		maxOps:   maxOps,
+		inj:      cfg.Inject,
 		done:     make(chan struct{}),
 	}
 	e.endVals = make([]int64, g.Nodes[g.EndID].NIns)
@@ -201,39 +231,83 @@ func Run(g *dfg.Graph, cfg Config) (*Outcome, error) {
 		}(n)
 	}
 
+	// The quiescence watchdog: the engine has no clock, so a wall-clock
+	// deadline is its deadlock oracle. If the run has not quiesced when it
+	// expires, fail with a Deadlock check carrying per-mailbox queue
+	// depths; the normal teardown below then reclaims every worker.
+	var watchdog *time.Timer
+	if cfg.Deadline > 0 {
+		watchdog = time.AfterFunc(cfg.Deadline, func() {
+			e.fail(e.watchdogError(cfg.Deadline))
+		})
+	}
+
 	// The start node emits one dummy token per arc at the root context.
 	for _, a := range g.OutArcs(g.StartID, 0) {
 		e.send(a.To, msg{port: a.ToPort, val: 0, tg: token.Root})
 	}
 	<-e.done
+	if watchdog != nil {
+		watchdog.Stop()
+	}
 	for _, b := range e.boxes {
 		b.close()
 	}
 	wg.Wait()
 
+	// From here every worker has exited: engine state is quiescent and
+	// safe to read. Aborted runs still return the partial outcome so the
+	// store and op count stay inspectable.
+	partial := &Outcome{Store: e.store, EndValues: e.endVals, Ops: e.ops.Load()}
 	e.errMu.Lock()
 	err := e.err
 	e.errMu.Unlock()
 	if err != nil {
-		return nil, err
+		return partial, err
 	}
 	if e.procLive != nil {
 		e.procMu.Lock()
 		live := len(e.procLive)
 		e.procMu.Unlock()
 		if live != 0 {
-			return nil, fmt.Errorf("chanexec: %d procedure activations never returned", live)
+			return partial, machcheck.Newf(machcheck.TokenLeak, "channels",
+				"%d procedure activations never returned", live)
 		}
 	}
 	if n := e.deferredReads.Load(); n != 0 {
-		return nil, fmt.Errorf("chanexec: %d I-structure reads of never-written cells", n)
+		return partial, machcheck.Newf(machcheck.Deadlock, "channels",
+			"%d I-structure reads of never-written cells", n)
 	}
 	// Strict conservation: no partially matched activation may survive the
 	// run (its partner token can never arrive).
 	if n := e.leftover.Load(); n != 0 {
-		return nil, fmt.Errorf("chanexec: %d partially matched activations left after end fired (token leak)", n)
+		return partial, machcheck.Newf(machcheck.TokenLeak, "channels",
+			"%d partially matched activations left after end fired (token leak)", n)
 	}
-	return &Outcome{Store: e.store, EndValues: e.endVals, Ops: e.ops.Load()}, nil
+	return partial, nil
+}
+
+// watchdogError renders the stuck state at deadline expiry: the global
+// in-flight count plus every non-empty mailbox's queue depth.
+func (e *engine) watchdogError(d time.Duration) error {
+	ce := machcheck.Newf(machcheck.Deadlock, "channels",
+		"no quiescence within %v deadline: %d tokens in flight", d, e.inflight.Load())
+	var stuck []machcheck.Stuck
+	for i, b := range e.boxes {
+		if b == nil {
+			continue
+		}
+		depth, wedged := b.depth()
+		if depth == 0 && !wedged {
+			continue
+		}
+		label := e.g.Nodes[i].String()
+		if wedged {
+			label += " (wedged)"
+		}
+		stuck = append(stuck, machcheck.Stuck{Node: i, Label: label, Have: depth})
+	}
+	return ce.WithStuck(stuck)
 }
 
 func (e *engine) fail(err error) {
@@ -246,9 +320,38 @@ func (e *engine) fail(err error) {
 	e.doneOnce.Do(func() { close(e.done) })
 }
 
+// matchSite reports whether node is a matching operator (>=2 inputs with
+// strict per-port matching) or the end node — the deliveries where token
+// conservation makes drop/dup/corrupt-tag faults provably visible.
+func (e *engine) matchSite(node int) bool {
+	n := e.g.Nodes[node]
+	switch n.Kind {
+	case dfg.Merge, dfg.LoopEntry, dfg.Param:
+		return false
+	case dfg.End:
+		return true
+	}
+	return n.NIns >= 2
+}
+
 // send delivers a token; the in-flight count rises before delivery so the
 // quiescence check cannot fire spuriously.
 func (e *engine) send(node int, m msg) {
+	if e.inj != nil {
+		switch e.inj.Deliver(e.matchSite(node)) {
+		case fault.ActDrop:
+			// The token vanishes: in-flight never counts it, so the run
+			// quiesces with the destination starved.
+			return
+		case fault.ActDup:
+			e.inflight.Add(1)
+			e.boxes[node].push(m)
+		case fault.ActCorruptTag:
+			m.tg = m.tg.Push()
+		case fault.ActWedge:
+			e.boxes[node].wedge()
+		}
+	}
 	e.inflight.Add(1)
 	e.boxes[node].push(m)
 }
@@ -261,7 +364,8 @@ func (e *engine) retire() {
 		finished := e.endDone
 		e.endMu.Unlock()
 		if !finished {
-			e.fail(fmt.Errorf("chanexec: quiescent before end fired (deadlocked tokens)"))
+			e.fail(machcheck.Newf(machcheck.Deadlock, "channels",
+				"quiescent before end fired (deadlocked tokens)"))
 			return
 		}
 		e.doneOnce.Do(func() { close(e.done) })
@@ -297,7 +401,8 @@ func (e *engine) worker(n *dfg.Node) {
 		}
 		bit := uint64(1) << uint(m.port)
 		if st.have&bit != 0 {
-			e.fail(fmt.Errorf("chanexec: duplicate token at %s port %d tag %q", n, m.port, m.tg.Key()))
+			e.fail(machcheck.Newf(machcheck.TagViolation, "channels",
+				"duplicate token at %s port %d tag %q", n, m.port, m.tg.Key()))
 			e.retire()
 			continue
 		}
@@ -350,20 +455,30 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 		return
 	}
 	if e.ops.Add(1) > e.maxOps {
-		e.fail(fmt.Errorf("chanexec: exceeded %d firings (runaway loop?)", e.maxOps))
+		e.fail(machcheck.Newf(machcheck.CyclesExceeded, "channels",
+			"exceeded %d firings (runaway loop?)", e.maxOps))
 		return
 	}
 	e.counters.Inc(n.ID)
 	switch n.Kind {
 	case dfg.End:
 		if !tg.IsRoot() {
-			e.fail(fmt.Errorf("chanexec: token reached end with non-root tag %q", tg.Key()))
+			e.fail(machcheck.Newf(machcheck.TagViolation, "channels",
+				"token reached end with non-root tag %q (unbalanced loop context)", tg.Key()))
 			return
 		}
 		e.endMu.Lock()
-		copy(e.endVals, vals)
-		e.endDone = true
+		fired := e.endDone
+		if !fired {
+			copy(e.endVals, vals)
+			e.endDone = true
+		}
 		e.endMu.Unlock()
+		if fired {
+			e.fail(machcheck.Newf(machcheck.TagViolation, "channels",
+				"end fired twice (duplicate result token)"))
+			return
+		}
 
 	case dfg.Const:
 		e.emit(n.ID, 0, n.Val, tg)
@@ -371,8 +486,13 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 	case dfg.BinOp:
 		v, err := interp.Apply(n.Op, vals[0], vals[1])
 		if err != nil {
-			e.fail(fmt.Errorf("chanexec: %s: %w", n, err))
+			e.fail(machcheck.Newf(machcheck.OperatorFault, "channels", "%s: %v", n, err))
 			return
+		}
+		if e.inj != nil && fault.PredicateOp(n.Op) {
+			if fv, hit := e.inj.Misfire(v); hit {
+				v = fv
+			}
 		}
 		e.emit(n.ID, 0, v, tg)
 
@@ -386,7 +506,7 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 				v = 1
 			}
 		default:
-			e.fail(fmt.Errorf("chanexec: bad unary op %v", n.Op))
+			e.fail(machcheck.Newf(machcheck.OperatorFault, "channels", "bad unary op %v", n.Op))
 			return
 		}
 		e.emit(n.ID, 0, v, tg)
@@ -404,7 +524,8 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 	case dfg.Apply:
 		info := e.procByApply[n.ID]
 		if info == nil {
-			e.fail(fmt.Errorf("chanexec: apply d%d has no call linkage", n.ID))
+			e.fail(machcheck.Newf(machcheck.OperatorFault, "channels",
+				"apply d%d has no call linkage", n.ID))
 			return
 		}
 		e.procMu.Lock()
@@ -424,7 +545,7 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 	case dfg.ProcReturn:
 		_, id, err := tg.PopCall()
 		if err != nil {
-			e.fail(fmt.Errorf("chanexec: %s: %w", n, err))
+			e.fail(machcheck.Newf(machcheck.TagViolation, "channels", "%s: %v", n, err))
 			return
 		}
 		e.procMu.Lock()
@@ -432,7 +553,8 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 		delete(e.procLive, id)
 		e.procMu.Unlock()
 		if rec == nil {
-			e.fail(fmt.Errorf("chanexec: return for unknown activation %d", id))
+			e.fail(machcheck.Newf(machcheck.TagViolation, "channels",
+				"return for unknown activation %d", id))
 			return
 		}
 		for p := 0; p < len(rec.info.InTokens); p++ {
@@ -450,7 +572,7 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 		} else {
 			nt, err = tg.Bump()
 			if err != nil {
-				e.fail(fmt.Errorf("chanexec: %s: %w", n, err))
+				e.fail(machcheck.Newf(machcheck.TagViolation, "channels", "%s: %v", n, err))
 				return
 			}
 		}
@@ -459,7 +581,7 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 	case dfg.LoopExit:
 		nt, err := tg.Pop()
 		if err != nil {
-			e.fail(fmt.Errorf("chanexec: %s: %w", n, err))
+			e.fail(machcheck.Newf(machcheck.TagViolation, "channels", "%s: %v", n, err))
 			return
 		}
 		e.emit(n.ID, 0, vals[0], nt)
@@ -475,7 +597,7 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 	case dfg.LoadIdx:
 		v, err := e.store.GetIdx(e.resolveName(n.Var, tg), vals[0])
 		if err != nil {
-			e.fail(fmt.Errorf("chanexec: %s: %w", n, err))
+			e.fail(machcheck.Newf(machcheck.OperatorFault, "channels", "%s: %v", n, err))
 			return
 		}
 		e.emit(n.ID, 0, v, tg)
@@ -483,7 +605,7 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 
 	case dfg.StoreIdx:
 		if err := e.store.SetIdx(e.resolveName(n.Var, tg), vals[0], vals[1]); err != nil {
-			e.fail(fmt.Errorf("chanexec: %s: %w", n, err))
+			e.fail(machcheck.Newf(machcheck.OperatorFault, "channels", "%s: %v", n, err))
 			return
 		}
 		e.emit(n.ID, 0, 0, tg)
@@ -494,7 +616,8 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 		full := e.istructFull[n.Var]
 		if idx < 0 || idx >= int64(len(full)) {
 			e.istructMu.Unlock()
-			e.fail(fmt.Errorf("chanexec: I-structure index %d out of range for %s[%d]", idx, n.Var, len(full)))
+			e.fail(machcheck.Newf(machcheck.OperatorFault, "channels",
+				"I-structure index %d out of range for %s[%d]", idx, n.Var, len(full)))
 			return
 		}
 		if !full[idx] {
@@ -506,7 +629,7 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 		e.istructMu.Unlock()
 		v, err := e.store.GetIdx(n.Var, idx)
 		if err != nil {
-			e.fail(fmt.Errorf("chanexec: %s: %w", n, err))
+			e.fail(machcheck.Newf(machcheck.OperatorFault, "channels", "%s: %v", n, err))
 			return
 		}
 		e.emit(n.ID, 0, v, tg)
@@ -517,18 +640,20 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 		full := e.istructFull[n.Var]
 		if idx < 0 || idx >= int64(len(full)) {
 			e.istructMu.Unlock()
-			e.fail(fmt.Errorf("chanexec: I-structure index %d out of range for %s[%d]", idx, n.Var, len(full)))
+			e.fail(machcheck.Newf(machcheck.OperatorFault, "channels",
+				"I-structure index %d out of range for %s[%d]", idx, n.Var, len(full)))
 			return
 		}
 		if full[idx] {
 			e.istructMu.Unlock()
-			e.fail(fmt.Errorf("chanexec: I-structure write-once violation: %s[%d] written twice", n.Var, idx))
+			e.fail(machcheck.Newf(machcheck.OperatorFault, "channels",
+				"I-structure write-once violation: %s[%d] written twice", n.Var, idx))
 			return
 		}
 		full[idx] = true
 		if err := e.store.SetIdx(n.Var, idx, vals[1]); err != nil {
 			e.istructMu.Unlock()
-			e.fail(fmt.Errorf("chanexec: %s: %w", n, err))
+			e.fail(machcheck.Newf(machcheck.OperatorFault, "channels", "%s: %v", n, err))
 			return
 		}
 		waiters := e.istructWait[n.Var][idx]
@@ -540,6 +665,6 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 		}
 
 	default:
-		e.fail(fmt.Errorf("chanexec: cannot fire %s", n))
+		e.fail(machcheck.Newf(machcheck.OperatorFault, "channels", "cannot fire %s", n))
 	}
 }

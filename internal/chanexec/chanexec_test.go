@@ -107,7 +107,7 @@ func TestChanexecRuntimeError(t *testing.T) {
 }
 
 func TestChanexecOpsBound(t *testing.T) {
-	w := workloads.ByName("fib-iterative")
+	w := workloads.MustByName("fib-iterative")
 	g := cfg.MustBuild(w.Parse())
 	res, err := translate.Translate(g, translate.Options{Schema: translate.Schema2})
 	if err != nil {

@@ -1,0 +1,148 @@
+package chanexec
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ctdf/internal/cfg"
+	"ctdf/internal/fault"
+	"ctdf/internal/machcheck"
+	"ctdf/internal/translate"
+	"ctdf/internal/workloads"
+)
+
+func translateWorkload(t *testing.T, name string, opt translate.Options) *translate.Result {
+	t.Helper()
+	g := cfg.MustBuild(workloads.MustByName(name).Parse())
+	res, err := translate.Translate(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// countSites runs res once with a counting-pass injector, returning the
+// eligible site count and the clean run's snapshot for oracle comparison.
+func countSites(t *testing.T, res *translate.Result, class fault.Class) (int64, string, int64) {
+	t.Helper()
+	in := fault.NewInjector(fault.Plan{Class: class, Site: 0})
+	out, err := Run(res.Graph, Config{Inject: in})
+	if err != nil {
+		t.Fatalf("counting pass failed: %v", err)
+	}
+	if in.Injected() {
+		t.Fatal("counting pass injected a fault")
+	}
+	return in.Sites(), out.Store.Snapshot(), out.Ops
+}
+
+func faultSites(n int64) []int64 {
+	if n <= 6 {
+		sites := make([]int64, 0, n)
+		for s := int64(1); s <= n; s++ {
+			sites = append(sites, s)
+		}
+		return sites
+	}
+	return []int64{1, 2, n / 3, n / 2, n - 1, n}
+}
+
+func TestChanexecDetectsInjectedFaults(t *testing.T) {
+	res := translateWorkload(t, "array-sum", translate.Options{Schema: translate.Schema2Opt})
+	for _, class := range []fault.Class{
+		fault.DropToken, fault.DupToken, fault.CorruptTag, fault.WedgeMailbox,
+	} {
+		sites, _, _ := countSites(t, res, class)
+		if sites == 0 {
+			t.Fatalf("%s: no eligible sites in array-sum", class)
+		}
+		// A wedged run can only end via the watchdog, so every wedge site
+		// burns its full deadline; keep it short.
+		deadline := 5 * time.Second
+		if class == fault.WedgeMailbox {
+			deadline = 150 * time.Millisecond
+		}
+		for _, site := range faultSites(sites) {
+			in := fault.NewInjector(fault.Plan{Class: class, Site: site})
+			out, err := Run(res.Graph, Config{Inject: in, Deadline: deadline})
+			if !in.Injected() {
+				t.Fatalf("%s site %d/%d: fault did not fire", class, site, sites)
+			}
+			if err == nil {
+				t.Errorf("%s site %d/%d: fault went undetected", class, site, sites)
+				continue
+			}
+			if _, ok := machcheck.Of(err); !ok {
+				t.Errorf("%s site %d: untyped error %v", class, site, err)
+			}
+			if out == nil {
+				t.Errorf("%s site %d: no partial outcome alongside %v", class, site, err)
+			}
+		}
+	}
+}
+
+func TestChanexecMisfireDetectedByCheckOrOracle(t *testing.T) {
+	res := translateWorkload(t, "array-sum", translate.Options{Schema: translate.Schema2Opt})
+	sites, cleanSnap, cleanOps := countSites(t, res, fault.MisfireValue)
+	if sites == 0 {
+		t.Fatal("no binop sites in array-sum")
+	}
+	for _, site := range faultSites(sites) {
+		in := fault.NewInjector(fault.Plan{Class: fault.MisfireValue, Site: site})
+		out, err := Run(res.Graph, Config{Inject: in, Deadline: 5 * time.Second, MaxOps: 1_000_000})
+		if !in.Injected() {
+			t.Fatalf("misfire site %d/%d: fault did not fire", site, sites)
+		}
+		if err == nil && out.Store.Snapshot() == cleanSnap && out.Ops == cleanOps {
+			t.Errorf("misfire site %d/%d: corrupted predicate escaped checks, oracle, and op counts", site, sites)
+		}
+	}
+}
+
+func TestWatchdogReportsDeadlockWithinDeadline(t *testing.T) {
+	// A wedged mailbox freezes an operator, so the run can never quiesce;
+	// the watchdog must convert the hang into a typed ErrDeadlock well
+	// within the test's own timeout, with mailbox-depth diagnostics.
+	res := translateWorkload(t, "fib-iterative", translate.Options{Schema: translate.Schema2Opt})
+	in := fault.NewInjector(fault.Plan{Class: fault.WedgeMailbox, Site: 10})
+	start := time.Now()
+	out, err := Run(res.Graph, Config{Inject: in, Deadline: 200 * time.Millisecond})
+	elapsed := time.Since(start)
+	if !errors.Is(err, machcheck.ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Errorf("watchdog took %v to trip a 200ms deadline", elapsed)
+	}
+	var ce *machcheck.Error
+	if !errors.As(err, &ce) {
+		t.Fatalf("err %v is not a *machcheck.Error", err)
+	}
+	wedged := false
+	for _, s := range ce.Stuck {
+		if len(s.Label) > 0 && s.Have >= 0 {
+			wedged = true
+		}
+	}
+	if !wedged && len(ce.Stuck) == 0 {
+		t.Error("watchdog error carries no mailbox diagnostics")
+	}
+	if out == nil {
+		t.Error("watchdog abort returned no partial outcome")
+	}
+}
+
+func TestChanexecDeadlineOnLiveRunStillTyped(t *testing.T) {
+	// Even a live (non-wedged) run that overruns its deadline must come
+	// back typed, with workers torn down — never a hang.
+	res := translateWorkload(t, "nested-loops", translate.Options{Schema: translate.Schema2Opt})
+	out, err := Run(res.Graph, Config{Deadline: 1}) // 1ns: expires immediately
+	if err != nil && !errors.Is(err, machcheck.ErrDeadlock) {
+		t.Fatalf("err = %v, want nil or ErrDeadlock", err)
+	}
+	if err != nil && out == nil {
+		t.Error("no partial outcome on deadline abort")
+	}
+}

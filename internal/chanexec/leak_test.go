@@ -1,0 +1,74 @@
+package chanexec
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"ctdf/internal/fault"
+	"ctdf/internal/translate"
+)
+
+// checkNoLeak asserts the goroutine count settles back to its baseline
+// after fn returns: every chanexec error and abort path must tear down all
+// worker goroutines before Run returns.
+func checkNoLeak(t *testing.T, name string, fn func()) {
+	t.Helper()
+	runtime.GC()
+	base := runtime.NumGoroutine()
+	fn()
+	// Workers have all exited by the time Run returns (wg.Wait), but give
+	// the runtime a moment to account for them.
+	for i := 0; i < 50; i++ {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("%s: goroutines leaked: baseline %d, now %d", name, base, runtime.NumGoroutine())
+}
+
+func TestNoGoroutineLeakOnErrorPaths(t *testing.T) {
+	res := translateWorkload(t, "fib-iterative", translate.Options{Schema: translate.Schema2Opt})
+	div0 := translateWorkload(t, "straightline", translate.Options{Schema: translate.Schema2Opt})
+	_ = div0
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"clean run", func() {
+			if _, err := Run(res.Graph, Config{}); err != nil {
+				t.Errorf("clean run failed: %v", err)
+			}
+		}},
+		{"max-ops abort", func() {
+			if _, err := Run(res.Graph, Config{MaxOps: 5}); err == nil {
+				t.Error("max-ops run did not abort")
+			}
+		}},
+		{"deadline abort", func() {
+			Run(res.Graph, Config{Deadline: 1})
+		}},
+		{"wedged mailbox + watchdog", func() {
+			in := fault.NewInjector(fault.Plan{Class: fault.WedgeMailbox, Site: 5})
+			if _, err := Run(res.Graph, Config{Inject: in, Deadline: 100 * time.Millisecond}); err == nil {
+				t.Error("wedged run did not abort")
+			}
+		}},
+		{"dropped token deadlock", func() {
+			in := fault.NewInjector(fault.Plan{Class: fault.DropToken, Site: 1})
+			if _, err := Run(res.Graph, Config{Inject: in, Deadline: 5 * time.Second}); err == nil {
+				t.Error("dropped-token run did not abort")
+			}
+		}},
+		{"duplicate token", func() {
+			in := fault.NewInjector(fault.Plan{Class: fault.DupToken, Site: 1})
+			Run(res.Graph, Config{Inject: in, Deadline: 5 * time.Second})
+		}},
+	}
+	for _, c := range cases {
+		checkNoLeak(t, c.name, c.fn)
+	}
+}

@@ -351,6 +351,43 @@ func (g *Graph) Validate() error {
 			return fmt.Errorf("dfg: %s has no inputs", n)
 		}
 	}
+	// Memory operators must name declared storage of the right shape:
+	// the engines' stores index by name without rechecking, so a load of
+	// an undeclared scalar would fault inside the run instead of here.
+	scalars := map[string]bool{}
+	arrays := map[string]bool{}
+	if g.Prog != nil {
+		for _, v := range g.Prog.Vars {
+			scalars[v.Name] = true
+		}
+		for _, a := range g.Prog.Arrays {
+			arrays[a.Name] = true
+		}
+		// Linked graphs carry callee subgraphs whose memory nodes name
+		// procedure formals (by-reference scalars, paper §5).
+		for _, pr := range g.Prog.Procedures {
+			for _, f := range pr.Params {
+				scalars[f] = true
+			}
+		}
+		for _, al := range g.Prog.Aliases {
+			if !scalars[al.A] && !arrays[al.A] || !scalars[al.B] && !arrays[al.B] {
+				return fmt.Errorf("dfg: alias %s ~ %s references an undeclared name", al.A, al.B)
+			}
+		}
+	}
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case Load, Store:
+			if !scalars[n.Var] {
+				return fmt.Errorf("dfg: %s references undeclared scalar %q", n, n.Var)
+			}
+		case LoadIdx, StoreIdx, ILoad, IStore:
+			if !arrays[n.Var] {
+				return fmt.Errorf("dfg: %s references undeclared array %q", n, n.Var)
+			}
+		}
+	}
 	return nil
 }
 

@@ -27,6 +27,13 @@ import (
 //	arc d4.1 -> d5.1 dummy
 //
 // WriteText and ParseText round-trip exactly.
+//
+// ParseText bounds array sizes and node arity so a hostile (or fuzzed)
+// graph file cannot allocate unbounded storage before Validate runs.
+const (
+	maxArraySize = 1 << 20
+	maxNodeIns   = 4096
+)
 
 var opByName = map[string]lang.Op{}
 
@@ -173,8 +180,8 @@ func ParseText(r io.Reader) (*Graph, error) {
 				return nil, fail("array takes name and size")
 			}
 			size, err := strconv.Atoi(fields[2])
-			if err != nil || size <= 0 {
-				return nil, fail("bad array size %q", fields[2])
+			if err != nil || size <= 0 || size > maxArraySize {
+				return nil, fail("bad array size %q (must be 1..%d)", fields[2], maxArraySize)
 			}
 			prog.Arrays = append(prog.Arrays, lang.ArrayDecl{Name: fields[1], Size: size})
 		case "alias":
@@ -226,8 +233,8 @@ func ParseText(r io.Reader) (*Graph, error) {
 					n.Tok = kv[1]
 				case "ins":
 					v, err := strconv.Atoi(kv[1])
-					if err != nil || v < 0 {
-						return nil, fail("bad ins %q", kv[1])
+					if err != nil || v < 0 || v > maxNodeIns {
+						return nil, fail("bad ins %q (must be 0..%d)", kv[1], maxNodeIns)
 					}
 					n.NIns = v
 				case "stmt":

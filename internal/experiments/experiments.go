@@ -215,7 +215,7 @@ func e1() ([]*table, error) {
 // e2: Schema 2 vs Schema 1 on the running example and a parallel workload.
 func e2() ([]*table, error) {
 	t := newTable("workload", "schema", "tokens", "cycles(L=4)", "ops", "avg par", "speedup")
-	for _, w := range []workloads.Workload{workloads.RunningExample, workloads.ByName("independent-chains")} {
+	for _, w := range []workloads.Workload{workloads.RunningExample, workloads.MustByName("independent-chains")} {
 		base := 0
 		for _, schema := range []translate.Schema{translate.Schema1, translate.Schema2} {
 			res, err := translateW(w, translate.Options{Schema: schema})
@@ -342,7 +342,7 @@ func e6() ([]*table, error) {
 // e7: covers trade parallelism against synchronization (§5).
 func e7() ([]*table, error) {
 	t := newTable("workload", "cover", "tokens", "token collections", "synch nodes", "cycles(L=6)", "avg par")
-	for _, w := range []workloads.Workload{workloads.FortranAlias, workloads.ByName("cover-tradeoff")} {
+	for _, w := range []workloads.Workload{workloads.FortranAlias, workloads.MustByName("cover-tradeoff")} {
 		prog := w.Parse()
 		as := analysis.NewAliasStructure(prog)
 		covers := []struct {
@@ -417,10 +417,10 @@ func e9() ([]*table, error) {
 	t := newTable("workload", "loads+stores", "after elim", "cycles(L=4)", "after elim ", "speedup")
 	for _, w := range []workloads.Workload{
 		workloads.RunningExample,
-		workloads.ByName("fib-iterative"),
-		workloads.ByName("gcd"),
-		workloads.ByName("nested-loops"),
-		workloads.ByName("independent-chains"),
+		workloads.MustByName("fib-iterative"),
+		workloads.MustByName("gcd"),
+		workloads.MustByName("nested-loops"),
+		workloads.MustByName("independent-chains"),
 	} {
 		plain, err := translateW(w, translate.Options{Schema: translate.Schema2Opt})
 		if err != nil {
@@ -447,7 +447,7 @@ func e9() ([]*table, error) {
 
 // e10: §6.2 read parallelization vs latency.
 func e10() ([]*table, error) {
-	w := workloads.ByName("read-heavy")
+	w := workloads.MustByName("read-heavy")
 	g, err := cfg.Build(w.Parse())
 	if err != nil {
 		return nil, err
@@ -518,7 +518,7 @@ func e11() ([]*table, error) {
 // loop's reads defer at the memory instead of waiting for the producer
 // loop's access token, so the two loops overlap.
 func e13() ([]*table, error) {
-	w := workloads.ByName("producer-consumer")
+	w := workloads.MustByName("producer-consumer")
 	g, err := cfg.Build(w.Parse())
 	if err != nil {
 		return nil, err

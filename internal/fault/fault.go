@@ -1,0 +1,275 @@
+// Package fault implements deterministic, seed-driven fault injection for
+// the dataflow execution engines. It exists to prove the machine checks
+// have teeth: each fault class synthesizes one failure mode an illegal
+// execution could exhibit, and the chaos harness (internal/chaos, `ctdf
+// chaos`) asserts that every injected fault is caught by a named machine
+// check (machcheck) or by oracle mismatch.
+//
+// A Plan names a fault class and the 1-based index of the eligible
+// injection site to hit; an Injector threads through an engine run via
+// small hooks (Deliver, MemResponse, Misfire) the engines call at each
+// potential site. Running with Site 0 counts eligible sites without
+// injecting anything — the counting pass a harness uses to pick a site
+// deterministically from a seed. Exactly one fault is injected per run.
+//
+// Site eligibility is chosen so that detection is guaranteed, not merely
+// likely:
+//
+//   - drop/dup/corrupt-tag apply only to tokens delivered to matching
+//     operators (≥2 inputs) or to the end node, where strict token
+//     conservation makes the missing/extra/mismatched partner visible;
+//   - lose/delay-mem apply to split-phase memory responses before the end
+//     node fires, where every response is still needed;
+//   - misfire applies to predicate-producing binop firings (comparisons
+//     and boolean connectives), corrupting the result v to 1-v — the flip
+//     provably inverts the branch decision the predicate feeds, so the
+//     execution diverges in its firing counts, its final store, or a
+//     machine check (an arithmetic misfire, by contrast, can be legally
+//     absorbed by a downstream comparison and is not injected);
+//   - wedge applies to any token delivery, freezing the destination
+//     mailbox (channel engine only — the machine simulator has no
+//     mailboxes to wedge).
+//
+// delay-mem is the deliberate negative control: delaying a split-phase
+// response must NOT change the result (dataflow determinacy), so its
+// "detection" criterion is inverted — the run must complete with the
+// oracle's exact store and firing counts, proving the checks do not
+// false-positive under timing perturbation.
+package fault
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"ctdf/internal/lang"
+)
+
+// Class names one fault class.
+type Class string
+
+// The fault classes.
+const (
+	// DropToken discards a token on delivery.
+	DropToken Class = "drop-token"
+	// DupToken delivers a token twice.
+	DupToken Class = "dup-token"
+	// CorruptTag wraps a delivered token's tag in a bogus loop context.
+	CorruptTag Class = "corrupt-tag"
+	// LoseMemResponse discards the result tokens of a split-phase memory
+	// operation (machine engine only).
+	LoseMemResponse Class = "lose-mem-response"
+	// DelayMemResponse delays a split-phase memory response by extra
+	// cycles without losing it (machine engine only; a determinacy probe).
+	DelayMemResponse Class = "delay-mem-response"
+	// MisfireValue makes a predicate-producing operator (comparison or
+	// boolean connective) produce the flipped value 1-v.
+	MisfireValue Class = "misfire-value"
+	// WedgeMailbox freezes an operator's mailbox so it stops consuming
+	// tokens (channel engine only).
+	WedgeMailbox Class = "wedge-mailbox"
+)
+
+// Classes returns every fault class, in stable order.
+func Classes() []Class {
+	return []Class{DropToken, DupToken, CorruptTag, LoseMemResponse, DelayMemResponse, MisfireValue, WedgeMailbox}
+}
+
+// ParseClass parses a fault class name.
+func ParseClass(s string) (Class, error) {
+	for _, c := range Classes() {
+		if string(c) == s {
+			return c, nil
+		}
+	}
+	return "", fmt.Errorf("fault: unknown fault class %q", s)
+}
+
+// Engine names for AppliesTo.
+const (
+	EngineMachine  = "machine"
+	EngineChannels = "channels"
+)
+
+// AppliesTo reports whether the class has injection sites in the given
+// engine: split-phase memory responses exist only in the cycle-driven
+// machine, mailboxes only in the channel engine.
+func (c Class) AppliesTo(engine string) bool {
+	switch c {
+	case LoseMemResponse, DelayMemResponse:
+		return engine == EngineMachine
+	case WedgeMailbox:
+		return engine == EngineChannels
+	}
+	return engine == EngineMachine || engine == EngineChannels
+}
+
+// Benign reports whether the class is a determinacy probe: the run must
+// tolerate it and produce the oracle's exact result, rather than abort.
+func (c Class) Benign() bool { return c == DelayMemResponse }
+
+// DefaultDelay is the extra latency DelayMemResponse injects when the
+// plan does not specify one.
+const DefaultDelay = 32
+
+// Plan selects one fault to inject.
+type Plan struct {
+	// Class is the fault class.
+	Class Class
+	// Site is the 1-based index of the eligible injection site to hit; 0
+	// makes the injector count sites without injecting (the counting
+	// pass).
+	Site int64
+	// Delay is the extra latency in cycles for DelayMemResponse (0 means
+	// DefaultDelay).
+	Delay int
+}
+
+// Action tells an engine what to do with the token it is delivering.
+type Action int
+
+// Delivery actions.
+const (
+	// ActNone delivers the token normally.
+	ActNone Action = iota
+	// ActDrop discards the token.
+	ActDrop
+	// ActDup delivers the token twice.
+	ActDup
+	// ActCorruptTag delivers the token under a corrupted tag (the engine
+	// pushes a bogus loop frame).
+	ActCorruptTag
+	// ActWedge freezes the destination mailbox, then delivers normally.
+	ActWedge
+)
+
+// Injector threads a Plan through one engine run. All hooks are safe for
+// concurrent use (the channel engine calls them from many goroutines) and
+// all are no-ops on a nil receiver, so engines thread one pointer and pay
+// one nil check when fault injection is off.
+type Injector struct {
+	plan Plan
+	seen atomic.Int64
+	hit  atomic.Bool
+}
+
+// NewInjector prepares an injector for one run of plan.
+func NewInjector(plan Plan) *Injector {
+	if plan.Delay == 0 {
+		plan.Delay = DefaultDelay
+	}
+	return &Injector{plan: plan}
+}
+
+// Class returns the plan's fault class ("" on a nil injector).
+func (in *Injector) Class() Class {
+	if in == nil {
+		return ""
+	}
+	return in.plan.Class
+}
+
+// Sites returns the number of eligible injection sites observed so far
+// (after a run: the site count of that run).
+func (in *Injector) Sites() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.seen.Load()
+}
+
+// Injected reports whether the fault actually fired.
+func (in *Injector) Injected() bool {
+	return in != nil && in.hit.Load()
+}
+
+// take counts one eligible site and reports whether it is the chosen one.
+func (in *Injector) take() bool {
+	n := in.seen.Add(1)
+	if in.plan.Site != 0 && n == in.plan.Site && in.hit.CompareAndSwap(false, true) {
+		return true
+	}
+	return false
+}
+
+// Deliver is called once per token delivery. matching reports whether the
+// destination is a matching operator (≥2 inputs) or the end node — the
+// sites where conservation checks make drop/dup/corrupt-tag faults
+// visible. Wedge faults are eligible at every delivery.
+func (in *Injector) Deliver(matching bool) Action {
+	if in == nil {
+		return ActNone
+	}
+	switch in.plan.Class {
+	case DropToken:
+		if matching && in.take() {
+			return ActDrop
+		}
+	case DupToken:
+		if matching && in.take() {
+			return ActDup
+		}
+	case CorruptTag:
+		if matching && in.take() {
+			return ActCorruptTag
+		}
+	case WedgeMailbox:
+		if in.take() {
+			return ActWedge
+		}
+	}
+	return ActNone
+}
+
+// MemResponse is called once per split-phase memory response carrying
+// result tokens (machine engine, before end fires). It returns whether to
+// lose the response entirely, and extra cycles of latency to add.
+func (in *Injector) MemResponse() (lose bool, delay int) {
+	if in == nil {
+		return false, 0
+	}
+	switch in.plan.Class {
+	case LoseMemResponse:
+		if in.take() {
+			return true, 0
+		}
+	case DelayMemResponse:
+		if in.take() {
+			return false, in.plan.Delay
+		}
+	}
+	return false, 0
+}
+
+// PredicateOp reports whether a binary operator produces a 0/1 branch
+// predicate — the misfire-eligible firings. Flipping a predicate provably
+// inverts a control decision; flipping an arbitrary arithmetic value can
+// be absorbed by a downstream comparison without any observable effect.
+func PredicateOp(op lang.Op) bool {
+	return op.IsComparison() || op == lang.OpAnd || op == lang.OpOr
+}
+
+// Misfire is called once per predicate-producing binop firing with the
+// computed result; on the chosen site it returns the corrupted value 1-v
+// (flipping the 0/1 predicate) and true.
+func (in *Injector) Misfire(v int64) (int64, bool) {
+	if in == nil || in.plan.Class != MisfireValue {
+		return v, false
+	}
+	if in.take() {
+		return 1 - v, true
+	}
+	return v, false
+}
+
+// PickSite chooses a 1-based site from a seed and a counting pass's site
+// count, spreading seeds uniformly over sites.
+func PickSite(seed, sites int64) int64 {
+	if sites <= 0 {
+		return 0
+	}
+	s := seed % sites
+	if s < 0 {
+		s += sites
+	}
+	return 1 + s
+}

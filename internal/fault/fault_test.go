@@ -1,0 +1,154 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCountingPassInjectsNothing(t *testing.T) {
+	in := NewInjector(Plan{Class: DropToken, Site: 0})
+	for i := 0; i < 100; i++ {
+		if a := in.Deliver(true); a != ActNone {
+			t.Fatalf("counting pass returned action %v", a)
+		}
+	}
+	if in.Sites() != 100 {
+		t.Errorf("Sites() = %d, want 100", in.Sites())
+	}
+	if in.Injected() {
+		t.Error("counting pass reported an injection")
+	}
+}
+
+func TestExactlyOneInjection(t *testing.T) {
+	in := NewInjector(Plan{Class: DupToken, Site: 7})
+	var hits int
+	for i := 0; i < 50; i++ {
+		if in.Deliver(true) == ActDup {
+			hits++
+		}
+		in.Deliver(false) // ineligible deliveries never count
+	}
+	if hits != 1 {
+		t.Errorf("got %d injections, want 1", hits)
+	}
+	if in.Sites() != 50 {
+		t.Errorf("Sites() = %d (ineligible sites were counted?)", in.Sites())
+	}
+	if !in.Injected() {
+		t.Error("Injected() = false after a hit")
+	}
+}
+
+func TestWedgeEligibleEverywhere(t *testing.T) {
+	in := NewInjector(Plan{Class: WedgeMailbox, Site: 3})
+	actions := []Action{in.Deliver(false), in.Deliver(false), in.Deliver(false)}
+	if actions[0] != ActNone || actions[1] != ActNone || actions[2] != ActWedge {
+		t.Errorf("actions = %v, want wedge on the 3rd delivery", actions)
+	}
+}
+
+func TestMemResponseClasses(t *testing.T) {
+	lose := NewInjector(Plan{Class: LoseMemResponse, Site: 2})
+	if l, _ := lose.MemResponse(); l {
+		t.Error("site 1 lost")
+	}
+	if l, _ := lose.MemResponse(); !l {
+		t.Error("site 2 not lost")
+	}
+	delay := NewInjector(Plan{Class: DelayMemResponse, Site: 1, Delay: 5})
+	if _, d := delay.MemResponse(); d != 5 {
+		t.Errorf("delay = %d, want 5", d)
+	}
+	def := NewInjector(Plan{Class: DelayMemResponse, Site: 1})
+	if _, d := def.MemResponse(); d != DefaultDelay {
+		t.Errorf("default delay = %d, want %d", d, DefaultDelay)
+	}
+	// Delivery hooks must not consume mem-response sites or vice versa.
+	if lose.Deliver(true) != ActNone {
+		t.Error("mem-class injector acted on a delivery")
+	}
+}
+
+func TestMisfireCorruptsEveryValue(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 42, -9000} {
+		in := NewInjector(Plan{Class: MisfireValue, Site: 1})
+		got, hit := in.Misfire(v)
+		if !hit || got == v {
+			t.Errorf("Misfire(%d) = %d, %v; want a changed value", v, got, hit)
+		}
+		if v == 0 && got != 1 || v == 1 && got != 0 {
+			t.Errorf("Misfire(%d) = %d; comparison results must flip", v, got)
+		}
+	}
+}
+
+func TestConcurrentInjectionHitsOnce(t *testing.T) {
+	in := NewInjector(Plan{Class: WedgeMailbox, Site: 500})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	hits := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				if in.Deliver(true) == ActWedge {
+					mu.Lock()
+					hits++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if hits != 1 {
+		t.Errorf("concurrent injector fired %d times, want 1", hits)
+	}
+	if in.Sites() != 2000 {
+		t.Errorf("Sites() = %d, want 2000", in.Sites())
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Deliver(true) != ActNone || in.Injected() || in.Sites() != 0 || in.Class() != "" {
+		t.Error("nil injector not inert")
+	}
+	if l, d := in.MemResponse(); l || d != 0 {
+		t.Error("nil MemResponse not inert")
+	}
+	if v, hit := in.Misfire(3); v != 3 || hit {
+		t.Error("nil Misfire not inert")
+	}
+}
+
+func TestClassMetadata(t *testing.T) {
+	if len(Classes()) != 7 {
+		t.Fatalf("Classes() = %d entries, want 7", len(Classes()))
+	}
+	for _, c := range Classes() {
+		got, err := ParseClass(string(c))
+		if err != nil || got != c {
+			t.Errorf("ParseClass(%q) = %q, %v", c, got, err)
+		}
+		if !c.AppliesTo(EngineMachine) && !c.AppliesTo(EngineChannels) {
+			t.Errorf("class %q applies to no engine", c)
+		}
+	}
+	if _, err := ParseClass("nope"); err == nil {
+		t.Error("ParseClass accepted an unknown class")
+	}
+	if WedgeMailbox.AppliesTo(EngineMachine) {
+		t.Error("wedge-mailbox cannot apply to the machine engine")
+	}
+	if LoseMemResponse.AppliesTo(EngineChannels) {
+		t.Error("lose-mem-response cannot apply to the channel engine")
+	}
+	if !DelayMemResponse.Benign() || DropToken.Benign() {
+		t.Error("Benign() wrong")
+	}
+	if PickSite(11, 5) < 1 || PickSite(11, 5) > 5 || PickSite(-3, 5) < 1 || PickSite(0, 0) != 0 {
+		t.Error("PickSite out of range")
+	}
+}

@@ -1,0 +1,81 @@
+package machcheck
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSentinelMatching(t *testing.T) {
+	err := Newf(Deadlock, "machine", "no enabled work at cycle %d", 42)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Errorf("errors.Is(%v, ErrDeadlock) = false, want true", err)
+	}
+	for _, sentinel := range []error{ErrTokenLeak, ErrTagViolation, ErrCyclesExceeded, ErrDeadline, ErrOperatorFault, ErrDeterminacy} {
+		if errors.Is(err, sentinel) {
+			t.Errorf("deadlock error matched %v", sentinel)
+		}
+	}
+	// Wrapped errors still match.
+	wrapped := fmt.Errorf("run failed: %w", err)
+	if !errors.Is(wrapped, ErrDeadlock) {
+		t.Errorf("wrapped error lost its check identity")
+	}
+	if c, ok := Of(wrapped); !ok || c != Deadlock {
+		t.Errorf("Of(wrapped) = %q, %v; want deadlock, true", c, ok)
+	}
+}
+
+func TestEverySentinelRoundTrips(t *testing.T) {
+	sentinels := map[Check]error{
+		Deadlock: ErrDeadlock, TokenLeak: ErrTokenLeak, TagViolation: ErrTagViolation,
+		CyclesExceeded: ErrCyclesExceeded, Deadline: ErrDeadline,
+		OperatorFault: ErrOperatorFault, Determinacy: ErrDeterminacy,
+	}
+	if len(Checks()) != len(sentinels) {
+		t.Fatalf("Checks() has %d entries, sentinels %d", len(Checks()), len(sentinels))
+	}
+	for _, c := range Checks() {
+		err := Newf(c, "machine", "x")
+		if !errors.Is(err, sentinels[c]) {
+			t.Errorf("check %q does not match its sentinel", c)
+		}
+	}
+}
+
+func TestWrapProducesOperatorFault(t *testing.T) {
+	base := fmt.Errorf("interp: division by zero")
+	err := Wrap("machine", base)
+	if !errors.Is(err, ErrOperatorFault) {
+		t.Errorf("Wrap did not classify as operator fault: %v", err)
+	}
+	if !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("Wrap lost the original message: %v", err)
+	}
+	// Wrapping an existing check error must not reclassify it.
+	dl := Newf(Deadlock, "machine", "stuck")
+	if got := Wrap("machine", dl); !errors.Is(got, ErrDeadlock) {
+		t.Errorf("Wrap reclassified a deadlock as %v", got)
+	}
+	if Wrap("machine", nil) != nil {
+		t.Error("Wrap(nil) != nil")
+	}
+}
+
+func TestStuckDiagnosticsTruncate(t *testing.T) {
+	var stuck []Stuck
+	for i := 0; i < MaxStuck+3; i++ {
+		stuck = append(stuck, Stuck{Node: i, Label: fmt.Sprintf("d%d: synch", i), Tag: "0", Have: 1, Need: 2})
+	}
+	err := Newf(TokenLeak, "machine", "3 tokens left").WithStuck(stuck)
+	if len(err.Stuck) != MaxStuck || err.Truncated != 3 {
+		t.Errorf("got %d stuck, %d truncated; want %d, 3", len(err.Stuck), err.Truncated, MaxStuck)
+	}
+	msg := err.Error()
+	for _, want := range []string{"token-leak", "d0: synch", "…+3 more"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() = %q missing %q", msg, want)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"ctdf/internal/fault"
+	"ctdf/internal/machcheck"
+	"ctdf/internal/translate"
+	"ctdf/internal/workloads"
+)
+
+// countSites runs w once with a counting-pass injector and returns the
+// number of eligible injection sites for class, plus the clean run's
+// final store snapshot and op count for oracle comparison.
+func countSites(t *testing.T, res *translate.Result, class fault.Class) (int64, string, int) {
+	t.Helper()
+	in := fault.NewInjector(fault.Plan{Class: class, Site: 0})
+	out, err := Run(res.Graph, Config{Inject: in})
+	if err != nil {
+		t.Fatalf("counting pass failed: %v", err)
+	}
+	if in.Injected() {
+		t.Fatal("counting pass injected a fault")
+	}
+	return in.Sites(), out.Store.Snapshot(), out.Stats.Ops
+}
+
+// faultSites picks a spread of sites to exercise without iterating huge
+// site counts: first, last, and a few in between.
+func faultSites(n int64) []int64 {
+	if n <= 6 {
+		sites := make([]int64, 0, n)
+		for s := int64(1); s <= n; s++ {
+			sites = append(sites, s)
+		}
+		return sites
+	}
+	return []int64{1, 2, n / 3, n / 2, n - 1, n}
+}
+
+func TestMachineDetectsInjectedFaults(t *testing.T) {
+	res := translateWorkload(t, workloads.MustByName("array-sum"), translate.Options{})
+	for _, class := range []fault.Class{
+		fault.DropToken, fault.DupToken, fault.CorruptTag, fault.LoseMemResponse,
+	} {
+		sites, _, _ := countSites(t, res, class)
+		if sites == 0 {
+			t.Fatalf("%s: no eligible sites in array-sum", class)
+		}
+		for _, site := range faultSites(sites) {
+			in := fault.NewInjector(fault.Plan{Class: class, Site: site})
+			out, err := Run(res.Graph, Config{Inject: in})
+			if !in.Injected() {
+				t.Fatalf("%s site %d/%d: fault did not fire", class, site, sites)
+			}
+			if err == nil {
+				t.Errorf("%s site %d/%d: fault went undetected", class, site, sites)
+				continue
+			}
+			check, ok := machcheck.Of(err)
+			if !ok {
+				t.Errorf("%s site %d: untyped error %v", class, site, err)
+			} else if check == "" {
+				t.Errorf("%s site %d: empty check name", class, site)
+			}
+			if out == nil {
+				t.Errorf("%s site %d: no partial outcome alongside %v", class, site, err)
+			}
+		}
+	}
+}
+
+func TestMachineToleratesDelayedMemResponse(t *testing.T) {
+	// delay-mem-response is the determinacy negative control: a delayed
+	// split-phase response must not change the result.
+	res := translateWorkload(t, workloads.MustByName("array-sum"), translate.Options{})
+	sites, cleanSnap, cleanOps := countSites(t, res, fault.DelayMemResponse)
+	if sites == 0 {
+		t.Fatal("no mem-response sites in array-sum")
+	}
+	for _, site := range faultSites(sites) {
+		in := fault.NewInjector(fault.Plan{Class: fault.DelayMemResponse, Site: site})
+		out, err := Run(res.Graph, Config{Inject: in})
+		if err != nil {
+			t.Fatalf("delay site %d/%d: run aborted: %v", site, sites, err)
+		}
+		if !in.Injected() {
+			t.Fatalf("delay site %d/%d: fault did not fire", site, sites)
+		}
+		if got := out.Store.Snapshot(); got != cleanSnap {
+			t.Errorf("delay site %d: store diverged from the oracle\n got: %s\nwant: %s", site, got, cleanSnap)
+		}
+		if out.Stats.Ops != cleanOps {
+			t.Errorf("delay site %d: ops = %d, clean run had %d", site, out.Stats.Ops, cleanOps)
+		}
+	}
+}
+
+func TestMachineMisfireDetectedByCheckOrOracle(t *testing.T) {
+	res := translateWorkload(t, workloads.MustByName("array-sum"), translate.Options{})
+	sites, cleanSnap, cleanOps := countSites(t, res, fault.MisfireValue)
+	if sites == 0 {
+		t.Fatal("no binop sites in array-sum")
+	}
+	for _, site := range faultSites(sites) {
+		in := fault.NewInjector(fault.Plan{Class: fault.MisfireValue, Site: site})
+		out, err := Run(res.Graph, Config{Inject: in, MaxCycles: 100000})
+		if !in.Injected() {
+			t.Fatalf("misfire site %d/%d: fault did not fire", site, sites)
+		}
+		if err == nil && out.Store.Snapshot() == cleanSnap && out.Stats.Ops == cleanOps {
+			t.Errorf("misfire site %d/%d: corrupted predicate escaped checks, oracle, and op counts", site, sites)
+		}
+	}
+}
+
+func TestMachineDeadlineAborts(t *testing.T) {
+	res := translateWorkload(t, workloads.MustByName("nested-loops"), translate.Options{})
+	out, err := Run(res.Graph, Config{Deadline: 1}) // 1ns: expires immediately
+	if !errors.Is(err, machcheck.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if out == nil {
+		t.Error("deadline abort returned no partial outcome")
+	}
+}
+
+func TestMachineMaxOpsAborts(t *testing.T) {
+	res := translateWorkload(t, workloads.MustByName("nested-loops"), translate.Options{})
+	out, err := Run(res.Graph, Config{MaxOps: 8})
+	if !errors.Is(err, machcheck.ErrCyclesExceeded) {
+		t.Fatalf("err = %v, want ErrCyclesExceeded", err)
+	}
+	if out == nil || out.Stats.Ops > 8 {
+		t.Errorf("partial outcome missing or over budget: %+v", out)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"ctdf/internal/dfg"
+	"ctdf/internal/machcheck"
 	"ctdf/internal/token"
 )
 
@@ -43,7 +44,8 @@ func newIStructUnit(g *dfg.Graph) *istructUnit {
 
 func (u *istructUnit) checkIndex(name string, idx int64) error {
 	if idx < 0 || idx >= int64(len(u.full[name])) {
-		return fmt.Errorf("machine: I-structure index %d out of range for %s[%d]", idx, name, len(u.full[name]))
+		return machcheck.Newf(machcheck.OperatorFault, "machine",
+			"I-structure index %d out of range for %s[%d]", idx, name, len(u.full[name]))
 	}
 	return nil
 }
@@ -55,7 +57,8 @@ func (u *istructUnit) write(name string, idx int64) ([]istructWaiter, error) {
 		return nil, err
 	}
 	if u.full[name][idx] {
-		return nil, fmt.Errorf("machine: I-structure write-once violation: %s[%d] written twice", name, idx)
+		return nil, machcheck.Newf(machcheck.OperatorFault, "machine",
+			"I-structure write-once violation: %s[%d] written twice", name, idx)
 	}
 	u.full[name][idx] = true
 	ws := u.deferred[name][idx]
@@ -89,5 +92,6 @@ func (u *istructUnit) pendingError() error {
 		return nil
 	}
 	sort.Strings(stuck)
-	return fmt.Errorf("machine: I-structure reads of never-written cells: %v", stuck)
+	return machcheck.Newf(machcheck.Deadlock, "machine",
+		"I-structure reads of never-written cells: %v", stuck)
 }

@@ -29,15 +29,16 @@
 package machine
 
 import (
-	"fmt"
 	"io"
 	"math/rand"
 	"sort"
-	"strings"
+	"time"
 
 	"ctdf/internal/dfg"
+	"ctdf/internal/fault"
 	"ctdf/internal/interp"
 	"ctdf/internal/lang"
+	"ctdf/internal/machcheck"
 	"ctdf/internal/obs"
 	"ctdf/internal/token"
 )
@@ -52,6 +53,16 @@ type Config struct {
 	MemLatency int
 	// MaxCycles aborts runaway executions (default one million).
 	MaxCycles int
+	// MaxOps bounds total operator firings — and, indirectly, delivered
+	// tokens — so a token explosion aborts with a CyclesExceeded machine
+	// check before exhausting memory (default ten million).
+	MaxOps int64
+	// Deadline bounds wall-clock execution (0 = none); exceeding it
+	// aborts with a Deadline machine check.
+	Deadline time.Duration
+	// Inject threads a deterministic fault-injection plan through the
+	// run (nil = no injection; see internal/fault and ROBUSTNESS.md).
+	Inject *fault.Injector
 	// Binding selects which aliased names share storage this run.
 	Binding interp.Binding
 	// RandomSeed, when nonzero, issues enabled operations in a
@@ -157,6 +168,11 @@ type firing struct {
 }
 
 // Run executes the dataflow graph to completion.
+//
+// Errors raised by the machine's own checks are *machcheck.Error values
+// (match them with errors.Is against the machcheck sentinels); on such an
+// abort the returned Outcome is non-nil and carries the partial store and
+// statistics up to the failure, so aborted runs remain profilable.
 func Run(g *dfg.Graph, cfgc Config) (*Outcome, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -166,6 +182,9 @@ func Run(g *dfg.Graph, cfgc Config) (*Outcome, error) {
 	}
 	if cfgc.MaxCycles == 0 {
 		cfgc.MaxCycles = 1_000_000
+	}
+	if cfgc.MaxOps == 0 {
+		cfgc.MaxOps = 10_000_000
 	}
 	if cfgc.ProfileLimit == 0 {
 		cfgc.ProfileLimit = 1 << 16
@@ -193,6 +212,7 @@ func Run(g *dfg.Graph, cfgc Config) (*Outcome, error) {
 		m.col.AddSink(&obs.TraceSink{W: cfgc.Trace, Labels: labels})
 	}
 	m.crit = m.col.CriticalPathEnabled()
+	m.inj = cfgc.Inject
 	if cfgc.RandomSeed != 0 {
 		m.rng = rand.New(rand.NewSource(cfgc.RandomSeed))
 	}
@@ -228,6 +248,11 @@ type sim struct {
 	crit   bool
 	curDep int32
 
+	// Fault injection (nil = none) and the delivered-token budget that
+	// bounds token explosions.
+	inj       *fault.Injector
+	delivered int64
+
 	locs    *raceDetector
 	istruct *istructUnit
 	procs   *procLinkage
@@ -239,14 +264,27 @@ type delayed struct {
 	release func()
 }
 
+// abort ends the run on a failed machine check, emitting an abort event
+// and returning the partial outcome (store and statistics up to the
+// failure) alongside the error, so aborted runs remain profilable.
+func (m *sim) abort(err error) (*Outcome, error) {
+	m.stats.Cycles = m.cycle
+	if ce, ok := err.(*machcheck.Error); ok {
+		ce.Cycle = m.cycle
+		m.col.Abort(m.cycle, string(ce.Check))
+	}
+	return &Outcome{Store: m.store, EndValues: m.endVals, Stats: m.stats}, err
+}
+
 func (m *sim) run() (*Outcome, error) {
 	m.inflight = map[int][]delayed{}
 	m.endVals = make([]int64, m.g.Nodes[m.g.EndID].NIns)
+	start := time.Now()
 
 	// Cycle 0: start emits one dummy token per out arc at the root tag.
 	for _, a := range m.g.OutArcs(m.g.StartID, 0) {
 		if err := m.deliver(tok{to: dfg.Target{Node: a.To, Port: a.ToPort}, val: 0, tg: token.Root, dep: -1}); err != nil {
-			return nil, err
+			return m.abort(err)
 		}
 	}
 
@@ -257,16 +295,25 @@ func (m *sim) run() (*Outcome, error) {
 	// completed.
 	for !m.done || len(m.enabled) > 0 || len(m.inflight) > 0 {
 		if m.cycle > m.cfg.MaxCycles {
-			return nil, fmt.Errorf("machine: exceeded %d cycles (deadlock or runaway loop?)", m.cfg.MaxCycles)
+			return m.abort(machcheck.Newf(machcheck.CyclesExceeded, "machine",
+				"exceeded %d cycles (deadlock or runaway loop?)", m.cfg.MaxCycles).WithStuck(m.stuckList()))
+		}
+		if m.cfg.Deadline > 0 && m.cycle&1023 == 0 && time.Since(start) > m.cfg.Deadline {
+			return m.abort(machcheck.Newf(machcheck.Deadline, "machine",
+				"exceeded %v wall-clock deadline at cycle %d", m.cfg.Deadline, m.cycle).WithStuck(m.stuckList()))
 		}
 		if !m.done && len(m.enabled) == 0 && len(m.inflight) == 0 {
-			return nil, m.deadlockError()
+			return m.abort(m.deadlockError())
 		}
 		// Issue up to Processors enabled operations this cycle.
 		m.orderEnabled()
 		issue := len(m.enabled)
 		if m.cfg.Processors > 0 && issue > m.cfg.Processors {
 			issue = m.cfg.Processors
+		}
+		if int64(m.stats.Ops)+int64(issue) > m.cfg.MaxOps {
+			return m.abort(machcheck.Newf(machcheck.CyclesExceeded, "machine",
+				"exceeded %d firings (runaway loop?)", m.cfg.MaxOps))
 		}
 		batch := m.enabled[:issue]
 		m.enabled = append([]firing(nil), m.enabled[issue:]...)
@@ -292,7 +339,7 @@ func (m *sim) run() (*Outcome, error) {
 			m.curDep = f.dep
 			out, err := m.fire(f)
 			if err != nil {
-				return nil, err
+				return m.abort(err)
 			}
 			emitted = append(emitted, out...)
 		}
@@ -308,34 +355,50 @@ func (m *sim) run() (*Outcome, error) {
 		delete(m.inflight, m.cycle)
 		for _, t := range emitted {
 			if err := m.deliver(t); err != nil {
-				return nil, err
+				return m.abort(err)
 			}
 		}
 	}
 	m.stats.Cycles = m.endCycle
 	if err := m.istruct.pendingError(); err != nil {
-		return nil, err
+		return m.abort(err)
 	}
 	if m.procs != nil && len(m.procs.live) != 0 {
-		return nil, fmt.Errorf("machine: %d procedure activations never returned", len(m.procs.live))
+		return m.abort(machcheck.Newf(machcheck.TokenLeak, "machine",
+			"%d procedure activations never returned", len(m.procs.live)))
 	}
 	// Strict conservation: after the drain, no partially matched
 	// activation may remain in the matching store (a waiting token whose
 	// partner can never arrive is a translation bug).
 	if len(m.match) != 0 {
-		var b strings.Builder
-		fmt.Fprintf(&b, "machine: %d tokens left after end fired (token leak):", len(m.match))
-		count := 0
-		for k, e := range m.match {
-			if count++; count > 8 {
-				fmt.Fprintf(&b, " …")
-				break
-			}
-			fmt.Fprintf(&b, " %s(tag %q, %d/%d)", m.g.Nodes[k.node], k.tg, e.n, m.g.Nodes[k.node].NIns)
-		}
-		return nil, fmt.Errorf("%s", b.String())
+		return m.abort(machcheck.Newf(machcheck.TokenLeak, "machine",
+			"%d tokens left after end fired", len(m.match)).WithStuck(m.stuckList()))
 	}
 	return &Outcome{Store: m.store, EndValues: m.endVals, Stats: m.stats}, nil
+}
+
+// stuckList renders the matching store's partially matched activations as
+// stuck-token diagnostics, in deterministic order.
+func (m *sim) stuckList() []machcheck.Stuck {
+	keys := make([]matchKey, 0, len(m.match))
+	for k := range m.match {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].node != keys[j].node {
+			return keys[i].node < keys[j].node
+		}
+		return keys[i].tg < keys[j].tg
+	})
+	out := make([]machcheck.Stuck, 0, len(keys))
+	for _, k := range keys {
+		e := m.match[k]
+		out = append(out, machcheck.Stuck{
+			Node: k.node, Label: m.g.Nodes[k.node].String(), Tag: k.tg,
+			Have: e.n, Need: m.g.Nodes[k.node].NIns,
+		})
+	}
+	return out
 }
 
 // orderEnabled makes issue order deterministic (or seeded-random).
@@ -357,9 +420,47 @@ func (m *sim) orderEnabled() {
 	}
 }
 
+// matchSite reports whether tokens delivered to n rendezvous in the
+// matching store (or at end), where strict conservation makes a dropped,
+// duplicated, or tag-corrupted token visible — the eligible sites for
+// delivery faults.
+func matchSite(n *dfg.Node) bool {
+	switch n.Kind {
+	case dfg.Merge, dfg.LoopEntry, dfg.Param:
+		return false // any-arrival: no matching
+	case dfg.End:
+		return true
+	}
+	return n.NIns >= 2
+}
+
 // deliver routes a token to its destination, enabling a firing when the
-// activation's operands are complete.
+// activation's operands are complete. It is also the fault-injection
+// point for delivery faults and enforces the delivered-token budget.
 func (m *sim) deliver(t tok) error {
+	if m.delivered++; m.delivered > 8*m.cfg.MaxOps+1024 {
+		return machcheck.Newf(machcheck.CyclesExceeded, "machine",
+			"delivered %d tokens (token explosion?)", m.delivered)
+	}
+	if m.inj != nil {
+		switch m.inj.Deliver(matchSite(m.g.Nodes[t.to.Node])) {
+		case fault.ActDrop:
+			m.col.Fault(t.to.Node, m.cycle, string(fault.DropToken))
+			return nil
+		case fault.ActDup:
+			m.col.Fault(t.to.Node, m.cycle, string(fault.DupToken))
+			if err := m.deliverOnce(t); err != nil {
+				return err
+			}
+		case fault.ActCorruptTag:
+			m.col.Fault(t.to.Node, m.cycle, string(fault.CorruptTag))
+			t.tg = t.tg.Push()
+		}
+	}
+	return m.deliverOnce(t)
+}
+
+func (m *sim) deliverOnce(t tok) error {
 	n := m.g.Nodes[t.to.Node]
 	switch n.Kind {
 	case dfg.Merge, dfg.LoopEntry, dfg.Param:
@@ -368,7 +469,8 @@ func (m *sim) deliver(t tok) error {
 		return nil
 	case dfg.End:
 		if !t.tg.IsRoot() {
-			return fmt.Errorf("machine: token reached end with non-root tag %q (unbalanced loop context)", t.tg.Key())
+			return machcheck.Newf(machcheck.TagViolation, "machine",
+				"token reached end with non-root tag %q (unbalanced loop context)", t.tg.Key())
 		}
 	}
 	if n.NIns == 1 {
@@ -385,7 +487,8 @@ func (m *sim) deliver(t tok) error {
 	}
 	bit := uint64(1) << uint(t.to.Port)
 	if e.have&bit != 0 {
-		return fmt.Errorf("machine: duplicate token at %s port %d tag %q", n, t.to.Port, t.tg.Key())
+		return machcheck.Newf(machcheck.TagViolation, "machine",
+			"duplicate token at %s port %d tag %q", n, t.to.Port, t.tg.Key())
 	}
 	e.have |= bit
 	e.vals[t.to.Port] = t.val
@@ -436,6 +539,10 @@ func (m *sim) fire(f firing) ([]tok, error) {
 	n := m.g.Nodes[f.node]
 	switch n.Kind {
 	case dfg.End:
+		if m.done {
+			return nil, machcheck.Newf(machcheck.TagViolation, "machine",
+				"end fired twice (duplicate result token)")
+		}
 		copy(m.endVals, f.vals)
 		m.endCycle = m.cycle + 1
 		m.done = true
@@ -447,7 +554,13 @@ func (m *sim) fire(f firing) ([]tok, error) {
 	case dfg.BinOp:
 		v, err := interp.Apply(n.Op, f.vals[0], f.vals[1])
 		if err != nil {
-			return nil, fmt.Errorf("machine: %s: %w", n, err)
+			return nil, machcheck.Newf(machcheck.OperatorFault, "machine", "%s: %v", n, err)
+		}
+		if m.inj != nil && fault.PredicateOp(n.Op) {
+			if fv, hit := m.inj.Misfire(v); hit {
+				m.col.Fault(n.ID, m.cycle, string(fault.MisfireValue))
+				v = fv
+			}
 		}
 		return m.emitAll(n.ID, 0, v, f.tg), nil
 
@@ -461,7 +574,7 @@ func (m *sim) fire(f firing) ([]tok, error) {
 				v = 1
 			}
 		default:
-			return nil, fmt.Errorf("machine: bad unary op %v", n.Op)
+			return nil, machcheck.Newf(machcheck.OperatorFault, "machine", "bad unary op %v", n.Op)
 		}
 		return m.emitAll(n.ID, 0, v, f.tg), nil
 
@@ -492,7 +605,7 @@ func (m *sim) fire(f firing) ([]tok, error) {
 		} else {
 			nt, err = f.tg.Bump()
 			if err != nil {
-				return nil, fmt.Errorf("machine: %s: %w", n, err)
+				return nil, machcheck.Newf(machcheck.TagViolation, "machine", "%s: %v", n, err)
 			}
 		}
 		return m.emitAll(n.ID, 0, f.vals[0], nt), nil
@@ -500,7 +613,7 @@ func (m *sim) fire(f firing) ([]tok, error) {
 	case dfg.LoopExit:
 		nt, err := f.tg.Pop()
 		if err != nil {
-			return nil, fmt.Errorf("machine: %s: %w", n, err)
+			return nil, machcheck.Newf(machcheck.TagViolation, "machine", "%s: %v", n, err)
 		}
 		return m.emitAll(n.ID, 0, f.vals[0], nt), nil
 
@@ -536,7 +649,7 @@ func (m *sim) fire(f firing) ([]tok, error) {
 		}
 		v, err := m.store.GetIdx(name, f.vals[0])
 		if err != nil {
-			return nil, fmt.Errorf("machine: %s: %w", n, err)
+			return nil, machcheck.Newf(machcheck.OperatorFault, "machine", "%s: %v", n, err)
 		}
 		toks := append(m.emitAll(n.ID, 0, v, f.tg), m.emitAll(n.ID, 1, 0, f.tg)...)
 		m.park(toks, release)
@@ -550,7 +663,7 @@ func (m *sim) fire(f firing) ([]tok, error) {
 			return nil, err
 		}
 		if err := m.store.SetIdx(name, f.vals[0], f.vals[1]); err != nil {
-			return nil, fmt.Errorf("machine: %s: %w", n, err)
+			return nil, machcheck.Newf(machcheck.OperatorFault, "machine", "%s: %v", n, err)
 		}
 		m.park(m.emitAll(n.ID, 0, 0, f.tg), release)
 		return nil, nil
@@ -564,7 +677,7 @@ func (m *sim) fire(f firing) ([]tok, error) {
 		if ready {
 			v, err := m.store.GetIdx(n.Var, f.vals[0])
 			if err != nil {
-				return nil, fmt.Errorf("machine: %s: %w", n, err)
+				return nil, machcheck.Newf(machcheck.OperatorFault, "machine", "%s: %v", n, err)
 			}
 			m.park(m.emitAll(n.ID, 0, v, f.tg), nil)
 		}
@@ -578,7 +691,7 @@ func (m *sim) fire(f firing) ([]tok, error) {
 			return nil, err
 		}
 		if err := m.store.SetIdx(n.Var, f.vals[0], f.vals[1]); err != nil {
-			return nil, fmt.Errorf("machine: %s: %w", n, err)
+			return nil, machcheck.Newf(machcheck.OperatorFault, "machine", "%s: %v", n, err)
 		}
 		var toks []tok
 		storeDep := m.curDep
@@ -592,13 +705,25 @@ func (m *sim) fire(f firing) ([]tok, error) {
 		m.park(toks, nil)
 		return nil, nil
 	}
-	return nil, fmt.Errorf("machine: cannot fire %s", n)
+	return nil, machcheck.Newf(machcheck.OperatorFault, "machine", "cannot fire %s", n)
 }
 
 // park schedules memory-operation results to appear after MemLatency
-// cycles (split-phase operation, §2.2).
+// cycles (split-phase operation, §2.2). It is the injection point for
+// split-phase memory faults: a lost response drops its result tokens, a
+// delayed one adds latency (responses are eligible only before end fires,
+// while every response is still needed for completion).
 func (m *sim) park(tokens []tok, release func()) {
 	at := m.cycle + m.cfg.MemLatency
+	if m.inj != nil && !m.done && len(tokens) > 0 {
+		if lose, delay := m.inj.MemResponse(); lose {
+			m.col.Fault(-1, m.cycle, string(fault.LoseMemResponse))
+			tokens = nil
+		} else if delay > 0 {
+			m.col.Fault(-1, m.cycle, string(fault.DelayMemResponse))
+			at += delay
+		}
+	}
 	m.inflight[at] = append(m.inflight[at], delayed{tokens: tokens, release: release})
 }
 
@@ -613,25 +738,7 @@ func (m *sim) deadlockError() error {
 	if err := m.istruct.pendingError(); err != nil {
 		return err
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "machine: deadlock at cycle %d; %d activations waiting:", m.cycle, len(m.match))
-	keys := make([]matchKey, 0, len(m.match))
-	for k := range m.match {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].node != keys[j].node {
-			return keys[i].node < keys[j].node
-		}
-		return keys[i].tg < keys[j].tg
-	})
-	for i, k := range keys {
-		if i == 8 {
-			fmt.Fprintf(&b, " …")
-			break
-		}
-		e := m.match[k]
-		fmt.Fprintf(&b, " %s(tag %q, %d/%d)", m.g.Nodes[k.node], k.tg, e.n, m.g.Nodes[k.node].NIns)
-	}
-	return fmt.Errorf("%s", b.String())
+	return machcheck.Newf(machcheck.Deadlock, "machine",
+		"no enabled work at cycle %d but end has not fired; %d activations waiting",
+		m.cycle, len(m.match)).WithStuck(m.stuckList())
 }

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"ctdf/internal/dfg"
 	"ctdf/internal/interp"
 	"ctdf/internal/lang"
+	"ctdf/internal/machcheck"
 	"ctdf/internal/translate"
 	"ctdf/internal/workloads"
 )
@@ -23,7 +25,7 @@ func translateWorkload(t *testing.T, w workloads.Workload, opt translate.Options
 }
 
 func TestProcessorsThrottleIssue(t *testing.T) {
-	res := translateWorkload(t, workloads.ByName("independent-chains"), translate.Options{Schema: translate.Schema2})
+	res := translateWorkload(t, workloads.MustByName("independent-chains"), translate.Options{Schema: translate.Schema2})
 	unlimited, err := Run(res.Graph, Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -69,7 +71,7 @@ func TestMemLatencyStretchesMemoryChains(t *testing.T) {
 }
 
 func TestParallelismProfileSumsToOps(t *testing.T) {
-	res := translateWorkload(t, workloads.ByName("nested-loops"), translate.Options{Schema: translate.Schema2})
+	res := translateWorkload(t, workloads.MustByName("nested-loops"), translate.Options{Schema: translate.Schema2})
 	out, err := Run(res.Graph, Config{})
 	if err != nil {
 		t.Fatal(err)
@@ -92,7 +94,7 @@ func TestParallelismProfileSumsToOps(t *testing.T) {
 func TestSchema2MoreParallelThanSchema1(t *testing.T) {
 	// The paper's headline claim: per-variable access tokens expose
 	// parallelism across statements that the single-token schema cannot.
-	w := workloads.ByName("independent-chains")
+	w := workloads.MustByName("independent-chains")
 	s1 := translateWorkload(t, w, translate.Options{Schema: translate.Schema1})
 	s2 := translateWorkload(t, w, translate.Options{Schema: translate.Schema2})
 	o1, err := Run(s1.Graph, Config{MemLatency: 4})
@@ -151,9 +153,19 @@ func TestDeadlockDetection(t *testing.T) {
 	g.Connect(sw.ID, 0, sy.ID, 0, true) // true arm fires
 	g.Connect(sw.ID, 1, sy.ID, 1, true) // false arm never does
 	g.Connect(sy.ID, 0, end.ID, 0, true)
-	_, err := Run(g, Config{})
-	if err == nil || !strings.Contains(err.Error(), "deadlock") {
-		t.Errorf("err = %v, want deadlock report", err)
+	out, err := Run(g, Config{})
+	if !errors.Is(err, machcheck.ErrDeadlock) {
+		t.Errorf("err = %v, want ErrDeadlock", err)
+	}
+	if !strings.Contains(err.Error(), "deadlock") {
+		t.Errorf("err = %v, want a deadlock report", err)
+	}
+	var ce *machcheck.Error
+	if !errors.As(err, &ce) || len(ce.Stuck) == 0 {
+		t.Errorf("deadlock error carries no stuck-token diagnostics: %v", err)
+	}
+	if out == nil {
+		t.Error("aborted run returned no partial outcome")
 	}
 }
 
@@ -174,7 +186,7 @@ func TestDuplicateTokenDetected(t *testing.T) {
 }
 
 func TestMaxCyclesGuard(t *testing.T) {
-	res := translateWorkload(t, workloads.ByName("fib-iterative"), translate.Options{Schema: translate.Schema2})
+	res := translateWorkload(t, workloads.MustByName("fib-iterative"), translate.Options{Schema: translate.Schema2})
 	if _, err := Run(res.Graph, Config{MaxCycles: 3}); err == nil {
 		t.Error("MaxCycles must abort long executions")
 	}

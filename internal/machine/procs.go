@@ -1,9 +1,8 @@
 package machine
 
 import (
-	"fmt"
-
 	"ctdf/internal/dfg"
+	"ctdf/internal/machcheck"
 	"ctdf/internal/token"
 )
 
@@ -68,7 +67,8 @@ func (m *sim) resolveName(name string, tg token.Tag) string {
 func (m *sim) fireApply(f firing) ([]tok, error) {
 	info := m.procs.byApply[f.node]
 	if info == nil {
-		return nil, fmt.Errorf("machine: apply d%d has no call linkage", f.node)
+		return nil, machcheck.Newf(machcheck.OperatorFault, "machine",
+			"apply d%d has no call linkage", f.node)
 	}
 	id := m.procs.nextID
 	m.procs.nextID++
@@ -90,11 +90,13 @@ func (m *sim) fireApply(f firing) ([]tok, error) {
 func (m *sim) fireProcReturn(f firing) ([]tok, error) {
 	_, id, err := f.tg.PopCall()
 	if err != nil {
-		return nil, fmt.Errorf("machine: %s: %w", m.g.Nodes[f.node], err)
+		return nil, machcheck.Newf(machcheck.TagViolation, "machine",
+			"%s: %v", m.g.Nodes[f.node], err)
 	}
 	rec := m.procs.live[id]
 	if rec == nil {
-		return nil, fmt.Errorf("machine: return for unknown activation %d", id)
+		return nil, machcheck.Newf(machcheck.TagViolation, "machine",
+			"return for unknown activation %d", id)
 	}
 	delete(m.procs.live, id)
 	var out []tok

@@ -5,6 +5,7 @@ import (
 
 	"ctdf/internal/interp"
 	"ctdf/internal/lang"
+	"ctdf/internal/machcheck"
 )
 
 // raceDetector checks that no two memory operations on the same location
@@ -51,9 +52,11 @@ func (r *raceDetector) acquire(name string, idx int64, write bool) (func(), erro
 	case cur > 0 && !write:
 		// Concurrent readers are fine (§6.2).
 	case cur > 0 && write:
-		return nil, fmt.Errorf("machine: data race: write to %s overlaps %d in-flight read(s)", k, cur)
+		return nil, machcheck.Newf(machcheck.Determinacy, "machine",
+			"data race: write to %s overlaps %d in-flight read(s)", k, cur)
 	default:
-		return nil, fmt.Errorf("machine: data race: access to %s overlaps an in-flight write", k)
+		return nil, machcheck.Newf(machcheck.Determinacy, "machine",
+			"data race: access to %s overlaps an in-flight write", k)
 	}
 	if write {
 		r.busy[k] = -1

@@ -28,7 +28,7 @@ func TestTraceOutput(t *testing.T) {
 }
 
 func TestProfileChart(t *testing.T) {
-	res := translateWorkload(t, workloads.ByName("fib-iterative"), translate.Options{Schema: translate.Schema2})
+	res := translateWorkload(t, workloads.MustByName("fib-iterative"), translate.Options{Schema: translate.Schema2})
 	out, err := Run(res.Graph, Config{MemLatency: 4})
 	if err != nil {
 		t.Fatal(err)

@@ -159,6 +159,29 @@ func (c *Collector) Wait(node, cycle int, tag string) {
 	}
 }
 
+// Fault records an injected fault at node (-1 when the fault has no
+// single node, e.g. a lost memory response); detail is the fault class.
+func (c *Collector) Fault(node, cycle int, detail string) {
+	if c == nil || c.sink == nil {
+		return
+	}
+	kind := ""
+	if node >= 0 && node < len(c.nodes) {
+		kind = c.nodes[node].Meta.Kind
+	}
+	c.sink.Emit(Event{Cycle: cycle, Type: EvFault, Node: node, Kind: kind, Detail: detail})
+}
+
+// Abort records a failed machine check ending the run; detail is the
+// check name. Aborted runs still produce a full report, so partial
+// executions stay profilable.
+func (c *Collector) Abort(cycle int, detail string) {
+	if c == nil || c.sink == nil {
+		return
+	}
+	c.sink.Emit(Event{Cycle: cycle, Type: EvAbort, Node: -1, Detail: detail})
+}
+
 // MaxDep returns whichever of two producer firings completes later —
 // the dependence a token matched from both inherits.
 func (c *Collector) MaxDep(a, b int32) int32 {

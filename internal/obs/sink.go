@@ -18,6 +18,12 @@ const (
 	// EvWait is a token waiting in the matching store for its partner
 	// operands.
 	EvWait EventType = "wait"
+	// EvFault is an injected fault (see internal/fault and
+	// ROBUSTNESS.md); Detail carries the fault class.
+	EvFault EventType = "fault"
+	// EvAbort is a failed machine check ending the run; Detail carries
+	// the check name (see internal/machcheck).
+	EvAbort EventType = "abort"
 )
 
 // Event is one cycle-stamped occurrence inside an engine.
@@ -30,6 +36,9 @@ type Event struct {
 	// Cost is the firing's duration in cycles (fire events only): 1 for
 	// ordinary operators, the split-phase latency for memory operations.
 	Cost int `json:"cost,omitempty"`
+	// Detail carries the fault class (fault events) or the failed check
+	// name (abort events).
+	Detail string `json:"detail,omitempty"`
 }
 
 // Sink receives the event stream. Emit is called once per event, in

@@ -12,7 +12,7 @@ import (
 
 // producerConsumer writes an array in one loop and folds it in a second:
 // the §6.3 I-structure case, where the consumer can overlap the producer.
-var producerConsumer = workloads.ByName("producer-consumer")
+var producerConsumer = workloads.MustByName("producer-consumer")
 
 func TestFindIStructures(t *testing.T) {
 	g := cfg.MustBuild(producerConsumer.Parse())

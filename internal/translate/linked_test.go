@@ -48,7 +48,7 @@ b := a + 1
 }
 
 func TestLinkedPaperExample(t *testing.T) {
-	res := checkLinked(t, workloads.ByName("proc-fortran"))
+	res := checkLinked(t, workloads.MustByName("proc-fortran"))
 	// The body is compiled ONCE: exactly one set of Param nodes and one
 	// ProcReturn for f, with two Apply sites.
 	if got := res.Graph.CountKind(dfg.Apply); got != 2 {
@@ -63,7 +63,7 @@ func TestLinkedPaperExample(t *testing.T) {
 }
 
 func TestLinkedCallInLoop(t *testing.T) {
-	checkLinked(t, workloads.ByName("proc-in-loop"))
+	checkLinked(t, workloads.MustByName("proc-in-loop"))
 }
 
 func TestLinkedNestedCalls(t *testing.T) {
@@ -197,8 +197,8 @@ call work(b)
 // Both engines agree on linked graphs too (same stores, same firings).
 func TestLinkedEnginesAgree(t *testing.T) {
 	for _, w := range []workloads.Workload{
-		workloads.ByName("proc-fortran"),
-		workloads.ByName("proc-in-loop"),
+		workloads.MustByName("proc-fortran"),
+		workloads.MustByName("proc-in-loop"),
 	} {
 		res, err := TranslateLinked(w.Parse())
 		if err != nil {
@@ -223,7 +223,7 @@ func TestLinkedEnginesAgree(t *testing.T) {
 
 // Linked graphs stay deterministic under randomized issue order.
 func TestLinkedDeterminacy(t *testing.T) {
-	res, err := TranslateLinked(workloads.ByName("proc-fortran").Parse())
+	res, err := TranslateLinked(workloads.MustByName("proc-fortran").Parse())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -52,8 +52,8 @@ func TestAliasedWorkloadsAllBindings(t *testing.T) {
 		w        workloads.Workload
 		bindings []interp.Binding
 	}{
-		{workloads.ByName("aliased-swap"), fortranBindings()},                             // aliased-swap (x~z, y~z)
-		{workloads.ByName("aliased-arrays"), []interp.Binding{nil, {"p": "p", "q": "p"}}}, // aliased-arrays
+		{workloads.MustByName("aliased-swap"), fortranBindings()},                             // aliased-swap (x~z, y~z)
+		{workloads.MustByName("aliased-arrays"), []interp.Binding{nil, {"p": "p", "q": "p"}}}, // aliased-arrays
 	}
 	for _, c := range cases {
 		for _, b := range c.bindings {
@@ -104,7 +104,7 @@ func TestMemoryEliminationCorrect(t *testing.T) {
 func TestMemoryEliminationRemovesScalarOps(t *testing.T) {
 	// In an alias-free scalar program every load and store disappears
 	// (§6.1: "memory operations on scalars can be eliminated completely").
-	w := workloads.ByName("fib-iterative") // fib-iterative: scalars only
+	w := workloads.MustByName("fib-iterative") // fib-iterative: scalars only
 	g := cfg.MustBuild(w.Parse())
 	plain, err := Translate(g, Options{Schema: Schema2Opt})
 	if err != nil {
@@ -124,7 +124,7 @@ func TestMemoryEliminationRemovesScalarOps(t *testing.T) {
 }
 
 func TestMemoryEliminationKeepsAliasedAndArrayOps(t *testing.T) {
-	w := workloads.ByName("aliased-swap") // aliased-swap
+	w := workloads.MustByName("aliased-swap") // aliased-swap
 	g := cfg.MustBuild(w.Parse())
 	res, err := Translate(g, Options{Schema: Schema2, EliminateMemory: true})
 	if err != nil {
@@ -168,7 +168,7 @@ func TestParallelReadsCorrect(t *testing.T) {
 func TestParallelReadsShortenReadChains(t *testing.T) {
 	// read-heavy: 8 loads of the same array in one statement. Sequential
 	// threading costs ~8·L on the access line; replicated reads cost ~L.
-	w := workloads.ByName("read-heavy")
+	w := workloads.MustByName("read-heavy")
 	g := cfg.MustBuild(w.Parse())
 	seq, err := Translate(g, Options{Schema: Schema2})
 	if err != nil {
@@ -310,7 +310,7 @@ func TestAllTransformsComposed(t *testing.T) {
 func TestDeterminacyUnderRandomScheduling(t *testing.T) {
 	// Dataflow execution must produce the same final state no matter the
 	// issue order (the determinacy property the schemas rely on).
-	for _, w := range []workloads.Workload{workloads.RunningExample, workloads.ByName("nested-loops"), workloads.ByName("matmul-2x2-flat")} {
+	for _, w := range []workloads.Workload{workloads.RunningExample, workloads.MustByName("nested-loops"), workloads.MustByName("matmul-2x2-flat")} {
 		g := cfg.MustBuild(w.Parse())
 		for _, opt := range allSchemas {
 			res, err := Translate(g, opt)

@@ -504,14 +504,25 @@ func All() []Workload {
 	return append(out, Kernels...)
 }
 
-// ByName returns the named workload, panicking if absent (fixture lookup).
-func ByName(name string) Workload {
+// ByName returns the named workload.
+func ByName(name string) (Workload, error) {
 	for _, w := range All() {
 		if w.Name == name {
-			return w
+			return w, nil
 		}
 	}
-	panic("workloads: no workload named " + name)
+	return Workload{}, fmt.Errorf("workloads: no workload named %q", name)
+}
+
+// MustByName returns the named workload, panicking if absent. It exists
+// for test fixtures and benchmarks where the name is a compile-time
+// constant; anything handling user input must use ByName.
+func MustByName(name string) Workload {
+	w, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return w
 }
 
 // Random generates a seeded random structured program that terminates by

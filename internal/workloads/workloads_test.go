@@ -38,16 +38,16 @@ func TestWorkloadValues(t *testing.T) {
 	if s := run(RunningExample); s.Get("x") != 5 || s.Get("y") != 5 {
 		t.Error("running example must end with x=5 y=5")
 	}
-	if s := run(ByName("fib-iterative")); s.Get("a") != 144 {
+	if s := run(MustByName("fib-iterative")); s.Get("a") != 144 {
 		t.Errorf("fib(12) = %d, want 144", s.Get("a"))
 	}
-	if s := run(ByName("gcd")); s.Get("a") != 21 {
+	if s := run(MustByName("gcd")); s.Get("a") != 21 {
 		t.Errorf("gcd(252,105) = %d, want 21", s.Get("a"))
 	}
-	if s := run(ByName("matmul-2x2-flat")); s.Array("c")[0] != 19 || s.Array("c")[3] != 50 {
+	if s := run(MustByName("matmul-2x2-flat")); s.Array("c")[0] != 19 || s.Array("c")[3] != 50 {
 		t.Errorf("matmul c = %v, want [19 22 43 50]", s.Array("c"))
 	}
-	if s := run(ByName("array-sum")); s.Get("s") != 1240 {
+	if s := run(MustByName("array-sum")); s.Get("s") != 1240 {
 		t.Errorf("array-sum s = %d, want 1240", s.Get("s"))
 	}
 	if s := run(Fig14ArrayLoop); s.Array("x")[10] != 1 || s.Array("x")[0] != 0 {
@@ -98,11 +98,17 @@ func TestRandomAliasedLegalBindings(t *testing.T) {
 	}
 }
 
-func TestByNamePanicsOnUnknown(t *testing.T) {
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("no-such-workload"); err == nil {
+		t.Error("ByName must return an error for unknown names")
+	}
+	if w, err := ByName("fib-iterative"); err != nil || w.Name != "fib-iterative" {
+		t.Errorf("ByName(fib-iterative) = %v, %v", w.Name, err)
+	}
 	defer func() {
 		if recover() == nil {
-			t.Error("ByName must panic for unknown names")
+			t.Error("MustByName must panic for unknown names")
 		}
 	}()
-	ByName("no-such-workload")
+	MustByName("no-such-workload")
 }

@@ -1,0 +1,93 @@
+package ctdf
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func translateExample(t *testing.T) *Dataflow {
+	t.Helper()
+	p, err := Compile(exampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Translate(Options{Schema: Schema2Opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDeadlineReturnsTypedErrorAndPartialResult(t *testing.T) {
+	d := translateExample(t)
+	r, err := d.Run(RunConfig{Deadline: 1}) // 1ns: expires immediately
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if r == nil {
+		t.Fatal("no partial result on deadline abort")
+	}
+	if name, ok := CheckName(err); !ok || name != "deadline" {
+		t.Errorf("CheckName = %q, %v", name, ok)
+	}
+}
+
+func TestChannelsDeadlineReportsDeadlock(t *testing.T) {
+	// Acceptance criterion: a deadlocked (wedged) channel-engine run with
+	// a deadline returns a typed ErrDeadlock within the deadline.
+	d := translateExample(t)
+	start := time.Now()
+	r, err := d.Run(RunConfig{
+		Engine:   EngineChannels,
+		Deadline: 100 * time.Millisecond,
+		Fault:    &FaultPlan{Class: FaultWedgeMailbox, Site: 3},
+	})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	if e := time.Since(start); e > 3*time.Second {
+		t.Errorf("watchdog took %v", e)
+	}
+	if r == nil || r.Fault == nil || !r.Fault.Injected {
+		t.Errorf("partial result or fault report missing: %+v", r)
+	}
+}
+
+func TestFaultCountingPassAndDetection(t *testing.T) {
+	d := translateExample(t)
+	// Counting pass: no injection, reports eligible sites.
+	r, err := d.Run(RunConfig{Fault: &FaultPlan{Class: FaultDropToken, Site: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fault == nil || r.Fault.Sites == 0 || r.Fault.Injected {
+		t.Fatalf("counting pass report = %+v", r.Fault)
+	}
+	// Injected run: the dropped token must be detected by a named check.
+	site := PickFaultSite(42, r.Fault.Sites)
+	r2, err := d.Run(RunConfig{Fault: &FaultPlan{Class: FaultDropToken, Site: site}})
+	if err == nil {
+		t.Fatal("dropped token went undetected")
+	}
+	if name, ok := CheckName(err); !ok || name == "" {
+		t.Errorf("abort not typed: %v", err)
+	}
+	if r2 == nil || !r2.Fault.Injected {
+		t.Errorf("fault report missing on aborted run: %+v", r2)
+	}
+}
+
+func TestObservedAbortStillReported(t *testing.T) {
+	d := translateExample(t)
+	r, err := d.Run(RunConfig{
+		MaxCycles: 3,
+		Obs:       &ObsOptions{},
+	})
+	if !errors.Is(err, ErrCyclesExceeded) {
+		t.Fatalf("err = %v, want ErrCyclesExceeded", err)
+	}
+	if r == nil || r.Obs == nil {
+		t.Fatal("aborted observed run lost its obs report")
+	}
+}

@@ -22,6 +22,12 @@ fi
 echo "== go test =="
 go test ./...
 
+echo "== go test -race =="
+go test -race -timeout 5m ./...
+
+echo "== chaos smoke matrix =="
+go run ./cmd/ctdf chaos -smoke
+
 echo "== benchmark smoke =="
 go test -run=NONE -bench='BenchmarkE11|BenchmarkObs' -benchtime=1x .
 

@@ -11,7 +11,7 @@ import (
 // serialize, reload, run — identical results.
 func TestSerializedGraphRunsIdentically(t *testing.T) {
 	for _, w := range []string{"running-example", "matmul-2x2-flat", "fortran-alias", "bubble-sort"} {
-		wl := workloads.ByName(w)
+		wl := workloads.MustByName(w)
 		p, err := Compile(wl.Source)
 		if err != nil {
 			t.Fatal(err)
