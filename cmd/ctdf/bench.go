@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ctdf/internal/bench"
+)
+
+// cmdBench runs the benchmark-trajectory harness (internal/bench): the
+// E11/E12 workload matrix plus the simulator-scaling sizes, reported as
+// BENCH_machine.json with speedups against the committed pre-overhaul
+// seed baseline. In -smoke mode it runs the fast subset and fails if
+// allocs/op on the steady-state cells regresses above the committed
+// baseline tolerance — the CI gate wired into scripts/verify.sh.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	smoke := fs.Bool("smoke", false, "run the fast subset and gate allocs/op against the committed baseline")
+	benchtime := fs.Duration("benchtime", 0, "measurement time per cell (default 1s, 150ms in smoke mode)")
+	out := fs.String("out", "BENCH_machine.json", "where to write the report (full mode)")
+	baseline := fs.String("baseline", "BENCH_machine.json", "committed report the smoke gate compares against")
+	tolerance := fs.Float64("tolerance", 0.25, "allowed fractional allocs/op regression in smoke mode")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	bt := *benchtime
+	if bt == 0 {
+		bt = time.Second
+		if *smoke {
+			bt = 150 * time.Millisecond
+		}
+	}
+	rep, err := bench.RunMatrix(bt, *smoke)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Table())
+	if rep.MaxScalingSpeedup > 0 {
+		fmt.Printf("speedup vs seed on scaling/size=16: %.2fx\n", rep.MaxScalingSpeedup)
+	}
+
+	if *smoke {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			return fmt.Errorf("bench gate: cannot read committed baseline: %w", err)
+		}
+		var committed bench.Report
+		if err := json.Unmarshal(data, &committed); err != nil {
+			return fmt.Errorf("bench gate: corrupt baseline %s: %w", *baseline, err)
+		}
+		if violations := bench.Gate(rep, &committed, *tolerance); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "bench gate:", v)
+			}
+			return fmt.Errorf("bench gate: %d steady-state allocation regression(s)", len(violations))
+		}
+		fmt.Println("bench gate: steady-state allocs/op within tolerance")
+		return nil
+	}
+
+	js, err := json.MarshalIndent(rep, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(js, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d cells)\n", *out, len(rep.Results))
+	return nil
+}

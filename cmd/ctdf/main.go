@@ -51,6 +51,8 @@ func main() {
 		err = cmdExperiments(os.Args[2:])
 	case "chaos":
 		err = cmdChaos(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	case "workloads":
 		err = cmdWorkloads()
 	case "-h", "--help", "help":
@@ -75,6 +77,7 @@ func usage() {
   ctdf explain [flags] (file | -workload name)
   ctdf experiments [flags] [id ...]
   ctdf chaos [flags]
+  ctdf bench [flags]
   ctdf workloads
 Use 'ctdf run -h' etc. for per-command flags.
 `)
@@ -163,6 +166,7 @@ func cmdRun(args []string) error {
 	binding := fs.String("binding", "", "alias binding, e.g. x=z (x and z share one location)")
 	seed := fs.Int64("seed", 0, "randomize machine issue order with this seed")
 	races := fs.Bool("races", false, "detect overlapping conflicting memory operations")
+	parissue := fs.Bool("parissue", false, "evaluate pure operators of large issue batches on a worker pool (machine engine)")
 	profile := fs.Bool("profile", false, "print the per-cycle parallelism profile")
 	legalize := fs.Bool("legalize", false, "decompose wide synch collectors into two-input trees")
 	linked := fs.Bool("linked", false, "compile procedures separately (Apply/Param/ProcReturn linkage)")
@@ -212,7 +216,7 @@ func cmdRun(args []string) error {
 	}
 	cfg := ctdf.RunConfig{
 		Processors: *procs, MemLatency: *latency, Binding: b,
-		RandomSeed: *seed, DetectRaces: *races,
+		RandomSeed: *seed, DetectRaces: *races, ParallelIssue: *parissue,
 	}
 	if *trace {
 		cfg.Trace = os.Stderr

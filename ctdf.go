@@ -162,6 +162,11 @@ type RunConfig struct {
 	// DetectRaces makes the machine verify that no two memory operations
 	// on one location ever overlap unless both are reads.
 	DetectRaces bool
+	// ParallelIssue evaluates the pure operators of large machine issue
+	// batches on a host worker pool; the simulated execution is
+	// observably identical, it just finishes sooner. EngineMachine only;
+	// ignored while fault injection is active.
+	ParallelIssue bool
 	// MaxCycles / MaxOps bound the execution (defaults: one million
 	// cycles, ten million firings).
 	MaxCycles int
@@ -441,17 +446,18 @@ func (d *Dataflow) Run(cfg RunConfig) (*Result, error) {
 			}
 		}
 		out, err := machine.Run(d.res.Graph, machine.Config{
-			Processors:  cfg.Processors,
-			MemLatency:  cfg.MemLatency,
-			MaxCycles:   cfg.MaxCycles,
-			MaxOps:      cfg.MaxOps,
-			Deadline:    cfg.Deadline,
-			Inject:      inj,
-			Binding:     interp.Binding(cfg.Binding),
-			RandomSeed:  cfg.RandomSeed,
-			DetectRaces: cfg.DetectRaces,
-			Trace:       cfg.Trace,
-			Collector:   col,
+			Processors:    cfg.Processors,
+			MemLatency:    cfg.MemLatency,
+			MaxCycles:     cfg.MaxCycles,
+			MaxOps:        cfg.MaxOps,
+			Deadline:      cfg.Deadline,
+			Inject:        inj,
+			Binding:       interp.Binding(cfg.Binding),
+			RandomSeed:    cfg.RandomSeed,
+			DetectRaces:   cfg.DetectRaces,
+			ParallelIssue: cfg.ParallelIssue,
+			Trace:         cfg.Trace,
+			Collector:     col,
 		})
 		if out == nil {
 			// Validation failed before the simulation started.

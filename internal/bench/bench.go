@@ -1,0 +1,291 @@
+// Package bench is the benchmark-trajectory harness behind `ctdf bench`:
+// it measures the execution engines on the E11/E12 workload matrix plus
+// the simulator-scaling sizes, writes the results as BENCH_machine.json,
+// and gates steady-state allocation regressions against the committed
+// numbers. The committed seed_baseline.json holds the same matrix
+// measured on the pre-overhaul engine (per-cycle sort.Slice scheduling,
+// string-keyed monolithic matching store), so every report carries the
+// speedup trajectory since the seed. See PERFORMANCE.md.
+package bench
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"ctdf"
+	"ctdf/internal/workloads"
+)
+
+// Case is one benchmark cell: a workload × translation × run
+// configuration measured end to end (translate once, Run per iteration).
+type Case struct {
+	// Name is the stable cell identifier ("e11/fib-iterative/mem-elim").
+	Name string
+	// Source is the workload program text.
+	Source string
+	// Opt translates the program; Run executes it.
+	Opt ctdf.Options
+	Run ctdf.RunConfig
+	// SteadyState marks the allocation-gated cells: long-running loop
+	// workloads whose per-firing hot path must not allocate, so their
+	// allocs/op must stay flat against the committed baseline.
+	SteadyState bool
+	// Smoke marks cells the fast CI gate (`ctdf bench -smoke`) runs.
+	Smoke bool
+}
+
+// Matrix returns the benchmark matrix: the E11 schema comparison, the
+// E12 engine comparison, and the simulator-scaling sizes of
+// BenchmarkScalingSimulate.
+func Matrix() []Case {
+	var cases []Case
+	e11Configs := []struct {
+		name string
+		opt  ctdf.Options
+	}{
+		{"schema1", ctdf.Options{Schema: ctdf.Schema1}},
+		{"schema2", ctdf.Options{Schema: ctdf.Schema2}},
+		{"schema2-opt", ctdf.Options{Schema: ctdf.Schema2Opt}},
+		{"mem-elim", ctdf.Options{Schema: ctdf.Schema2Opt, EliminateMemory: true}},
+	}
+	for _, wn := range []string{"running-example", "fib-iterative", "matmul-2x2-flat", "independent-chains"} {
+		w := workloads.MustByName(wn)
+		for _, c := range e11Configs {
+			cases = append(cases, Case{
+				Name:        "e11/" + wn + "/" + c.name,
+				Source:      w.Source,
+				Opt:         c.opt,
+				Run:         ctdf.RunConfig{MemLatency: 4},
+				SteadyState: wn == "fib-iterative" && c.name == "mem-elim",
+				Smoke:       wn == "fib-iterative" || wn == "running-example",
+			})
+		}
+	}
+	nested := workloads.MustByName("nested-loops")
+	cases = append(cases,
+		Case{
+			Name: "e12/nested-loops/machine", Source: nested.Source,
+			Opt: ctdf.Options{Schema: ctdf.Schema2Opt}, Run: ctdf.RunConfig{Engine: ctdf.EngineMachine},
+			SteadyState: true, Smoke: true,
+		},
+		Case{
+			Name: "e12/nested-loops/channels", Source: nested.Source,
+			Opt: ctdf.Options{Schema: ctdf.Schema2Opt}, Run: ctdf.RunConfig{Engine: ctdf.EngineChannels},
+		},
+	)
+	for _, size := range []int{4, 8, 16} {
+		w := workloads.Random(4242, size, 3)
+		cases = append(cases, Case{
+			Name:        fmt.Sprintf("scaling/size=%d", size),
+			Source:      w.Source,
+			Opt:         ctdf.Options{Schema: ctdf.Schema2Opt},
+			Run:         ctdf.RunConfig{},
+			SteadyState: size == 16,
+			Smoke:       size == 16,
+		})
+	}
+	return cases
+}
+
+// Result is one measured cell.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+	// Cycles and Ops describe one simulated execution of the cell.
+	Cycles int `json:"cycles"`
+	Ops    int `json:"ops"`
+	// CyclesPerSec and FiresPerSec are simulated throughput per wall
+	// second (cycles only on the cycle-driven machine).
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	FiresPerSec  float64 `json:"fires_per_sec"`
+	// AllocsPerFiring is AllocsPerOp spread over the operator firings of
+	// one run — the steady-state allocation pressure of the hot path.
+	AllocsPerFiring float64 `json:"allocs_per_firing"`
+	// SeedNsPerOp and SeedAllocsPerOp are the committed pre-overhaul
+	// numbers for this cell (0 when the seed baseline lacks it), and
+	// Speedup is SeedNsPerOp/NsPerOp.
+	SeedNsPerOp     float64 `json:"seed_ns_per_op,omitempty"`
+	SeedAllocsPerOp float64 `json:"seed_allocs_per_op,omitempty"`
+	Speedup         float64 `json:"speedup,omitempty"`
+	SteadyState     bool    `json:"steady_state,omitempty"`
+}
+
+// Report is the full benchmark-trajectory artifact (BENCH_machine.json).
+type Report struct {
+	GoVersion string   `json:"go_version"`
+	GOARCH    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	Benchtime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+	// MaxScalingSpeedup is the speedup vs seed on the largest scaling
+	// cell — the headline number EXPERIMENTS.md E16 asserts.
+	MaxScalingSpeedup float64 `json:"max_scaling_speedup,omitempty"`
+}
+
+// seedBaseline is the committed measurement of this same matrix on the
+// pre-overhaul engine.
+//
+//go:embed seed_baseline.json
+var seedBaselineJSON []byte
+
+type seedEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// SeedBaseline returns the committed pre-overhaul numbers by cell name.
+func SeedBaseline() (map[string]seedEntry, error) {
+	out := map[string]seedEntry{}
+	if err := json.Unmarshal(seedBaselineJSON, &out); err != nil {
+		return nil, fmt.Errorf("bench: corrupt seed_baseline.json: %w", err)
+	}
+	return out, nil
+}
+
+// measure times fn until benchtime has elapsed (at least one iteration)
+// and reports per-iteration wall time and allocation counts.
+func measure(fn func() error, benchtime time.Duration) (nsPerOp, allocsPerOp, bytesPerOp float64, iters int, err error) {
+	if err := fn(); err != nil { // warmup + validity
+		return 0, 0, 0, 0, err
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	n := 0
+	for elapsed := time.Duration(0); n == 0 || elapsed < benchtime; elapsed = time.Since(start) {
+		if err := fn(); err != nil {
+			return 0, 0, 0, 0, err
+		}
+		n++
+	}
+	total := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return float64(total.Nanoseconds()) / float64(n),
+		float64(after.Mallocs-before.Mallocs) / float64(n),
+		float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
+		n, nil
+}
+
+// RunCase measures one cell.
+func RunCase(c Case, benchtime time.Duration) (Result, error) {
+	p, err := ctdf.Compile(c.Source)
+	if err != nil {
+		return Result{}, fmt.Errorf("%s: %w", c.Name, err)
+	}
+	d, err := p.Translate(c.Opt)
+	if err != nil {
+		return Result{}, fmt.Errorf("%s: %w", c.Name, err)
+	}
+	var last *ctdf.Result
+	ns, allocs, bytes, iters, err := measure(func() error {
+		r, err := d.Run(c.Run)
+		last = r
+		return err
+	}, benchtime)
+	if err != nil {
+		return Result{}, fmt.Errorf("%s: %w", c.Name, err)
+	}
+	res := Result{
+		Name: c.Name, NsPerOp: ns, AllocsPerOp: allocs, BytesPerOp: bytes,
+		Iterations: iters, SteadyState: c.SteadyState,
+	}
+	if last != nil {
+		res.Cycles = last.Cycles
+		res.Ops = last.Ops
+		if ns > 0 {
+			res.CyclesPerSec = float64(last.Cycles) / (ns / 1e9)
+			res.FiresPerSec = float64(last.Ops) / (ns / 1e9)
+		}
+		if last.Ops > 0 {
+			res.AllocsPerFiring = allocs / float64(last.Ops)
+		}
+	}
+	return res, nil
+}
+
+// RunMatrix measures the matrix (the smoke subset when smokeOnly) and
+// fills in the seed-baseline trajectory.
+func RunMatrix(benchtime time.Duration, smokeOnly bool) (*Report, error) {
+	seed, err := SeedBaseline()
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		GoVersion: runtime.Version(),
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Benchtime: benchtime.String(),
+	}
+	for _, c := range Matrix() {
+		if smokeOnly && !c.Smoke {
+			continue
+		}
+		r, err := RunCase(c, benchtime)
+		if err != nil {
+			return nil, err
+		}
+		if s, ok := seed[c.Name]; ok && r.NsPerOp > 0 {
+			r.SeedNsPerOp = s.NsPerOp
+			r.SeedAllocsPerOp = s.AllocsPerOp
+			r.Speedup = s.NsPerOp / r.NsPerOp
+		}
+		if c.Name == "scaling/size=16" {
+			rep.MaxScalingSpeedup = r.Speedup
+		}
+		rep.Results = append(rep.Results, r)
+	}
+	return rep, nil
+}
+
+// Gate checks a fresh (smoke) report against the committed
+// BENCH_machine.json: every steady-state cell's allocs/op must stay
+// within tolerance (a fraction, e.g. 0.25) of the committed number plus
+// a small absolute slack for measurement noise. It returns one message
+// per violation.
+func Gate(fresh, committed *Report, tolerance float64) []string {
+	base := map[string]Result{}
+	for _, r := range committed.Results {
+		base[r.Name] = r
+	}
+	var violations []string
+	for _, r := range fresh.Results {
+		if !r.SteadyState {
+			continue
+		}
+		b, ok := base[r.Name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: steady-state cell missing from committed baseline (rerun `ctdf bench`)", r.Name))
+			continue
+		}
+		limit := b.AllocsPerOp*(1+tolerance) + 16
+		if r.AllocsPerOp > limit {
+			violations = append(violations, fmt.Sprintf("%s: allocs/op %.1f exceeds committed %.1f (+%d%% tolerance = %.1f)",
+				r.Name, r.AllocsPerOp, b.AllocsPerOp, int(tolerance*100), limit))
+		}
+	}
+	return violations
+}
+
+// Table renders the report as an aligned text table.
+func (rep *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %12s %11s %12s %13s %9s\n",
+		"case", "ns/op", "allocs/op", "cycles/sec", "fires/sec", "speedup")
+	for _, r := range rep.Results {
+		speedup := "-"
+		if r.Speedup > 0 {
+			speedup = fmt.Sprintf("%.2fx", r.Speedup)
+		}
+		fmt.Fprintf(&b, "%-34s %12.0f %11.1f %12.0f %13.0f %9s\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.CyclesPerSec, r.FiresPerSec, speedup)
+	}
+	return b.String()
+}

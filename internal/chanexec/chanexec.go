@@ -128,6 +128,25 @@ func (b *mailbox) close() {
 	b.cond.Broadcast()
 }
 
+// Run lifecycle states (engine.state).
+const (
+	stateRunning int32 = iota
+	stateCompleted
+	stateFailed
+)
+
+// Watchdog instrumentation, read by tests: watchdogFired counts deadline
+// callbacks that won the race and failed the run; watchdogLate counts
+// callbacks that fired after the run had already completed or failed and
+// were discarded. watchdogTestDelay, when non-nil, runs inside the
+// callback before it attempts the failure — tests use it to force the
+// callback to lose the race deterministically.
+var (
+	watchdogFired     atomic.Int64
+	watchdogLate      atomic.Int64
+	watchdogTestDelay func()
+)
+
 type engine struct {
 	g        *dfg.Graph
 	store    *interp.Store
@@ -140,11 +159,16 @@ type engine struct {
 	maxOps   int64
 	inj      *fault.Injector
 
-	done     chan struct{}
-	doneOnce sync.Once
-	failed   atomic.Bool
-	errMu    sync.Mutex
-	err      error
+	done chan struct{}
+	// state is the run lifecycle: stateRunning until the single transition
+	// to stateCompleted (quiescent success, in retire) or stateFailed (in
+	// fail) — whichever CASes first wins and closes done. The losing side
+	// is a no-op, which is what makes a deadline watchdog firing
+	// concurrently with normal completion harmless.
+	state  atomic.Int32
+	failed atomic.Bool
+	errMu  sync.Mutex
+	err    error
 
 	endMu   sync.Mutex
 	endVals []int64
@@ -238,7 +262,14 @@ func Run(g *dfg.Graph, cfg Config) (*Outcome, error) {
 	var watchdog *time.Timer
 	if cfg.Deadline > 0 {
 		watchdog = time.AfterFunc(cfg.Deadline, func() {
-			e.fail(e.watchdogError(cfg.Deadline))
+			if watchdogTestDelay != nil {
+				watchdogTestDelay()
+			}
+			if e.fail(e.watchdogError(cfg.Deadline)) {
+				watchdogFired.Add(1)
+			} else {
+				watchdogLate.Add(1)
+			}
 		})
 	}
 
@@ -310,14 +341,20 @@ func (e *engine) watchdogError(d time.Duration) error {
 	return ce.WithStuck(stuck)
 }
 
-func (e *engine) fail(err error) {
+// fail moves the run to the failed state and records err, reporting
+// whether this call won the transition. A fail that loses the race to
+// normal completion (or to an earlier fail) changes nothing and returns
+// false — late watchdog fires rely on this.
+func (e *engine) fail(err error) bool {
+	if !e.state.CompareAndSwap(stateRunning, stateFailed) {
+		return false
+	}
 	e.failed.Store(true)
 	e.errMu.Lock()
-	if e.err == nil {
-		e.err = err
-	}
+	e.err = err
 	e.errMu.Unlock()
-	e.doneOnce.Do(func() { close(e.done) })
+	close(e.done)
+	return true
 }
 
 // matchSite reports whether node is a matching operator (>=2 inputs with
@@ -368,7 +405,9 @@ func (e *engine) retire() {
 				"quiescent before end fired (deadlocked tokens)"))
 			return
 		}
-		e.doneOnce.Do(func() { close(e.done) })
+		if e.state.CompareAndSwap(stateRunning, stateCompleted) {
+			close(e.done)
+		}
 	}
 }
 

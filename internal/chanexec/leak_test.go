@@ -72,3 +72,47 @@ func TestNoGoroutineLeakOnErrorPaths(t *testing.T) {
 		checkNoLeak(t, c.name, c.fn)
 	}
 }
+
+// TestWatchdogFiredOrStopped pins the watchdog lifecycle invariant: every
+// deadline callback either wins the state race and fails the run, or
+// observes the run already settled and is discarded — a late fire must
+// never overwrite a successful outcome. The test forces the late case
+// deterministically: a 1ns deadline guarantees the callback starts, and
+// the test hook holds it hostage until the run has completed.
+func TestWatchdogFiredOrStopped(t *testing.T) {
+	res := translateWorkload(t, "fib-iterative", translate.Options{Schema: translate.Schema2Opt})
+
+	t.Run("late fire is a no-op", func(t *testing.T) {
+		release := make(chan struct{})
+		watchdogTestDelay = func() { <-release }
+		defer func() { watchdogTestDelay = nil }()
+		lateBefore := watchdogLate.Load()
+
+		out, err := Run(res.Graph, Config{Deadline: time.Nanosecond})
+		if err != nil {
+			t.Fatalf("run with hostage watchdog failed: %v", err)
+		}
+		if out == nil || out.Ops == 0 {
+			t.Fatalf("run with hostage watchdog returned empty outcome: %+v", out)
+		}
+		close(release)
+		deadline := time.Now().Add(5 * time.Second)
+		for watchdogLate.Load() == lateBefore {
+			if time.Now().After(deadline) {
+				t.Fatal("late watchdog fire was never recorded as discarded")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+
+	t.Run("genuine expiry is recorded as fired", func(t *testing.T) {
+		firedBefore := watchdogFired.Load()
+		in := fault.NewInjector(fault.Plan{Class: fault.WedgeMailbox, Site: 5})
+		if _, err := Run(res.Graph, Config{Inject: in, Deadline: 50 * time.Millisecond}); err == nil {
+			t.Fatal("wedged run did not abort")
+		}
+		if watchdogFired.Load() == firedBefore {
+			t.Fatal("expired watchdog was not recorded as fired")
+		}
+	})
+}

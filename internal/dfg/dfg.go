@@ -205,6 +205,9 @@ type Graph struct {
 
 	// outs[node][port] lists arc indices leaving that port.
 	outs [][][]int
+	// outTargets[node][port] caches the destination list of each out
+	// port (built lazily by OutTargets).
+	outTargets [][][]Target
 	// ins[node][port] lists arc indices entering that port.
 	ins [][][]int
 
@@ -257,6 +260,27 @@ func (g *Graph) OutArcs(node, port int) []Arc {
 		out[i] = g.Arcs[a]
 	}
 	return out
+}
+
+// OutTargets returns the destinations of the arcs leaving (node, port).
+// Unlike OutArcs it returns a cached slice — built on first use, shared
+// across calls — so per-firing fan-out never allocates; callers must not
+// mutate it or Connect new arcs afterwards.
+func (g *Graph) OutTargets(node, port int) []Target {
+	if g.outTargets == nil {
+		g.outTargets = make([][][]Target, len(g.Nodes))
+	}
+	if g.outTargets[node] == nil {
+		g.outTargets[node] = make([][]Target, len(g.outs[node]))
+		for p, idxs := range g.outs[node] {
+			ts := make([]Target, len(idxs))
+			for i, a := range idxs {
+				ts[i] = Target{Node: g.Arcs[a].To, Port: g.Arcs[a].ToPort}
+			}
+			g.outTargets[node][p] = ts
+		}
+	}
+	return g.outTargets[node][port]
 }
 
 // InDegree returns the number of arcs entering (node, port).

@@ -27,6 +27,9 @@
 //   - Determinacy — two executions of one determinate graph disagreed
 //     (final stores or firing counts differ), or conflicting memory
 //     operations overlapped in time (the §5 correctness condition).
+//   - InvalidConfig — the run was misconfigured before it started: a
+//     negative resource bound or processor count that could only arise
+//     from a caller bug (every knob's zero value means "default").
 //
 // Callers match checks with errors.Is against the exported sentinels:
 //
@@ -54,6 +57,7 @@ const (
 	Deadline       Check = "deadline"
 	OperatorFault  Check = "operator-fault"
 	Determinacy    Check = "determinacy"
+	InvalidConfig  Check = "invalid-config"
 )
 
 // Error implements error: a bare Check is the sentinel form.
@@ -69,11 +73,12 @@ var (
 	ErrDeadline       error = Deadline
 	ErrOperatorFault  error = OperatorFault
 	ErrDeterminacy    error = Determinacy
+	ErrInvalidConfig  error = InvalidConfig
 )
 
 // Checks returns every check, in stable order.
 func Checks() []Check {
-	return []Check{Deadlock, TokenLeak, TagViolation, CyclesExceeded, Deadline, OperatorFault, Determinacy}
+	return []Check{Deadlock, TokenLeak, TagViolation, CyclesExceeded, Deadline, OperatorFault, Determinacy, InvalidConfig}
 }
 
 // Stuck describes one stuck token or partially matched activation — the

@@ -32,6 +32,7 @@ func TestEverySentinelRoundTrips(t *testing.T) {
 		Deadlock: ErrDeadlock, TokenLeak: ErrTokenLeak, TagViolation: ErrTagViolation,
 		CyclesExceeded: ErrCyclesExceeded, Deadline: ErrDeadline,
 		OperatorFault: ErrOperatorFault, Determinacy: ErrDeterminacy,
+		InvalidConfig: ErrInvalidConfig,
 	}
 	if len(Checks()) != len(sentinels) {
 		t.Fatalf("Checks() has %d entries, sentinels %d", len(Checks()), len(sentinels))

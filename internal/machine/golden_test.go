@@ -1,0 +1,156 @@
+package machine
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ctdf/internal/cfg"
+	"ctdf/internal/obs"
+	"ctdf/internal/translate"
+	"ctdf/internal/workloads"
+)
+
+// The committed goldens in testdata/goldens.json were generated from the
+// pre-overhaul engine (the per-cycle sort.Slice scheduler and the
+// string-keyed monolithic matching store). Every subsequent change to the
+// machine's hot path must reproduce them exactly: final snapshot, cycle
+// count, op counts, matching statistics, and the per-node firing vector.
+// Regenerate with: go test ./internal/machine -run TestMachineGoldens -update
+var updateGoldens = flag.Bool("update", false, "rewrite testdata/goldens.json from the current engine")
+
+// goldenConfig is one machine configuration the goldens pin down.
+type goldenConfig struct {
+	Name       string
+	Opt        translate.Options
+	Processors int
+	MemLatency int
+}
+
+func goldenConfigs() []goldenConfig {
+	return []goldenConfig{
+		{Name: "schema1-p0-l4", Opt: translate.Options{Schema: translate.Schema1}, MemLatency: 4},
+		{Name: "schema2-p0-l4", Opt: translate.Options{Schema: translate.Schema2}, MemLatency: 4},
+		{Name: "schema2opt-p0-l1", Opt: translate.Options{Schema: translate.Schema2Opt}, MemLatency: 1},
+		{Name: "schema2opt-p3-l4", Opt: translate.Options{Schema: translate.Schema2Opt}, Processors: 3, MemLatency: 4},
+		{Name: "memelim-p0-l1", Opt: translate.Options{Schema: translate.Schema2Opt, EliminateMemory: true}, MemLatency: 1},
+		{Name: "memelim-p2-l3", Opt: translate.Options{Schema: translate.Schema2Opt, EliminateMemory: true}, Processors: 2, MemLatency: 3},
+	}
+}
+
+// goldenCell is the recorded outcome of one workload × config run.
+type goldenCell struct {
+	Snapshot       string  `json:"snapshot"`
+	Cycles         int     `json:"cycles"`
+	Ops            int     `json:"ops"`
+	MemOps         int     `json:"mem_ops"`
+	Matches        int     `json:"matches"`
+	MaxParallelism int     `json:"max_parallelism"`
+	PeakMatchStore int     `json:"peak_match_store"`
+	Firings        []int64 `json:"firings"`
+}
+
+func goldenRun(t *testing.T, w workloads.Workload, gc goldenConfig) goldenCell {
+	t.Helper()
+	g := cfg.MustBuild(w.Parse())
+	res, err := translate.Translate(g, gc.Opt)
+	if err != nil {
+		t.Fatalf("%s/%s: translate: %v", w.Name, gc.Name, err)
+	}
+	col := obs.NewCollector(res.Graph, obs.Options{})
+	out, err := Run(res.Graph, Config{Processors: gc.Processors, MemLatency: gc.MemLatency, Collector: col})
+	if err != nil {
+		t.Fatalf("%s/%s: run: %v", w.Name, gc.Name, err)
+	}
+	rep := col.Report(out.Stats.Cycles, nil)
+	return goldenCell{
+		Snapshot:       out.Store.Snapshot(),
+		Cycles:         out.Stats.Cycles,
+		Ops:            out.Stats.Ops,
+		MemOps:         out.Stats.MemOps,
+		Matches:        out.Stats.Matches,
+		MaxParallelism: out.Stats.MaxParallelism,
+		PeakMatchStore: out.Stats.PeakMatchStore,
+		Firings:        rep.NodeFirings(),
+	}
+}
+
+// TestMachineGoldens locks the machine to the committed pre-overhaul
+// behavior on every workload × config cell: the scheduler and matching
+// store may be rebuilt freely, but snapshots, op counts, cycle counts,
+// and per-node firing vectors must not move.
+func TestMachineGoldens(t *testing.T) {
+	path := filepath.Join("testdata", "goldens.json")
+	got := map[string]goldenCell{}
+	for _, w := range workloads.All() {
+		for _, gc := range goldenConfigs() {
+			got[w.Name+"/"+gc.Name] = goldenRun(t, w, gc)
+		}
+	}
+	if *updateGoldens {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		js, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(js, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden cells to %s", len(got), path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing goldens (run with -update to generate): %v", err)
+	}
+	want := map[string]goldenCell{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden cell count: got %d, committed %d (run -update after adding workloads/configs)", len(got), len(want))
+	}
+	for key, wc := range want {
+		gc, ok := got[key]
+		if !ok {
+			t.Errorf("%s: committed golden has no current run", key)
+			continue
+		}
+		if diff := diffCell(wc, gc); diff != "" {
+			t.Errorf("%s: engine diverged from committed golden:\n%s", key, diff)
+		}
+	}
+}
+
+// diffCell renders the first differences between a committed and a current
+// cell ("" when identical).
+func diffCell(want, got goldenCell) string {
+	var out string
+	cmp := func(field string, w, g any) {
+		if fmt.Sprint(w) != fmt.Sprint(g) {
+			out += fmt.Sprintf("  %s: committed %v, got %v\n", field, w, g)
+		}
+	}
+	cmp("snapshot", want.Snapshot, got.Snapshot)
+	cmp("cycles", want.Cycles, got.Cycles)
+	cmp("ops", want.Ops, got.Ops)
+	cmp("mem_ops", want.MemOps, got.MemOps)
+	cmp("matches", want.Matches, got.Matches)
+	cmp("max_parallelism", want.MaxParallelism, got.MaxParallelism)
+	cmp("peak_match_store", want.PeakMatchStore, got.PeakMatchStore)
+	if len(want.Firings) != len(got.Firings) {
+		out += fmt.Sprintf("  firings: committed %d nodes, got %d\n", len(want.Firings), len(got.Firings))
+		return out
+	}
+	for id := range want.Firings {
+		if want.Firings[id] != got.Firings[id] {
+			out += fmt.Sprintf("  firings[node %d]: committed %d, got %d\n", id, want.Firings[id], got.Firings[id])
+		}
+	}
+	return out
+}

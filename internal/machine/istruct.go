@@ -6,7 +6,6 @@ import (
 
 	"ctdf/internal/dfg"
 	"ctdf/internal/machcheck"
-	"ctdf/internal/token"
 )
 
 // istructUnit implements I-structure memory (§6.3): each cell is written
@@ -21,7 +20,9 @@ type istructUnit struct {
 
 type istructWaiter struct {
 	node int
-	tg   token.Tag
+	// tgID is the deferred read's interned tag id, carried so the
+	// satisfying write can emit the result in the reader's context.
+	tgID int32
 	// dep is the deferred read's own firing id in the collector's firing
 	// DAG (-1 when not recording).
 	dep int32

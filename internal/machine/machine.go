@@ -17,6 +17,11 @@
 //     observability hooks (Config.Collector, an *obs.Collector) that
 //     count firings/waits/stalls and thread the firing DAG used for
 //     critical-path extraction (see OBSERVABILITY.md).
+//   - queue.go — the hot-path data structures: the bucketed ready queue,
+//     the tag-intern table, the sharded matching store's free lists
+//     (see PERFORMANCE.md).
+//   - par.go — the optional parallel issue stage (Config.ParallelIssue)
+//     that evaluates pure operators of a large batch on a worker pool.
 //   - istruct.go — the I-structure memory unit of §6.3: presence bits,
 //     deferred reads satisfied by the eventual write.
 //   - procs.go — activation contexts for procedure invocations (§2.2),
@@ -40,25 +45,28 @@ import (
 	"ctdf/internal/lang"
 	"ctdf/internal/machcheck"
 	"ctdf/internal/obs"
-	"ctdf/internal/token"
 )
 
 // Config configures a simulation run.
 type Config struct {
 	// Processors bounds how many operations issue per cycle; 0 means
-	// unlimited (critical-path mode).
+	// unlimited (critical-path mode). Negative values are rejected with an
+	// InvalidConfig machine check.
 	Processors int
 	// MemLatency is the number of cycles a split-phase load or store takes
-	// (minimum and default 1). All other operators take one cycle.
+	// (minimum and default 1; negative values are rejected). All other
+	// operators take one cycle.
 	MemLatency int
-	// MaxCycles aborts runaway executions (default one million).
+	// MaxCycles aborts runaway executions (default one million; negative
+	// values are rejected).
 	MaxCycles int
 	// MaxOps bounds total operator firings — and, indirectly, delivered
 	// tokens — so a token explosion aborts with a CyclesExceeded machine
-	// check before exhausting memory (default ten million).
+	// check before exhausting memory (default ten million; negative values
+	// are rejected).
 	MaxOps int64
-	// Deadline bounds wall-clock execution (0 = none); exceeding it
-	// aborts with a Deadline machine check.
+	// Deadline bounds wall-clock execution (0 = none; negative values are
+	// rejected); exceeding it aborts with a Deadline machine check.
 	Deadline time.Duration
 	// Inject threads a deterministic fault-injection plan through the
 	// run (nil = no injection; see internal/fault and ROBUSTNESS.md).
@@ -72,8 +80,15 @@ type Config struct {
 	// DetectRaces additionally checks that no two memory operations on the
 	// same location overlap in time unless both are reads.
 	DetectRaces bool
+	// ParallelIssue evaluates the pure operators of large issue batches on
+	// a host worker pool (see par.go). The simulated execution is
+	// observably identical to the sequential one — same issue order, same
+	// statistics, same events; it only spends host CPUs to get there
+	// faster. Ignored while fault injection is active.
+	ParallelIssue bool
 	// ProfileLimit caps the recorded parallelism profile length (default
-	// 1<<16 cycles); statistics remain exact beyond it.
+	// 1<<16 cycles; negative values are rejected); statistics remain exact
+	// beyond it.
 	ProfileLimit int
 	// Trace, when non-nil, receives one line per operator firing
 	// ("cycle 12: d5: binop + [tag 0.1]"); it is implemented as an
@@ -84,6 +99,34 @@ type Config struct {
 	// firing DAG for critical-path extraction. Nil disables observability
 	// at the cost of one branch per firing.
 	Collector *obs.Collector
+}
+
+// validate rejects configurations that could only arise from a caller
+// bug: the zero value of every knob means "default", so negative values
+// are never meaningful and used to be silently clamped or, worse, could
+// wedge a run (a negative MaxCycles disabled the runaway guard).
+func (c *Config) validate() error {
+	switch {
+	case c.Processors < 0:
+		return machcheck.Newf(machcheck.InvalidConfig, "machine",
+			"Processors must be >= 0 (0 = unlimited), got %d", c.Processors)
+	case c.MemLatency < 0:
+		return machcheck.Newf(machcheck.InvalidConfig, "machine",
+			"MemLatency must be >= 0 (0 = default 1), got %d", c.MemLatency)
+	case c.MaxCycles < 0:
+		return machcheck.Newf(machcheck.InvalidConfig, "machine",
+			"MaxCycles must be >= 0 (0 = default 1e6), got %d", c.MaxCycles)
+	case c.MaxOps < 0:
+		return machcheck.Newf(machcheck.InvalidConfig, "machine",
+			"MaxOps must be >= 0 (0 = default 1e7), got %d", c.MaxOps)
+	case c.ProfileLimit < 0:
+		return machcheck.Newf(machcheck.InvalidConfig, "machine",
+			"ProfileLimit must be >= 0 (0 = default 65536), got %d", c.ProfileLimit)
+	case c.Deadline < 0:
+		return machcheck.Newf(machcheck.InvalidConfig, "machine",
+			"Deadline must be >= 0 (0 = none), got %v", c.Deadline)
+	}
+	return nil
 }
 
 // Stats describes an execution.
@@ -127,27 +170,27 @@ type Outcome struct {
 	Stats     Stats
 }
 
-// token is a value travelling an arc.
+// token is a value travelling an arc. It is plain old data — the tag
+// rides along as its interned id (see tagTable), not as a string — so
+// buffering and copying tokens costs no GC write barriers and token
+// buffers are noscan memory.
 type tok struct {
 	to  dfg.Target
 	val int64
-	tg  token.Tag
+	// tgID is the interned tag id; the matching store hashes it instead
+	// of a tag string.
+	tgID int32
 	// dep is the producer firing's id in the collector's firing DAG
 	// (-1 when the DAG is not being recorded or the token has no
 	// producer, e.g. the initial start tokens).
 	dep int32
 }
 
-// matchKey identifies a frame slot set: one operator activation.
-type matchKey struct {
-	node int
-	tg   string
-}
-
+// matchEntry is one partially matched activation: a frame slot set in the
+// explicit token store, addressed by (node, interned tag).
 type matchEntry struct {
 	have uint64
 	vals []int64
-	tg   token.Tag
 	n    int
 	// dep is the latest-finishing producer firing among the operands
 	// matched so far (critical-path recording only).
@@ -158,7 +201,7 @@ type matchEntry struct {
 type firing struct {
 	node int
 	vals []int64
-	tg   token.Tag
+	tgID int32
 	// port is the arriving port for any-arrival operators (merge, loop
 	// entry).
 	port int
@@ -167,14 +210,26 @@ type firing struct {
 	dep int32
 }
 
+// deadlineStride is how many schedulable units (cycles or firings) pass
+// between wall-clock deadline samples. The old scheme only sampled every
+// 1024 cycles, so a run wedged inside enormous batches — or crawling
+// through slow traced firings — could overshoot a tiny deadline by
+// orders of magnitude before the next cycle boundary.
+const deadlineStride = 64
+
 // Run executes the dataflow graph to completion.
 //
 // Errors raised by the machine's own checks are *machcheck.Error values
 // (match them with errors.Is against the machcheck sentinels); on such an
 // abort the returned Outcome is non-nil and carries the partial store and
 // statistics up to the failure, so aborted runs remain profilable.
+// Malformed configurations (negative knobs) are rejected up front with an
+// InvalidConfig machine check and a nil Outcome.
 func Run(g *dfg.Graph, cfgc Config) (*Outcome, error) {
 	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfgc.validate(); err != nil {
 		return nil, err
 	}
 	if cfgc.MemLatency < 1 {
@@ -193,11 +248,20 @@ func Run(g *dfg.Graph, cfgc Config) (*Outcome, error) {
 		return nil, err
 	}
 	m := &sim{
-		g:     g,
-		cfg:   cfgc,
-		store: interp.NewStoreWithBinding(g.Prog, cfgc.Binding),
-		match: map[matchKey]*matchEntry{},
+		g:      g,
+		cfg:    cfgc,
+		store:  interp.NewStoreWithBinding(g.Prog, cfgc.Binding),
+		tags:   newTagTable(),
+		shards: make([]shardSlot, len(g.Nodes)),
 	}
+	m.ready = newReadyQueue(len(g.Nodes), m.tags)
+	maxIns := 1
+	for _, n := range g.Nodes {
+		if n.NIns > maxIns {
+			maxIns = n.NIns
+		}
+	}
+	m.valsFree = make([][][]int64, maxIns+1)
 	m.col = cfgc.Collector
 	if cfgc.Trace != nil {
 		// The historical trace format is an event sink; traced runs are
@@ -213,6 +277,7 @@ func Run(g *dfg.Graph, cfgc Config) (*Outcome, error) {
 	}
 	m.crit = m.col.CriticalPathEnabled()
 	m.inj = cfgc.Inject
+	m.par = cfgc.ParallelIssue
 	if cfgc.RandomSeed != 0 {
 		m.rng = rand.New(rand.NewSource(cfgc.RandomSeed))
 	}
@@ -230,12 +295,33 @@ type sim struct {
 	store *interp.Store
 	rng   *rand.Rand
 
-	match   map[matchKey]*matchEntry
-	enabled []firing
+	// Scheduling state: tags interns tag keys, ready holds enabled
+	// firings bucketed per node, shards is the matching store sharded by
+	// destination node and keyed by interned tag, matchCount tracks the
+	// store's population (shards hold it spread out).
+	tags       *tagTable
+	ready      *readyQueue
+	shards     []shardSlot
+	matchCount int
+
+	// Hot-path scratch, free lists, and arenas (see queue.go): batchBuf
+	// holds the cycle's issue batch, emitBuf the tokens it emits.
+	batchBuf   []firing
+	emitBuf    []tok
+	entryFree  []*matchEntry
+	entryArena []matchEntry
+	valsFree   [][][]int64
+	valsArena  []int64
+	tokArena   []tok
+
 	// inflight memory completions: cycle → emissions.
 	inflight map[int][]delayed
 	cycle    int
 	stats    Stats
+
+	// deadlineTick counts schedulable units since the last wall-clock
+	// sample (see deadlineStride).
+	deadlineTick int
 
 	endVals  []int64
 	endCycle int
@@ -252,6 +338,11 @@ type sim struct {
 	// bounds token explosions.
 	inj       *fault.Injector
 	delivered int64
+
+	// Parallel issue stage (par.go): par enables it, parOut holds the
+	// per-batch-slot results of the pure-operator compute phase.
+	par    bool
+	parOut []pureOut
 
 	locs    *raceDetector
 	istruct *istructUnit
@@ -276,14 +367,28 @@ func (m *sim) abort(err error) (*Outcome, error) {
 	return &Outcome{Store: m.store, EndValues: m.endVals, Stats: m.stats}, err
 }
 
+// overDeadline samples the wall clock once per deadlineStride schedulable
+// units; it returns the Deadline machine check when the budget is blown.
+func (m *sim) overDeadline(start time.Time) error {
+	if m.deadlineTick++; m.deadlineTick < deadlineStride {
+		return nil
+	}
+	m.deadlineTick = 0
+	if time.Since(start) > m.cfg.Deadline {
+		return machcheck.Newf(machcheck.Deadline, "machine",
+			"exceeded %v wall-clock deadline at cycle %d", m.cfg.Deadline, m.cycle).WithStuck(m.stuckList())
+	}
+	return nil
+}
+
 func (m *sim) run() (*Outcome, error) {
 	m.inflight = map[int][]delayed{}
 	m.endVals = make([]int64, m.g.Nodes[m.g.EndID].NIns)
 	start := time.Now()
 
 	// Cycle 0: start emits one dummy token per out arc at the root tag.
-	for _, a := range m.g.OutArcs(m.g.StartID, 0) {
-		if err := m.deliver(tok{to: dfg.Target{Node: a.To, Port: a.ToPort}, val: 0, tg: token.Root, dep: -1}); err != nil {
+	for _, t := range m.g.OutTargets(m.g.StartID, 0) {
+		if err := m.deliver(tok{to: t, val: 0, tgID: rootTagID, dep: -1}); err != nil {
 			return m.abort(err)
 		}
 	}
@@ -293,21 +398,22 @@ func (m *sim) run() (*Outcome, error) {
 	// the token's value is dead, e.g. after §6.1 elimination) are dropped
 	// at that switch, and the drops may be scheduled after end's inputs
 	// completed.
-	for !m.done || len(m.enabled) > 0 || len(m.inflight) > 0 {
+	for !m.done || m.ready.count > 0 || len(m.inflight) > 0 {
 		if m.cycle > m.cfg.MaxCycles {
 			return m.abort(machcheck.Newf(machcheck.CyclesExceeded, "machine",
 				"exceeded %d cycles (deadlock or runaway loop?)", m.cfg.MaxCycles).WithStuck(m.stuckList()))
 		}
-		if m.cfg.Deadline > 0 && m.cycle&1023 == 0 && time.Since(start) > m.cfg.Deadline {
-			return m.abort(machcheck.Newf(machcheck.Deadline, "machine",
-				"exceeded %v wall-clock deadline at cycle %d", m.cfg.Deadline, m.cycle).WithStuck(m.stuckList()))
+		if m.cfg.Deadline > 0 {
+			if err := m.overDeadline(start); err != nil {
+				return m.abort(err)
+			}
 		}
-		if !m.done && len(m.enabled) == 0 && len(m.inflight) == 0 {
+		if !m.done && m.ready.count == 0 && len(m.inflight) == 0 {
 			return m.abort(m.deadlockError())
 		}
-		// Issue up to Processors enabled operations this cycle.
-		m.orderEnabled()
-		issue := len(m.enabled)
+		// Issue up to Processors enabled operations this cycle, in
+		// deterministic order (or seeded-random when configured).
+		issue := m.ready.count
 		if m.cfg.Processors > 0 && issue > m.cfg.Processors {
 			issue = m.cfg.Processors
 		}
@@ -315,8 +421,25 @@ func (m *sim) run() (*Outcome, error) {
 			return m.abort(machcheck.Newf(machcheck.CyclesExceeded, "machine",
 				"exceeded %d firings (runaway loop?)", m.cfg.MaxOps))
 		}
-		batch := m.enabled[:issue]
-		m.enabled = append([]firing(nil), m.enabled[issue:]...)
+		var batch []firing
+		if m.rng != nil {
+			// Seeded-random mode: materialize the whole deterministic
+			// order, shuffle it (consuming the same randomness the old
+			// global sort+shuffle did), issue a prefix and re-queue the
+			// rest.
+			all := m.ready.fill(m.batchBuf[:0], m.ready.count)
+			m.batchBuf = all
+			m.rng.Shuffle(len(all), func(i, j int) {
+				all[i], all[j] = all[j], all[i]
+			})
+			batch = all[:issue]
+			for _, f := range all[issue:] {
+				m.ready.push(f)
+			}
+		} else {
+			m.batchBuf = m.ready.fill(m.batchBuf[:0], issue)
+			batch = m.batchBuf
+		}
 		if issue > m.stats.MaxParallelism {
 			m.stats.MaxParallelism = issue
 		}
@@ -327,35 +450,59 @@ func (m *sim) run() (*Outcome, error) {
 			m.stats.Profile[m.cycle] = issue
 		}
 
-		var emitted []tok
-		for _, f := range batch {
+		// Optional parallel issue stage: precompute pure operators on a
+		// worker pool, then retire the batch sequentially in issue order.
+		usePar := m.par && m.inj == nil && len(batch) >= parIssueThreshold
+		if usePar {
+			m.computePure(batch)
+		}
+		for i := range batch {
+			f := &batch[i]
 			if m.col != nil {
 				// f.dep switches meaning here: latest input firing in,
 				// this firing's own DAG id out.
-				f.dep = m.col.Fire(f.node, m.cycle, m.costOf(f.node), len(f.vals), f.dep, f.tg.Key())
+				f.dep = m.col.Fire(f.node, m.cycle, m.costOf(f.node), len(f.vals), f.dep, m.tags.key(f.tgID))
 			} else {
 				f.dep = -1
 			}
 			m.curDep = f.dep
-			out, err := m.fire(f)
-			if err != nil {
+			if usePar && m.parOut[i].ok {
+				out := &m.parOut[i]
+				if out.err != nil {
+					return m.abort(out.err)
+				}
+				m.emitAll(f.node, out.port, out.val, f.tgID)
+			} else if err := m.fire(f); err != nil {
 				return m.abort(err)
 			}
-			emitted = append(emitted, out...)
+			m.putVals(f.vals)
+			if m.cfg.Deadline > 0 {
+				if err := m.overDeadline(start); err != nil {
+					return m.abort(err)
+				}
+			}
 		}
 		// Completions scheduled for the next cycle boundary.
 		m.cycle++
 		m.stats.Ops += issue
-		for _, d := range m.inflight[m.cycle] {
+		released := m.inflight[m.cycle]
+		for _, d := range released {
 			if d.release != nil {
 				d.release()
 			}
-			emitted = append(emitted, d.tokens...)
 		}
 		delete(m.inflight, m.cycle)
-		for _, t := range emitted {
-			if err := m.deliver(t); err != nil {
+		for i := range m.emitBuf {
+			if err := m.deliver(m.emitBuf[i]); err != nil {
 				return m.abort(err)
+			}
+		}
+		m.emitBuf = m.emitBuf[:0]
+		for _, d := range released {
+			for i := range d.tokens {
+				if err := m.deliver(d.tokens[i]); err != nil {
+					return m.abort(err)
+				}
 			}
 		}
 	}
@@ -370,9 +517,9 @@ func (m *sim) run() (*Outcome, error) {
 	// Strict conservation: after the drain, no partially matched
 	// activation may remain in the matching store (a waiting token whose
 	// partner can never arrive is a translation bug).
-	if len(m.match) != 0 {
+	if m.matchCount != 0 {
 		return m.abort(machcheck.Newf(machcheck.TokenLeak, "machine",
-			"%d tokens left after end fired", len(m.match)).WithStuck(m.stuckList()))
+			"%d tokens left after end fired", m.matchCount).WithStuck(m.stuckList()))
 	}
 	return &Outcome{Store: m.store, EndValues: m.endVals, Stats: m.stats}, nil
 }
@@ -380,44 +527,35 @@ func (m *sim) run() (*Outcome, error) {
 // stuckList renders the matching store's partially matched activations as
 // stuck-token diagnostics, in deterministic order.
 func (m *sim) stuckList() []machcheck.Stuck {
-	keys := make([]matchKey, 0, len(m.match))
-	for k := range m.match {
-		keys = append(keys, k)
+	type stuckKey struct {
+		node int
+		tag  string
+		e    *matchEntry
+	}
+	keys := make([]stuckKey, 0, m.matchCount)
+	for node := range m.shards {
+		s := &m.shards[node]
+		if s.e != nil {
+			keys = append(keys, stuckKey{node: node, tag: m.tags.keys[s.tgID], e: s.e})
+		}
+		for tgID, e := range s.more {
+			keys = append(keys, stuckKey{node: node, tag: m.tags.keys[tgID], e: e})
+		}
 	}
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i].node != keys[j].node {
 			return keys[i].node < keys[j].node
 		}
-		return keys[i].tg < keys[j].tg
+		return keys[i].tag < keys[j].tag
 	})
 	out := make([]machcheck.Stuck, 0, len(keys))
 	for _, k := range keys {
-		e := m.match[k]
 		out = append(out, machcheck.Stuck{
-			Node: k.node, Label: m.g.Nodes[k.node].String(), Tag: k.tg,
-			Have: e.n, Need: m.g.Nodes[k.node].NIns,
+			Node: k.node, Label: m.g.Nodes[k.node].String(), Tag: k.tag,
+			Have: k.e.n, Need: m.g.Nodes[k.node].NIns,
 		})
 	}
 	return out
-}
-
-// orderEnabled makes issue order deterministic (or seeded-random).
-func (m *sim) orderEnabled() {
-	sort.Slice(m.enabled, func(i, j int) bool {
-		a, b := m.enabled[i], m.enabled[j]
-		if a.node != b.node {
-			return a.node < b.node
-		}
-		if a.tg.Key() != b.tg.Key() {
-			return a.tg.Key() < b.tg.Key()
-		}
-		return a.port < b.port
-	})
-	if m.rng != nil {
-		m.rng.Shuffle(len(m.enabled), func(i, j int) {
-			m.enabled[i], m.enabled[j] = m.enabled[j], m.enabled[i]
-		})
-	}
 }
 
 // matchSite reports whether tokens delivered to n rendezvous in the
@@ -454,7 +592,7 @@ func (m *sim) deliver(t tok) error {
 			}
 		case fault.ActCorruptTag:
 			m.col.Fault(t.to.Node, m.cycle, string(fault.CorruptTag))
-			t.tg = t.tg.Push()
+			t.tgID = m.tags.pushID(t.tgID)
 		}
 	}
 	return m.deliverOnce(t)
@@ -465,61 +603,65 @@ func (m *sim) deliverOnce(t tok) error {
 	switch n.Kind {
 	case dfg.Merge, dfg.LoopEntry, dfg.Param:
 		// Any-arrival operators: each token fires the node on its own.
-		m.enabled = append(m.enabled, firing{node: n.ID, tg: t.tg, vals: []int64{t.val}, port: t.to.Port, dep: t.dep})
+		vals := m.getVals(1)
+		vals[0] = t.val
+		m.ready.push(firing{node: n.ID, tgID: t.tgID, vals: vals, port: t.to.Port, dep: t.dep})
 		return nil
 	case dfg.End:
-		if !t.tg.IsRoot() {
+		if t.tgID != rootTagID {
 			return machcheck.Newf(machcheck.TagViolation, "machine",
-				"token reached end with non-root tag %q (unbalanced loop context)", t.tg.Key())
+				"token reached end with non-root tag %q (unbalanced loop context)", m.tags.key(t.tgID))
 		}
 	}
 	if n.NIns == 1 {
-		m.enabled = append(m.enabled, firing{node: n.ID, tg: t.tg, vals: []int64{t.val}, dep: t.dep})
+		vals := m.getVals(1)
+		vals[0] = t.val
+		m.ready.push(firing{node: n.ID, tgID: t.tgID, vals: vals, dep: t.dep})
 		return nil
 	}
-	key := matchKey{node: n.ID, tg: t.tg.Key()}
-	e := m.match[key]
+	e := m.matchLookup(n.ID, t.tgID)
 	if e == nil {
-		e = &matchEntry{vals: make([]int64, n.NIns), tg: t.tg, dep: t.dep}
-		m.match[key] = e
+		e = m.getEntry(n.NIns)
+		e.dep = t.dep
+		m.matchInsert(n.ID, t.tgID, e)
 	} else if m.crit {
 		e.dep = m.col.MaxDep(e.dep, t.dep)
 	}
 	bit := uint64(1) << uint(t.to.Port)
 	if e.have&bit != 0 {
 		return machcheck.Newf(machcheck.TagViolation, "machine",
-			"duplicate token at %s port %d tag %q", n, t.to.Port, t.tg.Key())
+			"duplicate token at %s port %d tag %q", n, t.to.Port, m.tags.key(t.tgID))
 	}
 	e.have |= bit
 	e.vals[t.to.Port] = t.val
 	e.n++
 	if e.n == n.NIns {
-		delete(m.match, key)
-		m.enabled = append(m.enabled, firing{node: n.ID, tg: e.tg, vals: e.vals, dep: e.dep})
+		m.matchDelete(n.ID, t.tgID)
+		m.ready.push(firing{node: n.ID, tgID: t.tgID, vals: e.vals, dep: e.dep})
+		m.putEntry(e)
 	} else {
 		m.stats.Matches++
 		if m.col != nil {
-			m.col.Wait(n.ID, m.cycle, t.tg.Key())
+			m.col.Wait(n.ID, m.cycle, m.tags.key(t.tgID))
 		}
-		if len(m.match) > m.stats.PeakMatchStore {
-			m.stats.PeakMatchStore = len(m.match)
+		if m.matchCount > m.stats.PeakMatchStore {
+			m.stats.PeakMatchStore = m.matchCount
 		}
 	}
 	return nil
 }
 
-// emitAll broadcasts val on every arc leaving (node, port). Emitted
-// tokens inherit m.curDep as their producer firing.
-func (m *sim) emitAll(node, port int, val int64, tg token.Tag) []tok {
-	arcs := m.g.OutArcs(node, port)
-	out := make([]tok, 0, len(arcs))
-	for _, a := range arcs {
-		out = append(out, tok{to: dfg.Target{Node: a.To, Port: a.ToPort}, val: val, tg: tg, dep: m.curDep})
+// emitAll broadcasts val on every arc leaving (node, port) by appending
+// to the cycle's emission buffer. Emitted tokens inherit m.curDep as
+// their producer firing.
+func (m *sim) emitAll(node, port int, val int64, tgID int32) {
+	targets := m.g.OutTargets(node, port)
+	for _, t := range targets {
+		m.emitBuf = append(m.emitBuf, tok{to: t, val: val, tgID: tgID, dep: m.curDep})
 	}
 	if m.col != nil {
-		m.col.Emitted(node, len(arcs))
+		m.col.Emitted(node, len(targets))
 	}
-	return out
 }
 
 // costOf is an operator's duration in cycles: split-phase memory
@@ -532,29 +674,30 @@ func (m *sim) costOf(node int) int {
 	return 1
 }
 
-// fire executes one operator activation, returning the tokens it emits
-// this cycle (memory operations park their results in the in-flight queue
-// instead).
-func (m *sim) fire(f firing) ([]tok, error) {
+// fire executes one operator activation, appending the tokens it emits
+// this cycle to the emission buffer (memory operations park their results
+// in the in-flight queue instead).
+func (m *sim) fire(f *firing) error {
 	n := m.g.Nodes[f.node]
 	switch n.Kind {
 	case dfg.End:
 		if m.done {
-			return nil, machcheck.Newf(machcheck.TagViolation, "machine",
+			return machcheck.Newf(machcheck.TagViolation, "machine",
 				"end fired twice (duplicate result token)")
 		}
 		copy(m.endVals, f.vals)
 		m.endCycle = m.cycle + 1
 		m.done = true
-		return nil, nil
+		return nil
 
 	case dfg.Const:
-		return m.emitAll(n.ID, 0, n.Val, f.tg), nil
+		m.emitAll(n.ID, 0, n.Val, f.tgID)
+		return nil
 
 	case dfg.BinOp:
 		v, err := interp.Apply(n.Op, f.vals[0], f.vals[1])
 		if err != nil {
-			return nil, machcheck.Newf(machcheck.OperatorFault, "machine", "%s: %v", n, err)
+			return machcheck.Newf(machcheck.OperatorFault, "machine", "%s: %v", n, err)
 		}
 		if m.inj != nil && fault.PredicateOp(n.Op) {
 			if fv, hit := m.inj.Misfire(v); hit {
@@ -562,7 +705,8 @@ func (m *sim) fire(f firing) ([]tok, error) {
 				v = fv
 			}
 		}
-		return m.emitAll(n.ID, 0, v, f.tg), nil
+		m.emitAll(n.ID, 0, v, f.tgID)
+		return nil
 
 	case dfg.UnOp:
 		var v int64
@@ -574,19 +718,22 @@ func (m *sim) fire(f firing) ([]tok, error) {
 				v = 1
 			}
 		default:
-			return nil, machcheck.Newf(machcheck.OperatorFault, "machine", "bad unary op %v", n.Op)
+			return machcheck.Newf(machcheck.OperatorFault, "machine", "bad unary op %v", n.Op)
 		}
-		return m.emitAll(n.ID, 0, v, f.tg), nil
+		m.emitAll(n.ID, 0, v, f.tgID)
+		return nil
 
 	case dfg.Switch:
 		port := 0
 		if f.vals[1] == 0 {
 			port = 1
 		}
-		return m.emitAll(n.ID, port, f.vals[0], f.tg), nil
+		m.emitAll(n.ID, port, f.vals[0], f.tgID)
+		return nil
 
 	case dfg.Merge, dfg.Param:
-		return m.emitAll(n.ID, 0, f.vals[0], f.tg), nil
+		m.emitAll(n.ID, 0, f.vals[0], f.tgID)
+		return nil
 
 	case dfg.Apply:
 		return m.fireApply(f)
@@ -595,126 +742,145 @@ func (m *sim) fire(f firing) ([]tok, error) {
 		return m.fireProcReturn(f)
 
 	case dfg.Synch:
-		return m.emitAll(n.ID, 0, 0, f.tg), nil
+		m.emitAll(n.ID, 0, 0, f.tgID)
+		return nil
 
 	case dfg.LoopEntry:
-		var nt token.Tag
-		var err error
+		var ntID int32
 		if f.port == 0 {
-			nt = f.tg.Push()
+			ntID = m.tags.pushID(f.tgID)
 		} else {
-			nt, err = f.tg.Bump()
+			var err error
+			ntID, err = m.tags.bumpID(f.tgID)
 			if err != nil {
-				return nil, machcheck.Newf(machcheck.TagViolation, "machine", "%s: %v", n, err)
+				return machcheck.Newf(machcheck.TagViolation, "machine", "%s: %v", n, err)
 			}
 		}
-		return m.emitAll(n.ID, 0, f.vals[0], nt), nil
+		m.emitAll(n.ID, 0, f.vals[0], ntID)
+		return nil
 
 	case dfg.LoopExit:
-		nt, err := f.tg.Pop()
+		ntID, err := m.tags.popID(f.tgID)
 		if err != nil {
-			return nil, machcheck.Newf(machcheck.TagViolation, "machine", "%s: %v", n, err)
+			return machcheck.Newf(machcheck.TagViolation, "machine", "%s: %v", n, err)
 		}
-		return m.emitAll(n.ID, 0, f.vals[0], nt), nil
+		m.emitAll(n.ID, 0, f.vals[0], ntID)
+		return nil
 
 	case dfg.Load:
 		m.stats.MemOps++
-		name := m.resolveName(n.Var, f.tg)
+		name := m.resolveName(n.Var, m.tags.tag(f.tgID))
 		release, err := m.acquire(name, -1, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		v := m.store.Get(name)
-		toks := append(m.emitAll(n.ID, 0, v, f.tg), m.emitAll(n.ID, 1, 0, f.tg)...)
-		m.park(toks, release)
-		return nil, nil
+		mark := len(m.emitBuf)
+		m.emitAll(n.ID, 0, v, f.tgID)
+		m.emitAll(n.ID, 1, 0, f.tgID)
+		m.park(mark, release)
+		return nil
 
 	case dfg.Store:
 		m.stats.MemOps++
-		name := m.resolveName(n.Var, f.tg)
+		name := m.resolveName(n.Var, m.tags.tag(f.tgID))
 		release, err := m.acquire(name, -1, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		m.store.Set(name, f.vals[0])
-		m.park(m.emitAll(n.ID, 0, 0, f.tg), release)
-		return nil, nil
+		mark := len(m.emitBuf)
+		m.emitAll(n.ID, 0, 0, f.tgID)
+		m.park(mark, release)
+		return nil
 
 	case dfg.LoadIdx:
 		m.stats.MemOps++
-		name := m.resolveName(n.Var, f.tg)
+		name := m.resolveName(n.Var, m.tags.tag(f.tgID))
 		release, err := m.acquire(name, f.vals[0], false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		v, err := m.store.GetIdx(name, f.vals[0])
 		if err != nil {
-			return nil, machcheck.Newf(machcheck.OperatorFault, "machine", "%s: %v", n, err)
+			return machcheck.Newf(machcheck.OperatorFault, "machine", "%s: %v", n, err)
 		}
-		toks := append(m.emitAll(n.ID, 0, v, f.tg), m.emitAll(n.ID, 1, 0, f.tg)...)
-		m.park(toks, release)
-		return nil, nil
+		mark := len(m.emitBuf)
+		m.emitAll(n.ID, 0, v, f.tgID)
+		m.emitAll(n.ID, 1, 0, f.tgID)
+		m.park(mark, release)
+		return nil
 
 	case dfg.StoreIdx:
 		m.stats.MemOps++
-		name := m.resolveName(n.Var, f.tg)
+		name := m.resolveName(n.Var, m.tags.tag(f.tgID))
 		release, err := m.acquire(name, f.vals[0], true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := m.store.SetIdx(name, f.vals[0], f.vals[1]); err != nil {
-			return nil, machcheck.Newf(machcheck.OperatorFault, "machine", "%s: %v", n, err)
+			return machcheck.Newf(machcheck.OperatorFault, "machine", "%s: %v", n, err)
 		}
-		m.park(m.emitAll(n.ID, 0, 0, f.tg), release)
-		return nil, nil
+		mark := len(m.emitBuf)
+		m.emitAll(n.ID, 0, 0, f.tgID)
+		m.park(mark, release)
+		return nil
 
 	case dfg.ILoad:
 		m.stats.MemOps++
-		ready, err := m.istruct.read(n.Var, f.vals[0], istructWaiter{node: n.ID, tg: f.tg, dep: f.dep})
+		ready, err := m.istruct.read(n.Var, f.vals[0], istructWaiter{node: n.ID, tgID: f.tgID, dep: f.dep})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if ready {
 			v, err := m.store.GetIdx(n.Var, f.vals[0])
 			if err != nil {
-				return nil, machcheck.Newf(machcheck.OperatorFault, "machine", "%s: %v", n, err)
+				return machcheck.Newf(machcheck.OperatorFault, "machine", "%s: %v", n, err)
 			}
-			m.park(m.emitAll(n.ID, 0, v, f.tg), nil)
+			mark := len(m.emitBuf)
+			m.emitAll(n.ID, 0, v, f.tgID)
+			m.park(mark, nil)
 		}
 		// A deferred read emits when the write arrives.
-		return nil, nil
+		return nil
 
 	case dfg.IStore:
 		m.stats.MemOps++
 		waiters, err := m.istruct.write(n.Var, f.vals[0])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := m.store.SetIdx(n.Var, f.vals[0], f.vals[1]); err != nil {
-			return nil, machcheck.Newf(machcheck.OperatorFault, "machine", "%s: %v", n, err)
+			return machcheck.Newf(machcheck.OperatorFault, "machine", "%s: %v", n, err)
 		}
-		var toks []tok
+		mark := len(m.emitBuf)
 		storeDep := m.curDep
 		for _, w := range waiters {
 			// A deferred read's result depends on both the read's own
 			// firing and the store that satisfied it.
 			m.curDep = m.col.MaxDep(storeDep, w.dep)
-			toks = append(toks, m.emitAll(w.node, 0, f.vals[1], w.tg)...)
+			m.emitAll(w.node, 0, f.vals[1], w.tgID)
 		}
 		m.curDep = storeDep
-		m.park(toks, nil)
-		return nil, nil
+		m.park(mark, nil)
+		return nil
 	}
-	return nil, machcheck.Newf(machcheck.OperatorFault, "machine", "cannot fire %s", n)
+	return machcheck.Newf(machcheck.OperatorFault, "machine", "cannot fire %s", n)
 }
 
-// park schedules memory-operation results to appear after MemLatency
-// cycles (split-phase operation, §2.2). It is the injection point for
-// split-phase memory faults: a lost response drops its result tokens, a
-// delayed one adds latency (responses are eligible only before end fires,
-// while every response is still needed for completion).
-func (m *sim) park(tokens []tok, release func()) {
+// park schedules memory-operation results — the emission buffer's tail
+// starting at mark — to appear after MemLatency cycles (split-phase
+// operation, §2.2). It is the injection point for split-phase memory
+// faults: a lost response drops its result tokens, a delayed one adds
+// latency (responses are eligible only before end fires, while every
+// response is still needed for completion).
+func (m *sim) park(mark int, release func()) {
 	at := m.cycle + m.cfg.MemLatency
+	var tokens []tok
+	if pending := m.emitBuf[mark:]; len(pending) > 0 {
+		tokens = m.parkSlice(pending)
+		m.emitBuf = m.emitBuf[:mark]
+	}
 	if m.inj != nil && !m.done && len(tokens) > 0 {
 		if lose, delay := m.inj.MemResponse(); lose {
 			m.col.Fault(-1, m.cycle, string(fault.LoseMemResponse))
@@ -740,5 +906,5 @@ func (m *sim) deadlockError() error {
 	}
 	return machcheck.Newf(machcheck.Deadlock, "machine",
 		"no enabled work at cycle %d but end has not fired; %d activations waiting",
-		m.cycle, len(m.match)).WithStuck(m.stuckList())
+		m.cycle, m.matchCount).WithStuck(m.stuckList())
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"ctdf/internal/cfg"
 	"ctdf/internal/dfg"
@@ -277,4 +278,58 @@ func TestRaceDetectorUnit(t *testing.T) {
 		t.Errorf("distinct elements flagged: %v", err)
 	}
 	relA()
+}
+
+// slowWriter models an expensive trace sink: each firing's trace line
+// costs per of wall-clock time, so a run's real duration is decoupled
+// from its cycle count.
+type slowWriter struct{ per time.Duration }
+
+func (w slowWriter) Write(p []byte) (int, error) { time.Sleep(w.per); return len(p), nil }
+
+// TestTinyDeadlineAbortsPromptly pins the adaptive deadline sampling: the
+// wall clock is consulted every deadlineStride schedulable units, so a
+// run whose firings are slow aborts within a bounded number of firings of
+// the deadline expiring. The retired sampling scheme checked only at
+// cycle numbers divisible by 1024 — this run stays far below 1024 cycles,
+// so it would have ground through every slow firing and returned success
+// long after its deadline.
+func TestTinyDeadlineAbortsPromptly(t *testing.T) {
+	res := translateWorkload(t, workloads.MustByName("fib-iterative"), translate.Options{Schema: translate.Schema2Opt})
+	start := time.Now()
+	out, err := Run(res.Graph, Config{
+		Processors: 1,
+		Deadline:   20 * time.Millisecond,
+		Trace:      slowWriter{per: time.Millisecond},
+	})
+	if !errors.Is(err, machcheck.ErrDeadline) {
+		t.Fatalf("want %v, got err=%v out=%+v", machcheck.ErrDeadline, err, out)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("deadline abort took %v; wall-clock sampling is too coarse", el)
+	}
+}
+
+// TestInvalidConfigRejected checks every negative knob is rejected up
+// front with a typed InvalidConfig machine check and no partial outcome,
+// instead of being silently clamped or wedging the run.
+func TestInvalidConfigRejected(t *testing.T) {
+	res := translateWorkload(t, workloads.MustByName("straightline"), translate.Options{Schema: translate.Schema2Opt})
+	bad := []Config{
+		{Processors: -1},
+		{MemLatency: -2},
+		{MaxCycles: -3},
+		{MaxOps: -4},
+		{ProfileLimit: -5},
+		{Deadline: -time.Second},
+	}
+	for _, c := range bad {
+		out, err := Run(res.Graph, c)
+		if !errors.Is(err, machcheck.ErrInvalidConfig) {
+			t.Errorf("config %+v: want ErrInvalidConfig, got %v", c, err)
+		}
+		if out != nil {
+			t.Errorf("config %+v: rejected config must not produce an outcome, got %+v", c, out)
+		}
+	}
 }

@@ -1,0 +1,85 @@
+package machine
+
+import (
+	"testing"
+
+	"ctdf/internal/cfg"
+	"ctdf/internal/obs"
+	"ctdf/internal/translate"
+	"ctdf/internal/workloads"
+)
+
+// TestParallelIssueObservablyIdentical pins the ParallelIssue contract:
+// the parallel stage only spends host CPUs, it must not move a single
+// observable — snapshot, cycle count, op counts, matching statistics, or
+// the per-node firing vector. The batch threshold is dropped to 1 so
+// every cycle of every workload exercises the worker pool, and the whole
+// suite runs under -race in CI (scripts/verify.sh).
+func TestParallelIssueObservablyIdentical(t *testing.T) {
+	old := parIssueThreshold
+	parIssueThreshold = 1
+	defer func() { parIssueThreshold = old }()
+
+	for _, w := range workloads.All() {
+		for _, gc := range goldenConfigs() {
+			w, gc := w, gc
+			t.Run(w.Name+"/"+gc.Name, func(t *testing.T) {
+				seq := goldenRun(t, w, gc)
+
+				g := cfg.MustBuild(w.Parse())
+				res, err := translate.Translate(g, gc.Opt)
+				if err != nil {
+					t.Fatalf("translate: %v", err)
+				}
+				col := obs.NewCollector(res.Graph, obs.Options{})
+				out, err := Run(res.Graph, Config{
+					Processors:    gc.Processors,
+					MemLatency:    gc.MemLatency,
+					Collector:     col,
+					ParallelIssue: true,
+				})
+				if err != nil {
+					t.Fatalf("parallel run: %v", err)
+				}
+				rep := col.Report(out.Stats.Cycles, nil)
+				par := goldenCell{
+					Snapshot:       out.Store.Snapshot(),
+					Cycles:         out.Stats.Cycles,
+					Ops:            out.Stats.Ops,
+					MemOps:         out.Stats.MemOps,
+					Matches:        out.Stats.Matches,
+					MaxParallelism: out.Stats.MaxParallelism,
+					PeakMatchStore: out.Stats.PeakMatchStore,
+					Firings:        rep.NodeFirings(),
+				}
+				if d := diffCell(seq, par); d != "" {
+					t.Errorf("parallel issue diverged from sequential:\n%s", d)
+				}
+			})
+		}
+	}
+}
+
+// TestParallelIssueErrorsMatchSequential checks the retire stage surfaces
+// operator faults (here a division by zero) identically to the sequential
+// path: same typed machine check, first-in-issue-order error wins.
+func TestParallelIssueErrorsMatchSequential(t *testing.T) {
+	old := parIssueThreshold
+	parIssueThreshold = 1
+	defer func() { parIssueThreshold = old }()
+
+	w := workloads.Workload{Name: "div0", Source: "var x, y\nx := 1 / y\n"}
+	g := cfg.MustBuild(w.Parse())
+	res, err := translate.Translate(g, translate.Options{Schema: translate.Schema2Opt})
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	_, seqErr := Run(res.Graph, Config{})
+	_, parErr := Run(res.Graph, Config{ParallelIssue: true})
+	if seqErr == nil || parErr == nil {
+		t.Fatalf("expected both engines to fault: seq=%v par=%v", seqErr, parErr)
+	}
+	if seqErr.Error() != parErr.Error() {
+		t.Errorf("fault text diverged:\nseq: %v\npar: %v", seqErr, parErr)
+	}
+}

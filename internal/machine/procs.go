@@ -17,8 +17,10 @@ import (
 
 // activation is one dynamic procedure call in flight.
 type activation struct {
-	info      *dfg.CallInfo
-	callerTag token.Tag
+	info *dfg.CallInfo
+	// callerTgID is the calling tag's interned id, kept so the return
+	// emits in the caller's context without re-interning.
+	callerTgID int32
 	// resolved maps each formal to the storage name it denotes during this
 	// activation (fully resolved through the caller's own activation).
 	resolved map[string]string
@@ -64,44 +66,43 @@ func (m *sim) resolveName(name string, tg token.Tag) string {
 }
 
 // fireApply allocates an activation and sends the callee's entry tokens.
-func (m *sim) fireApply(f firing) ([]tok, error) {
+func (m *sim) fireApply(f *firing) error {
 	info := m.procs.byApply[f.node]
 	if info == nil {
-		return nil, machcheck.Newf(machcheck.OperatorFault, "machine",
+		return machcheck.Newf(machcheck.OperatorFault, "machine",
 			"apply d%d has no call linkage", f.node)
 	}
 	id := m.procs.nextID
 	m.procs.nextID++
-	rec := &activation{info: info, callerTag: f.tg, resolved: map[string]string{}}
+	tg := m.tags.tag(f.tgID)
+	rec := &activation{info: info, callerTgID: f.tgID, resolved: map[string]string{}}
 	for formal, actual := range info.Bindings {
-		rec.resolved[formal] = m.resolveName(actual, f.tg)
+		rec.resolved[formal] = m.resolveName(actual, tg)
 	}
 	m.procs.live[id] = rec
-	nt := f.tg.PushCall(id)
-	var out []tok
+	ntID := m.tags.intern(tg.PushCall(id))
 	for j := range info.Params {
-		out = append(out, m.emitAll(f.node, len(info.InTokens)+j, 0, nt)...)
+		m.emitAll(f.node, len(info.InTokens)+j, 0, ntID)
 	}
-	return out, nil
+	return nil
 }
 
 // fireProcReturn closes the activation and signals the calling Apply's
 // return ports in the caller's context.
-func (m *sim) fireProcReturn(f firing) ([]tok, error) {
-	_, id, err := f.tg.PopCall()
+func (m *sim) fireProcReturn(f *firing) error {
+	_, id, err := m.tags.tag(f.tgID).PopCall()
 	if err != nil {
-		return nil, machcheck.Newf(machcheck.TagViolation, "machine",
+		return machcheck.Newf(machcheck.TagViolation, "machine",
 			"%s: %v", m.g.Nodes[f.node], err)
 	}
 	rec := m.procs.live[id]
 	if rec == nil {
-		return nil, machcheck.Newf(machcheck.TagViolation, "machine",
+		return machcheck.Newf(machcheck.TagViolation, "machine",
 			"return for unknown activation %d", id)
 	}
 	delete(m.procs.live, id)
-	var out []tok
 	for p := 0; p < len(rec.info.InTokens); p++ {
-		out = append(out, m.emitAll(rec.info.Apply, p, 0, rec.callerTag)...)
+		m.emitAll(rec.info.Apply, p, 0, rec.callerTgID)
 	}
-	return out, nil
+	return nil
 }

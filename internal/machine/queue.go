@@ -1,0 +1,348 @@
+package machine
+
+import (
+	"sort"
+
+	"ctdf/internal/token"
+)
+
+// This file holds the hot-path data structures of the simulator:
+//
+//   - tagTable interns tag keys to dense int32 ids so the matching store
+//     hashes integers instead of strings on every delivery;
+//   - readyQueue is the insertion-ordered, per-node-bucketed ready queue
+//     that replaced the per-cycle sort.Slice over the whole enabled list:
+//     the deterministic issue order (node id, then tag key, then port) is
+//     exactly the old globally sorted order, but only buckets that
+//     received new work since they were last drained are ever sorted,
+//     and each bucket is sorted alone — O(Σ bᵢ log bᵢ) over small
+//     buckets instead of O(E log E) over the whole enabled set per
+//     cycle;
+//   - free lists for match entries, operand-value slices, and parked
+//     token slices, so steady-state cycles recycle allocations instead
+//     of making new ones (see PERFORMANCE.md).
+
+// rootTagID is the interned id of token.Root; every tagTable assigns it
+// first.
+const rootTagID int32 = 0
+
+// tagTable interns tag keys. Id 0 is always the root tag. Tokens and
+// firings carry only the dense id — plain old data, so the scheduler's
+// copies trigger no GC write barriers — and the table maps ids back to
+// the full Tag for the rare operators that do tag arithmetic.
+type tagTable struct {
+	ids  map[string]int32
+	keys []string
+	tags []token.Tag
+	// Tag-arithmetic caches: a loop entry fires once per loop variable
+	// per iteration with the same tag, so Push/Bump/Pop results repeat;
+	// caching them by id replaces per-firing tag-string construction
+	// with one integer map hit.
+	push map[int32]int32
+	bump map[int32]int32
+	pop  map[int32]int32
+}
+
+func newTagTable() *tagTable {
+	return &tagTable{
+		ids:  map[string]int32{"": rootTagID},
+		keys: []string{""},
+		tags: []token.Tag{token.Root},
+		push: map[int32]int32{},
+		bump: map[int32]int32{},
+		pop:  map[int32]int32{},
+	}
+}
+
+// intern returns the dense id of tg's key, assigning one on first sight.
+func (t *tagTable) intern(tg token.Tag) int32 {
+	k := tg.Key()
+	if id, ok := t.ids[k]; ok {
+		return id
+	}
+	id := int32(len(t.keys))
+	t.ids[k] = id
+	t.keys = append(t.keys, k)
+	t.tags = append(t.tags, tg)
+	return id
+}
+
+// tag returns the full Tag behind an interned id.
+func (t *tagTable) tag(id int32) token.Tag { return t.tags[id] }
+
+// key returns the canonical key string behind an interned id.
+func (t *tagTable) key(id int32) string { return t.keys[id] }
+
+// pushID returns the interned id of tag(id).Push().
+func (t *tagTable) pushID(id int32) int32 {
+	if nid, ok := t.push[id]; ok {
+		return nid
+	}
+	nid := t.intern(t.tags[id].Push())
+	t.push[id] = nid
+	return nid
+}
+
+// bumpID returns the interned id of tag(id).Bump().
+func (t *tagTable) bumpID(id int32) (int32, error) {
+	if nid, ok := t.bump[id]; ok {
+		return nid, nil
+	}
+	nt, err := t.tags[id].Bump()
+	if err != nil {
+		return 0, err
+	}
+	nid := t.intern(nt)
+	t.bump[id] = nid
+	return nid, nil
+}
+
+// popID returns the interned id of tag(id).Pop().
+func (t *tagTable) popID(id int32) (int32, error) {
+	if nid, ok := t.pop[id]; ok {
+		return nid, nil
+	}
+	nt, err := t.tags[id].Pop()
+	if err != nil {
+		return 0, err
+	}
+	nid := t.intern(nt)
+	t.pop[id] = nid
+	return nid, nil
+}
+
+// bucket holds the pending firings of one node. items[head:] are
+// pending; consumed entries are not shifted, only head advances, and the
+// slice is reset when it drains.
+type bucket struct {
+	items []firing
+	head  int
+	// dirty marks that items arrived since the pending range was last
+	// sorted.
+	dirty bool
+}
+
+// readyQueue is the bucketed ready queue: one bucket per node, plus the
+// sorted list of node ids with pending work. Invariant: a node is in
+// active iff its bucket has pending firings.
+type readyQueue struct {
+	buckets []bucket
+	active  []int
+	count   int
+	// tt resolves interned tag ids to key strings for bucket ordering.
+	tt *tagTable
+}
+
+func newReadyQueue(nodes int, tt *tagTable) *readyQueue {
+	q := &readyQueue{buckets: make([]bucket, nodes), tt: tt}
+	// Pre-carve two slots of capacity per bucket out of one shared
+	// allocation; only buckets that ever hold more pending firings
+	// reallocate individually.
+	backing := make([]firing, 2*nodes)
+	for i := range q.buckets {
+		q.buckets[i].items = backing[2*i : 2*i : 2*i+2]
+	}
+	return q
+}
+
+// push enqueues one enabled firing.
+func (q *readyQueue) push(f firing) {
+	b := &q.buckets[f.node]
+	if len(b.items) == b.head {
+		b.items = b.items[:0]
+		b.head = 0
+		b.dirty = false
+		i := sort.SearchInts(q.active, f.node)
+		if i == len(q.active) || q.active[i] != f.node {
+			q.active = append(q.active, 0)
+			copy(q.active[i+1:], q.active[i:])
+			q.active[i] = f.node
+		}
+	} else {
+		b.dirty = true
+	}
+	b.items = append(b.items, f)
+	q.count++
+}
+
+// fill appends up to max firings to dst in deterministic issue order:
+// ascending node id, then tag key, then port — the same total order the
+// retired global sort produced. Buckets that drain leave the active
+// list; a bucket cut short by the processor bound keeps its remainder
+// (still sorted) for the next cycle.
+func (q *readyQueue) fill(dst []firing, max int) []firing {
+	taken, w := 0, 0
+	for r := 0; r < len(q.active); r++ {
+		node := q.active[r]
+		b := &q.buckets[node]
+		if taken == max {
+			q.active[w] = node
+			w++
+			continue
+		}
+		if b.dirty {
+			sortFirings(b.items[b.head:], q.tt)
+			b.dirty = false
+		}
+		take := len(b.items) - b.head
+		if take > max-taken {
+			take = max - taken
+		}
+		dst = append(dst, b.items[b.head:b.head+take]...)
+		b.head += take
+		taken += take
+		if b.head == len(b.items) {
+			b.items = b.items[:0]
+			b.head = 0
+		} else {
+			q.active[w] = node
+			w++
+		}
+	}
+	q.active = q.active[:w]
+	q.count -= taken
+	return dst
+}
+
+// sortFirings orders one bucket's pending range by (tag key, port); the
+// node is constant within a bucket.
+func sortFirings(fs []firing, tt *tagTable) {
+	if len(fs) < 2 {
+		return
+	}
+	sort.Slice(fs, func(i, j int) bool {
+		if ak, bk := tt.keys[fs[i].tgID], tt.keys[fs[j].tgID]; ak != bk {
+			return ak < bk
+		}
+		return fs[i].port < fs[j].port
+	})
+}
+
+// --- matching-store shards --------------------------------------------
+
+// shardSlot is one node's shard of the matching store. The common case —
+// at most one pending tag per node at a time — lives in the inline slot;
+// nodes with tag-parallel activations (overlapping loop iterations)
+// spill to the overflow map, allocated only then.
+type shardSlot struct {
+	e    *matchEntry
+	tgID int32
+	more map[int32]*matchEntry
+}
+
+// matchLookup finds the pending entry for (node, tgID), or nil.
+func (m *sim) matchLookup(node int, tgID int32) *matchEntry {
+	s := &m.shards[node]
+	if s.e != nil && s.tgID == tgID {
+		return s.e
+	}
+	if s.more != nil {
+		return s.more[tgID]
+	}
+	return nil
+}
+
+// matchInsert records a new pending entry for (node, tgID).
+func (m *sim) matchInsert(node int, tgID int32, e *matchEntry) {
+	s := &m.shards[node]
+	if s.e == nil {
+		s.e, s.tgID = e, tgID
+		m.matchCount++
+		return
+	}
+	if s.more == nil {
+		s.more = map[int32]*matchEntry{}
+	}
+	s.more[tgID] = e
+	m.matchCount++
+}
+
+// matchDelete removes the completed entry for (node, tgID).
+func (m *sim) matchDelete(node int, tgID int32) {
+	s := &m.shards[node]
+	if s.e != nil && s.tgID == tgID {
+		s.e = nil
+	} else {
+		delete(s.more, tgID)
+	}
+	m.matchCount--
+}
+
+// --- free lists and arenas --------------------------------------------
+
+// Free lists recycle steady-state churn; chunked arenas amortize the
+// warmup growth (Go allocations) that remains, carving many small
+// objects out of one allocation.
+
+// getEntry returns a blank match entry with an operand slice of length n.
+func (m *sim) getEntry(n int) *matchEntry {
+	var e *matchEntry
+	if k := len(m.entryFree); k > 0 {
+		e = m.entryFree[k-1]
+		m.entryFree = m.entryFree[:k-1]
+		*e = matchEntry{}
+	} else {
+		if len(m.entryArena) == 0 {
+			m.entryArena = make([]matchEntry, 64)
+		}
+		e = &m.entryArena[0]
+		m.entryArena = m.entryArena[1:]
+	}
+	e.vals = m.getVals(n)
+	return e
+}
+
+// putEntry recycles a completed entry; its operand slice has moved onto
+// the firing that consumed the match.
+func (m *sim) putEntry(e *matchEntry) {
+	e.vals = nil
+	m.entryFree = append(m.entryFree, e)
+}
+
+// getVals returns an operand slice of exactly length n. Slices are not
+// zeroed: every port is overwritten before it is read (an activation
+// fires only once all its operands arrived).
+func (m *sim) getVals(n int) []int64 {
+	if n < len(m.valsFree) {
+		if k := len(m.valsFree[n]); k > 0 {
+			v := m.valsFree[n][k-1]
+			m.valsFree[n] = m.valsFree[n][:k-1]
+			return v
+		}
+	}
+	if len(m.valsArena) < n {
+		size := 512
+		if n > size {
+			size = n
+		}
+		m.valsArena = make([]int64, size)
+	}
+	v := m.valsArena[:n:n]
+	m.valsArena = m.valsArena[n:]
+	return v
+}
+
+// putVals recycles a fired activation's operand slice.
+func (m *sim) putVals(v []int64) {
+	if n := len(v); n > 0 && n < len(m.valsFree) {
+		m.valsFree[n] = append(m.valsFree[n], v)
+	}
+}
+
+// parkSlice copies the emission buffer's tail into an arena-carved token
+// slice for the in-flight queue. Tokens are plain old data, so spent
+// chunks are noscan garbage reclaimed wholesale.
+func (m *sim) parkSlice(pending []tok) []tok {
+	n := len(pending)
+	if len(m.tokArena) < n {
+		size := 512
+		if n > size {
+			size = n
+		}
+		m.tokArena = make([]tok, size)
+	}
+	t := m.tokArena[:n:n]
+	m.tokArena = m.tokArena[n:]
+	copy(t, pending)
+	return t
+}

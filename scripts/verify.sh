@@ -31,4 +31,9 @@ go run ./cmd/ctdf chaos -smoke
 echo "== benchmark smoke =="
 go test -run=NONE -bench='BenchmarkE11|BenchmarkObs' -benchtime=1x .
 
+echo "== bench trajectory gate =="
+# Fails when a steady-state cell's allocs/op regresses beyond tolerance
+# against the committed BENCH_machine.json (see PERFORMANCE.md).
+go run ./cmd/ctdf bench -smoke
+
 echo "== OK =="
