@@ -8,6 +8,7 @@
 //	ctdf profile [flags] (file | -workload name)  observed run: NDJSON events + report
 //	ctdf dot [flags] (file | -workload name)      emit Graphviz (CFG or DFG)
 //	ctdf stats [flags] (file | -workload name)    dataflow graph sizes per schema
+//	ctdf vet [flags] (file | -workload name)      statically verify the dataflow graph
 //	ctdf experiments [flags] [id ...]             regenerate EXPERIMENTS.md tables
 //	ctdf chaos [flags]                            fault-injection detection matrix
 //	ctdf workloads                                list built-in workloads
@@ -43,6 +44,8 @@ func main() {
 		err = cmdDot(os.Args[2:])
 	case "stats":
 		err = cmdStats(os.Args[2:])
+	case "vet":
+		err = cmdVet(os.Args[2:])
 	case "aliases":
 		err = cmdAliases(os.Args[2:])
 	case "explain":
@@ -73,6 +76,7 @@ func usage() {
   ctdf profile [flags] (file | -workload name)
   ctdf dot [flags] (file | -workload name)
   ctdf stats (file | -workload name)
+  ctdf vet [flags] (file | -workload name | -suite)
   ctdf aliases (file | -workload name)
   ctdf explain [flags] (file | -workload name)
   ctdf experiments [flags] [id ...]

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ctdf"
+	"ctdf/internal/workloads"
+)
+
+// cmdVet statically verifies dataflow graphs against the paper's
+// correctness conditions (see ANALYSIS.md): structure, token balance,
+// determinacy, switch placement, source vectors, and alias-cover
+// soundness. Exits non-zero when any error-severity diagnostic is found.
+//
+// Two modes:
+//
+//	ctdf vet [flags] (file | -workload name)   verify one translation
+//	ctdf vet -suite [-json file]               verify every workload × schema
+func cmdVet(args []string) error {
+	fs := flag.NewFlagSet("vet", flag.ExitOnError)
+	workload := sourceFlags(fs)
+	schema, cover, elim, parReads, parStores := translateOptions(fs)
+	istructs := istructFlag(fs)
+	linked := fs.Bool("linked", false, "compile procedures separately before verifying")
+	suite := fs.Bool("suite", false, "verify every built-in workload under every schema")
+	jsonOut := fs.Bool("json", false, "print the report as JSON")
+	jsonPath := fs.String("jsonfile", "", "write the report as JSON to this file")
+	verbose := fs.Bool("v", false, "suite mode: print one line per verified graph")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *suite {
+		return vetSuite(*jsonOut, *jsonPath, *verbose)
+	}
+
+	src, err := loadSource(fs, *workload)
+	if err != nil {
+		return err
+	}
+	p, err := ctdf.Compile(src)
+	if err != nil {
+		return err
+	}
+	var d *ctdf.Dataflow
+	if *linked {
+		d, err = p.TranslateLinked()
+	} else {
+		var opt ctdf.Options
+		if opt, err = buildOptions(*schema, *cover, *elim, *parReads, *parStores, *istructs); err == nil {
+			d, err = p.Translate(opt)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	rep := d.Vet()
+	if err := emitVet(rep, *jsonOut, *jsonPath); err != nil {
+		return err
+	}
+	if rep.Errors > 0 {
+		return fmt.Errorf("vet: %d errors", rep.Errors)
+	}
+	return nil
+}
+
+// vetSuiteEntry is one row of the suite artifact.
+type vetSuiteEntry struct {
+	Workload    string               `json:"workload"`
+	Schema      string               `json:"schema"`
+	Linked      bool                 `json:"linked,omitempty"`
+	Passes      int                  `json:"passes"`
+	Skipped     int                  `json:"skipped,omitempty"`
+	Errors      int                  `json:"errors"`
+	Warnings    int                  `json:"warnings"`
+	Diagnostics []ctdf.VetDiagnostic `json:"diagnostics,omitempty"`
+}
+
+// vetSuiteReport is the artifacts/vet.json schema (deterministic: no
+// timestamps, fixed iteration order).
+type vetSuiteReport struct {
+	Verified int             `json:"verified"`
+	Clean    int             `json:"clean"`
+	Errors   int             `json:"errors"`
+	Warnings int             `json:"warnings"`
+	Entries  []vetSuiteEntry `json:"entries"`
+}
+
+func vetSuite(jsonOut bool, jsonPath string, verbose bool) error {
+	schemas := []ctdf.Schema{ctdf.Schema1, ctdf.Schema2, ctdf.Schema2Opt, ctdf.Schema3, ctdf.Schema3Opt}
+	rep := &vetSuiteReport{}
+	add := func(name, schemaName string, linked bool, vr *ctdf.VetReport) {
+		e := vetSuiteEntry{
+			Workload: name, Schema: schemaName, Linked: linked,
+			Passes: len(vr.Passes), Skipped: len(vr.Skipped),
+			Errors: vr.Errors, Warnings: vr.Warnings,
+		}
+		if !vr.Clean() {
+			e.Diagnostics = vr.Diagnostics
+		}
+		rep.Entries = append(rep.Entries, e)
+		rep.Verified++
+		if vr.Clean() {
+			rep.Clean++
+		}
+		rep.Errors += vr.Errors
+		rep.Warnings += vr.Warnings
+		if verbose {
+			fmt.Printf("%-24s %-12s errors=%d warnings=%d\n", name, schemaName, vr.Errors, vr.Warnings)
+		}
+	}
+	for _, w := range workloads.All() {
+		p, err := ctdf.Compile(w.Source)
+		if err != nil {
+			return fmt.Errorf("%s: %w", w.Name, err)
+		}
+		if p.HasProcedures() {
+			d, err := p.TranslateLinked()
+			if err != nil {
+				return fmt.Errorf("%s: linked: %w", w.Name, err)
+			}
+			add(w.Name, "linked", true, d.Vet())
+			continue
+		}
+		for _, s := range schemas {
+			d, err := p.Translate(ctdf.Options{Schema: s})
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", w.Name, s, err)
+			}
+			add(w.Name, s.String(), false, d.Vet())
+		}
+	}
+	fmt.Printf("vet suite: %d graphs verified, %d clean, %d errors, %d warnings\n",
+		rep.Verified, rep.Clean, rep.Errors, rep.Warnings)
+	if jsonOut || jsonPath != "" {
+		js, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		js = append(js, '\n')
+		if jsonOut {
+			os.Stdout.Write(js)
+		}
+		if jsonPath != "" {
+			if err := os.WriteFile(jsonPath, js, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("report written to %s\n", jsonPath)
+		}
+	}
+	if rep.Errors > 0 {
+		return fmt.Errorf("vet suite: %d errors", rep.Errors)
+	}
+	return nil
+}
+
+func emitVet(rep *ctdf.VetReport, jsonOut bool, jsonPath string) error {
+	if jsonOut || jsonPath != "" {
+		js, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		js = append(js, '\n')
+		if jsonOut {
+			os.Stdout.Write(js)
+		}
+		if jsonPath != "" {
+			if err := os.WriteFile(jsonPath, js, 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	if !jsonOut {
+		fmt.Print(rep.String())
+	}
+	return nil
+}

@@ -212,6 +212,10 @@ func Compile(src string) (*Program, error) {
 // Variables returns the declared variable names (scalars then arrays).
 func (p *Program) Variables() []string { return p.prog.AllNames() }
 
+// HasProcedures reports whether the program declares procedures; such
+// programs translate through TranslateLinked rather than Translate.
+func (p *Program) HasProcedures() bool { return len(p.prog.Procs()) > 0 }
+
 // ProcAliases describes the alias structure a procedure's formals inherit
 // from the program's call sites (§5): for each formal, its alias class
 // restricted to the formals.

@@ -46,3 +46,49 @@ func FuzzLoadDataflowRun(f *testing.F) {
 		}
 	})
 }
+
+// FuzzCompileVet asserts the translation-validation contract over
+// arbitrary source programs: anything Compile accepts must translate to a
+// graph that vets clean, under every schema and transform combination the
+// translator accepts. Seeds are the committed workloads, so the fuzzer
+// mutates from realistic programs toward pathological ones.
+func FuzzCompileVet(f *testing.F) {
+	for _, w := range workloads.All() {
+		f.Add(w.Source)
+	}
+	combos := []Options{
+		{Schema: Schema1},
+		{Schema: Schema2},
+		{Schema: Schema2Opt},
+		{Schema: Schema3},
+		{Schema: Schema3Opt},
+		{Schema: Schema2Opt, EliminateMemory: true, ParallelReads: true, ParallelArrayStores: true},
+		{Schema: Schema2Opt, EliminateMemory: true, UseIStructures: true},
+		{Schema: Schema3Opt, Cover: CoverClass, ParallelReads: true},
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Compile(src)
+		if err != nil {
+			return // rejected by the front end: fine
+		}
+		if p.HasProcedures() {
+			d, err := p.TranslateLinked()
+			if err != nil {
+				return
+			}
+			if rep := d.Vet(); rep.Errors > 0 {
+				t.Errorf("linked graph does not vet clean:\n%s", rep)
+			}
+			return
+		}
+		for _, opt := range combos {
+			d, err := p.Translate(opt)
+			if err != nil {
+				continue // combination rejected by the schema: fine
+			}
+			if rep := d.Vet(); !rep.Clean() {
+				t.Errorf("schema %v graph does not vet clean:\n%s", opt.Schema, rep)
+			}
+		}
+	})
+}

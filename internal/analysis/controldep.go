@@ -80,9 +80,17 @@ func (cd *ControlDeps) CD(n int) []int { return sortedSet(cd.On[n]) }
 // ... (Definition 5, generalized to a seed set). By Theorem 1, F ∈
 // CD+(N) iff N is between F and its immediate postdominator, which by
 // Corollary 1 is exactly when F needs a switch for N.
+// Seeds outside the graph (stale statement IDs from before a code-copying
+// rewrite, or any ID on a start-end-only graph) contribute nothing rather
+// than faulting: CD+ of a node that does not exist is empty.
 func (cd *ControlDeps) IteratedCD(seeds []int) map[int]bool {
 	out := map[int]bool{}
-	work := append([]int(nil), seeds...)
+	work := make([]int, 0, len(seeds))
+	for _, n := range seeds {
+		if n >= 0 && n < len(cd.On) {
+			work = append(work, n)
+		}
+	}
 	for len(work) > 0 {
 		n := work[len(work)-1]
 		work = work[:len(work)-1]
@@ -105,8 +113,13 @@ func Between(g *cfg.Graph, f, n int) bool {
 	return BetweenWith(g, pdom, f, n)
 }
 
-// BetweenWith is Between with a precomputed postdominator tree.
+// BetweenWith is Between with a precomputed postdominator tree. Node IDs
+// outside the graph are between nothing (false), matching IteratedCD's
+// treatment of stale seeds.
 func BetweenWith(g *cfg.Graph, pdom *cfg.DomTree, f, n int) bool {
+	if f < 0 || f >= g.Len() || n < 0 || n >= g.Len() {
+		return false
+	}
 	p := pdom.Idom[f]
 	// Non-null path from f to n avoiding p. Successors of f start the path;
 	// interior nodes (and n itself, as path end) must not be p.

@@ -92,13 +92,17 @@ func numOuts(k Kind) int {
 	}
 }
 
-// outPorts returns the node's output port count.
-func outPorts(n *Node) int {
+// OutPorts returns the node's output port count (Apply nodes carry their
+// own; every other kind derives it from Kind).
+func (n *Node) OutPorts() int {
 	if n.Kind == Apply {
 		return n.NOuts
 	}
 	return numOuts(n.Kind)
 }
+
+// outPorts returns the node's output port count.
+func outPorts(n *Node) int { return n.OutPorts() }
 
 // fixedIns returns the input port count for fixed-arity kinds, or -1 for
 // variable arity (End, Synch).
@@ -338,6 +342,7 @@ func (g *Graph) Validate() error {
 	if g.StartID < 0 || g.EndID < 0 {
 		return fmt.Errorf("dfg: missing start or end node")
 	}
+	seenArcs := map[Arc]bool{}
 	for _, a := range g.Arcs {
 		if a.From < 0 || a.From >= len(g.Nodes) || a.To < 0 || a.To >= len(g.Nodes) {
 			return fmt.Errorf("dfg: arc %+v out of node range", a)
@@ -347,6 +352,23 @@ func (g *Graph) Validate() error {
 		}
 		if a.ToPort < 0 || a.ToPort >= g.Nodes[a.To].NIns {
 			return fmt.Errorf("dfg: arc into %s port %d out of range (NIns=%d)", g.Nodes[a.To], a.ToPort, g.Nodes[a.To].NIns)
+		}
+		// Duplicate endpoints would deliver the same token twice (and once
+		// delivered twice under one tag, the ETS matching rules of §2.2 are
+		// violated); reject them statically. The dummy flag is not part of
+		// the endpoint identity.
+		key := Arc{From: a.From, FromPort: a.FromPort, To: a.To, ToPort: a.ToPort}
+		if seenArcs[key] {
+			return fmt.Errorf("dfg: duplicate arc %s port %d → %s port %d", g.Nodes[a.From], a.FromPort, g.Nodes[a.To], a.ToPort)
+		}
+		seenArcs[key] = true
+	}
+	for _, n := range g.Nodes {
+		// Input arity must match the operator kind: a switch with three
+		// inputs or a two-input unary op would silently drop or never match
+		// operands at execution time.
+		if fi := fixedIns(n.Kind); fi >= 0 && n.NIns != fi {
+			return fmt.Errorf("dfg: %s has NIns=%d, kind %s requires %d", n, n.NIns, n.Kind, fi)
 		}
 	}
 	for _, n := range g.Nodes {

@@ -209,6 +209,7 @@ func ParseText(r io.Reader) (*Graph, error) {
 				return nil, fail("unknown node kind %q", fields[2])
 			}
 			n := &Node{Kind: kind}
+			insSet := false
 			for _, attr := range fields[3:] {
 				kv := strings.SplitN(attr, "=", 2)
 				if len(kv) != 2 {
@@ -237,6 +238,7 @@ func ParseText(r io.Reader) (*Graph, error) {
 						return nil, fail("bad ins %q (must be 0..%d)", kv[1], maxNodeIns)
 					}
 					n.NIns = v
+					insSet = true
 				case "stmt":
 					v, err := strconv.Atoi(kv[1])
 					if err != nil {
@@ -246,6 +248,12 @@ func ParseText(r io.Reader) (*Graph, error) {
 				default:
 					return nil, fail("unknown attribute %q", kv[0])
 				}
+			}
+			// Add silently normalizes NIns for fixed-arity kinds; an ins=
+			// attribute contradicting the kind (a three-input switch, a
+			// two-input unary op) is a malformed file, not a request.
+			if fi := fixedIns(kind); insSet && fi >= 0 && n.NIns != fi {
+				return nil, fail("kind %s has fixed arity %d, got ins=%d", kind, fi, n.NIns)
 			}
 			gg.Add(n)
 		case "arc":

@@ -130,6 +130,11 @@ const doneSuffix = "#done"
 // the translation, for inspection and experiments.
 type Result struct {
 	Graph *dfg.Graph
+	// Options records the translation request that produced the graph, so
+	// downstream verifiers (internal/vet) know which schema contract the
+	// graph must satisfy. Zero for graphs not built by Translate (loaded
+	// from text, linked separate compilation).
+	Options Options
 	// CFG is the loop-control-transformed control-flow graph the
 	// translation ran on.
 	CFG   *cfg.Graph
@@ -289,6 +294,7 @@ func Translate(g0 *cfg.Graph, opt Options) (*Result, error) {
 	}
 	return &Result{
 		Graph:          b.out,
+		Options:        opt,
 		CFG:            g,
 		Loops:          loops,
 		Placement:      placement,

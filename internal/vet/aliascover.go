@@ -1,0 +1,277 @@
+package vet
+
+import (
+	"fmt"
+
+	"ctdf/internal/dfg"
+	"ctdf/internal/machcheck"
+)
+
+// passAliasCover proves the §5 soundness condition on aliased storage: a
+// memory operation on x must hold the access token of every cover element
+// intersecting [x] before it fires — TokensOf[x] under the translation's
+// cover — and the tokens reach it through a synch tree (Figure 13).
+//
+// Two complementary checks:
+//
+//   - gather trace: each memory operation's access input is traced
+//     backwards through synchs, switches, merges, and loop operators to
+//     the token lines it gathers, which must cover TokensOf[x]. The trace
+//     never trusts a synch's Tok label (mutated graphs lie), but it does
+//     re-anchor at upstream memory operations, so it localizes the defect
+//     rather than proving absence;
+//   - pairwise ordering: the condition the gather exists to establish.
+//     Any two operations whose access sets intersect, at least one a
+//     store, race unless a dataflow path orders them — or no execution
+//     fires both (disjoint predicate guards, §2.2).
+func passAliasCover(u *Unit) ([]Diagnostic, string) {
+	if !u.hasMeta() {
+		return nil, noMetaReason
+	}
+	ds := orderingCheck(u)
+	tr := newTokenTracer(u)
+	for _, n := range u.G.Nodes {
+		var accessIn int
+		switch n.Kind {
+		case dfg.Load:
+			accessIn = 0
+		case dfg.Store, dfg.LoadIdx:
+			accessIn = 1
+		case dfg.StoreIdx:
+			accessIn = 2
+		default:
+			// ILoad/IStore operate on tokenless I-structures (§6.3).
+			continue
+		}
+		got := tr.portTokens(n.ID, accessIn)
+		for _, tok := range u.Res.TokensOf[n.Var] {
+			if !got[tok] {
+				ds = append(ds, Diagnostic{
+					Severity: SevError, Check: machcheck.Determinacy, Node: n.ID, Tok: tok,
+					Msg: fmt.Sprintf("access input does not gather token %s: cover element [%s] intersects [%s], so operations on the two are unordered", tok, tok, n.Var),
+				})
+			}
+		}
+	}
+	return ds, ""
+}
+
+// orderingCheck enforces the race-freedom reading of §5: for every pair
+// of memory operations whose access sets TokensOf[x] intersect, at least
+// one of them a store, some dataflow path must run from one to the other
+// (the shared cover element's token line serializes them). Pairs whose
+// firing guards are predicate-disjoint never fire in one execution and
+// are exempt; a §6.3-parallelized store is exempt against itself, since
+// the transformation's whole point is to prove its iterations
+// independent and unorder them (Figure 14(b)).
+func orderingCheck(u *Unit) []Diagnostic {
+	var ops []*dfg.Node
+	for _, n := range u.G.Nodes {
+		switch n.Kind {
+		case dfg.Load, dfg.Store, dfg.LoadIdx, dfg.StoreIdx:
+			ops = append(ops, n)
+		}
+	}
+	if len(ops) < 2 {
+		return nil
+	}
+	reach := map[int][]bool{}
+	for _, n := range ops {
+		reach[n.ID] = forwardReach(u, n.ID)
+	}
+	toks := func(n *dfg.Node) map[string]bool {
+		set := map[string]bool{}
+		for _, t := range u.Res.TokensOf[n.Var] {
+			set[t] = true
+		}
+		return set
+	}
+	isStore := func(n *dfg.Node) bool { return n.Kind == dfg.Store || n.Kind == dfg.StoreIdx }
+	guards := newGuardTable(u)
+
+	var ds []Diagnostic
+	for i, a := range ops {
+		for _, b := range ops[i+1:] {
+			if !isStore(a) && !isStore(b) {
+				continue // reads never race
+			}
+			shared := ""
+			bt := toks(b)
+			for t := range toks(a) {
+				if bt[t] {
+					shared = t
+					break
+				}
+			}
+			if shared == "" {
+				continue
+			}
+			if reach[a.ID][b.ID] || reach[b.ID][a.ID] {
+				continue
+			}
+			ga, gb := guards.firingGuard(a), guards.firingGuard(b)
+			if ga.top || gb.top {
+				continue // a starved operation cannot race (token-balance reports it)
+			}
+			if disjoint(ga, gb) {
+				continue
+			}
+			ds = append(ds, Diagnostic{
+				Severity: SevError, Check: machcheck.Determinacy, Node: a.ID, Tok: shared,
+				Msg: fmt.Sprintf("no dataflow ordering against %s: both hold cover element [%s], so the two operations race", u.G.Nodes[b.ID], shared),
+			})
+		}
+	}
+	return ds
+}
+
+// forwardReach marks every node reachable from src over any arc.
+func forwardReach(u *Unit, src int) []bool {
+	seen := make([]bool, len(u.G.Nodes))
+	seen[src] = true
+	stack := []int{src}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for p := 0; p < u.G.Nodes[n].OutPorts(); p++ {
+			for _, a := range u.Out(n, p) {
+				if !seen[a.To] {
+					seen[a.To] = true
+					stack = append(stack, a.To)
+				}
+			}
+		}
+	}
+	return seen
+}
+
+// tokenTracer memoizes, per output port, the set of access-token lines
+// flowing through it.
+type tokenTracer struct {
+	u *Unit
+	// memo[node][port]; nil = not yet computed, inProgress marks a cycle
+	// being expanded (contributes nothing — a token line cannot originate
+	// inside a cycle that never reaches start).
+	memo       []map[int]map[string]bool
+	inProgress []map[int]bool
+	// parallel marks §6.3-parallelized store statements, whose StoreIdx
+	// emits the loop's completion token rather than the array tokens.
+	parallel map[int]string
+	all      map[string]bool
+}
+
+func newTokenTracer(u *Unit) *tokenTracer {
+	tr := &tokenTracer{
+		u:          u,
+		memo:       make([]map[int]map[string]bool, len(u.G.Nodes)),
+		inProgress: make([]map[int]bool, len(u.G.Nodes)),
+		parallel:   map[int]string{},
+		all:        map[string]bool{},
+	}
+	for i := range u.G.Nodes {
+		tr.memo[i] = map[int]map[string]bool{}
+		tr.inProgress[i] = map[int]bool{}
+	}
+	for _, ps := range u.Res.ParallelStores {
+		tr.parallel[ps.StoreStmt] = ps.DoneToken()
+	}
+	for _, tok := range u.Res.Universe {
+		tr.all[tok] = true
+	}
+	return tr
+}
+
+// portTokens is the union over the arcs entering (node, port) of the
+// tokens each source emits.
+func (tr *tokenTracer) portTokens(node, port int) map[string]bool {
+	out := map[string]bool{}
+	for _, a := range tr.u.In(node, port) {
+		for tok := range tr.outTokens(a.From, a.FromPort) {
+			out[tok] = true
+		}
+	}
+	return out
+}
+
+// outTokens is the set of token lines emitted from (node, port).
+func (tr *tokenTracer) outTokens(node, port int) map[string]bool {
+	if node < 0 || node >= len(tr.u.G.Nodes) {
+		return nil
+	}
+	if got, ok := tr.memo[node][port]; ok {
+		return got
+	}
+	if tr.inProgress[node][port] {
+		return nil
+	}
+	tr.inProgress[node][port] = true
+	got := tr.compute(tr.u.G.Nodes[node], port)
+	tr.inProgress[node][port] = false
+	tr.memo[node][port] = got
+	return got
+}
+
+func (tr *tokenTracer) compute(n *dfg.Node, port int) map[string]bool {
+	single := func(tok string) map[string]bool { return map[string]bool{tok: true} }
+	switch n.Kind {
+	case dfg.Start:
+		// Start fans every initial token out of one port; which line each
+		// arc begins is only visible downstream, so the port is ⊤.
+		return tr.all
+	case dfg.Switch, dfg.Merge, dfg.LoopEntry, dfg.LoopExit:
+		// Routing operators carry exactly the line they are labelled with;
+		// the structure pass and determinacy pass police their wiring.
+		return single(n.Tok)
+	case dfg.Synch:
+		// A synch holds every line of its operands (Figure 13's gather
+		// tree). Never trust Synch.Tok — it names only the first line.
+		out := map[string]bool{}
+		for p := 0; p < n.NIns; p++ {
+			for tok := range tr.portTokens(n.ID, p) {
+				out[tok] = true
+			}
+		}
+		return out
+	case dfg.Load, dfg.LoadIdx:
+		if port == 1 {
+			return tr.tokensOfVar(n.Var)
+		}
+	case dfg.Store:
+		if port == 0 {
+			return tr.tokensOfVar(n.Var)
+		}
+	case dfg.StoreIdx:
+		if port == 0 {
+			if done, ok := tr.parallel[n.Stmt]; ok {
+				// §6.3 / Figure 14(b): a parallelized store replicates the
+				// array token on entry and emits a completion instead.
+				return single(done)
+			}
+			return tr.tokensOfVar(n.Var)
+		}
+	case dfg.Param:
+		return single(n.Tok)
+	case dfg.Apply:
+		for _, c := range tr.u.G.Calls {
+			if c.Apply != n.ID {
+				continue
+			}
+			if port < len(c.InTokens) {
+				return single(c.InTokens[port])
+			}
+			if j := port - len(c.InTokens); j >= 0 && j < len(c.ParamIn) {
+				return single(c.InTokens[c.ParamIn[j]])
+			}
+		}
+	}
+	// Value ports (const, binop, load values, …) carry no access line.
+	return nil
+}
+
+func (tr *tokenTracer) tokensOfVar(v string) map[string]bool {
+	out := map[string]bool{}
+	for _, tok := range tr.u.Res.TokensOf[v] {
+		out[tok] = true
+	}
+	return out
+}

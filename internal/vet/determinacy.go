@@ -1,0 +1,268 @@
+package vet
+
+import (
+	"fmt"
+
+	"ctdf/internal/dfg"
+	"ctdf/internal/machcheck"
+)
+
+// passDeterminacy proves that no input port can statically receive two
+// tokens under one tag — the static form of the ETS matching discipline
+// (§2.2) and of the §5 determinacy condition.
+//
+// The pass computes, for every output port, a guard set: the switch arms
+// every token emitted from that port must have passed. Guards form a
+// descending analysis from ⊤ ("never fires"): a port fed by several arcs
+// keeps the guards common to all of them (a merge weakens the guard), a
+// node firing requires all of its input ports (union of guards), a switch
+// adds its own (switch, arm) pair to the respective output, and a loop
+// entry resets the guard — iterations run under fresh tags, so guards
+// accumulated outside the loop say nothing about collisions inside it.
+//
+// With guards in hand:
+//
+//   - a non-merge input port fed by two or more arcs receives two same-tag
+//     tokens whenever both sources fire — the duplicate-token case of
+//     machcheck's TagViolation;
+//   - a merge port is legal exactly when its sources are pairwise
+//     disjoint: some switch must send them down opposite arms, so no
+//     single execution path produces both (§2.2: "the determinacy of the
+//     graphs we construct is guaranteed because merge operators are
+//     restricted to receive inputs from disjoint predicate paths").
+//
+// Param ports accept one arc per call site by construction; activations
+// are separated by the tag's frame, so multiple arcs are legal there.
+func passDeterminacy(u *Unit) ([]Diagnostic, string) {
+	g := u.G
+	guards := newGuardTable(u)
+	var ds []Diagnostic
+	for _, n := range g.Nodes {
+		for p := 0; p < n.NIns; p++ {
+			arcs := u.In(n.ID, p)
+			if len(arcs) < 2 {
+				continue
+			}
+			switch {
+			case n.Kind == dfg.Merge && p == 0:
+				for i := 0; i < len(arcs); i++ {
+					for j := i + 1; j < len(arcs); j++ {
+						gi := guards.at(arcs[i].From, arcs[i].FromPort)
+						gj := guards.at(arcs[j].From, arcs[j].FromPort)
+						if gi.top || gj.top {
+							continue // a source that never fires cannot collide (reported by token-balance)
+						}
+						if !disjoint(gi, gj) {
+							ds = append(ds, Diagnostic{
+								Severity: SevError, Check: machcheck.Determinacy, Node: n.ID, Tok: n.Tok,
+								Msg: fmt.Sprintf("merge inputs from d%d.%d and d%d.%d are not on disjoint predicate paths: one execution can deliver both tokens under one tag",
+									arcs[i].From, arcs[i].FromPort, arcs[j].From, arcs[j].FromPort),
+							})
+						}
+					}
+				}
+			case n.Kind == dfg.Param:
+				// One arc per call site; activations are tag-disjoint.
+			default:
+				ds = append(ds, Diagnostic{
+					Severity: SevError, Check: machcheck.TagViolation, Node: n.ID, Tok: n.Tok,
+					Msg: fmt.Sprintf("input port %d is fed by %d arcs: two tokens can arrive under one tag", p, len(arcs)),
+				})
+			}
+		}
+	}
+	return ds, ""
+}
+
+// guardKey is one predicate arm. The predicate is identified by the wire
+// feeding the switch's control input, not by the switch node: one fork
+// emits one switch per routed token, all fed by the same predicate value,
+// and arms of DIFFERENT switches on the SAME wire are still the same
+// predicate decision (the diamond's merge receives switch-a's false arm
+// and switch-b's true arm — disjoint because both switches test a<b).
+type guardKey struct {
+	predNode int
+	predPort int
+	arm      bool
+}
+
+// guardSet is a set of switch arms, or ⊤ (the port provably never emits).
+type guardSet struct {
+	top bool
+	set map[guardKey]bool
+}
+
+func (s guardSet) has(k guardKey) bool { return s.top || s.set[k] }
+
+// disjoint reports whether some predicate routes the two guard sets down
+// opposite arms.
+func disjoint(a, b guardSet) bool {
+	for k := range a.set {
+		if b.set[guardKey{predNode: k.predNode, predPort: k.predPort, arm: !k.arm}] {
+			return true
+		}
+	}
+	return false
+}
+
+// guardTable holds the per-output-port guard sets.
+type guardTable struct {
+	u *Unit
+	// byNode[n][p] is the guard of output port p of node n.
+	byNode [][]guardSet
+}
+
+func (t *guardTable) at(node, port int) guardSet {
+	if node < 0 || node >= len(t.byNode) || port < 0 || port >= len(t.byNode[node]) {
+		return guardSet{top: true}
+	}
+	return t.byNode[node][port]
+}
+
+// newGuardTable runs the descending fixpoint. All ports start at ⊤; every
+// transfer function is monotone under ⊇ (intersection across a port's
+// arcs, union across a node's ports), so iteration from ⊤ converges to the
+// greatest fixpoint over the finite lattice of switch-arm sets.
+func newGuardTable(u *Unit) *guardTable {
+	g := u.G
+	t := &guardTable{u: u, byNode: make([][]guardSet, len(g.Nodes))}
+	for i, n := range g.Nodes {
+		t.byNode[i] = make([]guardSet, n.OutPorts())
+		for p := range t.byNode[i] {
+			t.byNode[i][p] = guardSet{top: true}
+		}
+	}
+	changed := true
+	for rounds := 0; changed && rounds < 4*len(g.Nodes)+16; rounds++ {
+		changed = false
+		for _, n := range g.Nodes {
+			if t.update(n) {
+				changed = true
+			}
+		}
+	}
+	return t
+}
+
+// update recomputes node n's output guards; reports whether they changed.
+func (t *guardTable) update(n *dfg.Node) bool {
+	fire := t.firingGuard(n)
+	changed := false
+	set := func(port int, gs guardSet) {
+		if !guardEqual(t.byNode[n.ID][port], gs) {
+			t.byNode[n.ID][port] = gs
+			changed = true
+		}
+	}
+	switch n.Kind {
+	case dfg.Switch:
+		pred := t.predKey(n)
+		pred.arm = true
+		set(0, addGuard(fire, pred))
+		pred.arm = false
+		set(1, addGuard(fire, pred))
+	case dfg.LoopEntry:
+		// Any-arrival: either the initial or the back port fires the entry,
+		// so tokens leaving it carry only the guards common to both — the
+		// outer-path arms the initial token passed (an iteration token is
+		// the same token under an advanced tag), never loop-internal arms.
+		set(0, intersect(t.portGuard(n, 0), t.portGuard(n, 1)))
+	default:
+		for p := range t.byNode[n.ID] {
+			set(p, fire)
+		}
+	}
+	return changed
+}
+
+// predKey identifies switch n's predicate by its control-input wire; a
+// switch with a malformed control port (no arc, or several) falls back to
+// its own identity so its arms at least exclude each other.
+func (t *guardTable) predKey(n *dfg.Node) guardKey {
+	if arcs := t.u.In(n.ID, 1); len(arcs) == 1 {
+		return guardKey{predNode: arcs[0].From, predPort: arcs[0].FromPort}
+	}
+	return guardKey{predNode: -n.ID - 1, predPort: -1}
+}
+
+// portGuard is the guard of one input port: the intersection over its
+// arcs (a multi-arc port is a merge point — only common guards survive).
+// An unfed port is ⊤: it never matches.
+func (t *guardTable) portGuard(n *dfg.Node, p int) guardSet {
+	arcs := t.u.In(n.ID, p)
+	if len(arcs) == 0 {
+		return guardSet{top: true}
+	}
+	out := t.at(arcs[0].From, arcs[0].FromPort)
+	for _, a := range arcs[1:] {
+		out = intersect(out, t.at(a.From, a.FromPort))
+	}
+	return out
+}
+
+// firingGuard is the union over the node's input ports of each port's
+// guard: the node fires only when every port delivers, so its tokens
+// passed every arm any operand passed. Start and Param fire
+// unconditionally (per program / per activation).
+func (t *guardTable) firingGuard(n *dfg.Node) guardSet {
+	if n.Kind == dfg.Start || n.Kind == dfg.Param {
+		return guardSet{set: map[guardKey]bool{}}
+	}
+	out := guardSet{set: map[guardKey]bool{}}
+	for p := 0; p < n.NIns; p++ {
+		port := t.portGuard(n, p)
+		if port.top {
+			return guardSet{top: true}
+		}
+		for k := range port.set {
+			out.set[k] = true
+		}
+	}
+	return out
+}
+
+func addGuard(gs guardSet, k guardKey) guardSet {
+	if gs.top {
+		return gs
+	}
+	out := guardSet{set: make(map[guardKey]bool, len(gs.set)+1)}
+	for g := range gs.set {
+		out.set[g] = true
+	}
+	out.set[k] = true
+	return out
+}
+
+func intersect(a, b guardSet) guardSet {
+	if a.top {
+		return b
+	}
+	if b.top {
+		return a
+	}
+	out := guardSet{set: map[guardKey]bool{}}
+	for k := range a.set {
+		if b.set[k] {
+			out.set[k] = true
+		}
+	}
+	return out
+}
+
+func guardEqual(a, b guardSet) bool {
+	if a.top != b.top {
+		return false
+	}
+	if a.top {
+		return true
+	}
+	if len(a.set) != len(b.set) {
+		return false
+	}
+	for k := range a.set {
+		if !b.set[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,264 @@
+package vet
+
+import (
+	"ctdf/internal/dfg"
+	"ctdf/internal/translate"
+)
+
+// This file is the self-test harness for the verifier: seeded mutations
+// that each break one of the paper's correctness conditions in a known
+// way. The mutation tests assert that every class is caught by at least
+// one pass — if a pass regresses into vacuity, the harness fails, not
+// just the (always-clean) translator sweep.
+//
+// Mutations rebuild the graph from scratch through dfg.NewGraph so the
+// result maintains the Graph's internal indices; node provenance (Stmt,
+// Tok) is copied, so the translation metadata of the original Result
+// still describes the mutated graph's intent.
+
+// A Mutation derives a defective graph from a translation.
+type Mutation struct {
+	// Name identifies the mutation class.
+	Name string
+	// Doc says what the mutation breaks.
+	Doc string
+	// Apply returns the mutated graph, or ok=false when the translation
+	// has no site this mutation applies to.
+	Apply func(res *translate.Result) (g *dfg.Graph, ok bool)
+}
+
+// Mutations returns the seeded mutation classes.
+func Mutations() []Mutation {
+	return []Mutation{
+		{
+			Name:  "drop-switch",
+			Doc:   "remove a switch and feed its consumers the unrouted token (Theorem 1 violation)",
+			Apply: dropSwitch,
+		},
+		{
+			Name:  "retarget-arc",
+			Doc:   "retarget a token arc onto end port 0: one port double-fed, one starved",
+			Apply: retargetArc,
+		},
+		{
+			Name:  "drop-merge-arm",
+			Doc:   "disconnect one arm of a merge: the arm's token line leaks",
+			Apply: dropMergeArm,
+		},
+		{
+			Name:  "truncate-synch",
+			Doc:   "shrink a synch tree by one operand: the §5 gather set loses a cover element",
+			Apply: truncateSynch,
+		},
+		{
+			Name:  "bypass-synch",
+			Doc:   "wire a memory op's access input past its synch gate to a single operand line",
+			Apply: bypassSynch,
+		},
+	}
+}
+
+// rebuild clones g, dropping the nodes in drop and passing every arc
+// through arcFn (identity when nil; return ok=false to delete the arc).
+// Arc endpoints are given in the original ID space; arcs touching dropped
+// nodes are deleted after the transform. Node IDs are remapped densely.
+func rebuild(g *dfg.Graph, drop map[int]bool, edit func(n *dfg.Node), arcFn func(a dfg.Arc) (dfg.Arc, bool)) *dfg.Graph {
+	out := dfg.NewGraph(g.Prog)
+	remap := make([]int, len(g.Nodes))
+	for i, n := range g.Nodes {
+		if drop[n.ID] {
+			remap[i] = -1
+			continue
+		}
+		c := *n
+		if edit != nil {
+			edit(&c)
+		}
+		remap[i] = out.Add(&c).ID
+	}
+	for _, a := range g.Arcs {
+		if arcFn != nil {
+			var keep bool
+			if a, keep = arcFn(a); !keep {
+				continue
+			}
+		}
+		if remap[a.From] < 0 || remap[a.To] < 0 {
+			continue
+		}
+		out.Connect(remap[a.From], a.FromPort, remap[a.To], a.ToPort, a.Dummy)
+	}
+	return out
+}
+
+// dropSwitch removes the first switch and rewires both arms' consumers
+// straight to the switch's data source: the token now arrives regardless
+// of the branch taken — exactly the unsoundness Theorem 1's placement
+// exists to prevent.
+func dropSwitch(res *translate.Result) (*dfg.Graph, bool) {
+	g := res.Graph
+	sw := -1
+	for _, n := range g.Nodes {
+		if n.Kind == dfg.Switch {
+			sw = n.ID
+			break
+		}
+	}
+	if sw < 0 {
+		return nil, false
+	}
+	var data dfg.Arc
+	found := false
+	for _, a := range g.Arcs {
+		if a.To == sw && a.ToPort == 0 {
+			data, found = a, true
+			break
+		}
+	}
+	if !found {
+		return nil, false
+	}
+	mut := rebuild(g, map[int]bool{sw: true}, nil, func(a dfg.Arc) (dfg.Arc, bool) {
+		if a.From == sw {
+			a.From, a.FromPort = data.From, data.FromPort
+		}
+		return a, true
+	})
+	return mut, true
+}
+
+// retargetArc redirects the first dummy arc not already feeding end onto
+// end port 0: that port is now double-fed (two tokens, one tag) and the
+// arc's original destination starves.
+func retargetArc(res *translate.Result) (*dfg.Graph, bool) {
+	g := res.Graph
+	if g.EndID < 0 || g.Nodes[g.EndID].NIns == 0 {
+		return nil, false
+	}
+	victim := -1
+	for i, a := range g.Arcs {
+		if a.Dummy && a.To != g.EndID {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		return nil, false
+	}
+	i := 0
+	mut := rebuild(g, nil, nil, func(a dfg.Arc) (dfg.Arc, bool) {
+		if i == victim {
+			a.To, a.ToPort = g.EndID, 0
+		}
+		i++
+		return a, true
+	})
+	return mut, true
+}
+
+// dropMergeArm deletes one input arc of the first merge fed by two or
+// more arcs: the deleted arm's line has no consumer left.
+func dropMergeArm(res *translate.Result) (*dfg.Graph, bool) {
+	g := res.Graph
+	victim := -1
+	for i, a := range g.Arcs {
+		if a.ToPort != 0 || g.Nodes[a.To].Kind != dfg.Merge {
+			continue
+		}
+		arms := 0
+		for _, b := range g.Arcs {
+			if b.To == a.To && b.ToPort == 0 {
+				arms++
+			}
+		}
+		if arms >= 2 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		return nil, false
+	}
+	i := 0
+	mut := rebuild(g, nil, nil, func(a dfg.Arc) (dfg.Arc, bool) {
+		keep := i != victim
+		i++
+		return a, keep
+	})
+	return mut, true
+}
+
+// synchSites finds synchs with at least two operands.
+func synchSites(g *dfg.Graph) []*dfg.Node {
+	var out []*dfg.Node
+	for _, n := range g.Nodes {
+		if n.Kind == dfg.Synch && n.NIns >= 2 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// truncateSynch shrinks the first eligible synch by one operand: its
+// gather set (Figure 13) silently loses a line, and that line's producer
+// loses its consumer.
+func truncateSynch(res *translate.Result) (*dfg.Graph, bool) {
+	sites := synchSites(res.Graph)
+	if len(sites) == 0 {
+		return nil, false
+	}
+	s := sites[0]
+	last := s.NIns - 1
+	mut := rebuild(res.Graph, nil, func(n *dfg.Node) {
+		if n.ID == s.ID {
+			n.NIns--
+		}
+	}, func(a dfg.Arc) (dfg.Arc, bool) {
+		return a, !(a.To == s.ID && a.ToPort == last)
+	})
+	return mut, true
+}
+
+// bypassSynch rewires a memory operation's access input past its synch
+// gate, straight to the line feeding the synch's first operand: the
+// operation now fires holding one cover element's token instead of all of
+// them — the §5 race the synch tree exists to prevent.
+func bypassSynch(res *translate.Result) (*dfg.Graph, bool) {
+	g := res.Graph
+	for _, s := range synchSites(g) {
+		var op dfg.Arc // synch output → memory op access input
+		found := false
+		for _, a := range g.Arcs {
+			if a.From != s.ID {
+				continue
+			}
+			k := g.Nodes[a.To].Kind
+			if k == dfg.Load || k == dfg.Store || k == dfg.LoadIdx || k == dfg.StoreIdx {
+				op, found = a, true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		var operand dfg.Arc // line feeding the synch's first operand
+		foundOperand := false
+		for _, a := range g.Arcs {
+			if a.To == s.ID && a.ToPort == 0 {
+				operand, foundOperand = a, true
+				break
+			}
+		}
+		if !foundOperand {
+			continue
+		}
+		mut := rebuild(g, nil, nil, func(a dfg.Arc) (dfg.Arc, bool) {
+			if a == op {
+				a.From, a.FromPort = operand.From, operand.FromPort
+			}
+			return a, true
+		})
+		return mut, true
+	}
+	return nil, false
+}

@@ -1,0 +1,173 @@
+package vet
+
+import (
+	"sort"
+	"testing"
+
+	"ctdf/internal/cfg"
+	"ctdf/internal/dfg"
+	"ctdf/internal/translate"
+	"ctdf/internal/workloads"
+)
+
+func mustTranslate(t *testing.T, name string, opt translate.Options) *translate.Result {
+	t.Helper()
+	w := workloads.MustByName(name)
+	g, err := cfg.Build(w.Parse())
+	if err != nil {
+		t.Fatalf("build %s: %v", name, err)
+	}
+	res, err := translate.Translate(g, opt)
+	if err != nil {
+		t.Fatalf("translate %s: %v", name, err)
+	}
+	return res
+}
+
+func mutationByName(t *testing.T, name string) Mutation {
+	t.Helper()
+	for _, m := range Mutations() {
+		if m.Name == name {
+			return m
+		}
+	}
+	t.Fatalf("no mutation %q", name)
+	return Mutation{}
+}
+
+// TestMutationsDetected: each seeded mutation class must be flagged by
+// the passes that own the violated condition. The detecting pass is part
+// of the contract — a mutation "detected" by an unrelated pass means the
+// owning pass went vacuous.
+func TestMutationsDetected(t *testing.T) {
+	cases := []struct {
+		mutation string
+		workload string
+		opt      translate.Options
+		// detectors that must each report at least one error
+		detectors []string
+	}{
+		{
+			mutation: "drop-switch", workload: "diamond",
+			opt:       translate.Options{Schema: translate.Schema2},
+			detectors: []string{"switch-placement"},
+		},
+		{
+			mutation: "drop-switch", workload: "running-example",
+			opt:       translate.Options{Schema: translate.Schema2Opt},
+			detectors: []string{"switch-placement"},
+		},
+		{
+			mutation: "retarget-arc", workload: "running-example",
+			opt:       translate.Options{Schema: translate.Schema2},
+			detectors: []string{"token-balance", "determinacy"},
+		},
+		{
+			mutation: "drop-merge-arm", workload: "diamond",
+			opt:       translate.Options{Schema: translate.Schema2},
+			detectors: []string{"token-balance"},
+		},
+		{
+			mutation: "truncate-synch", workload: "fortran-alias",
+			opt:       translate.Options{Schema: translate.Schema3},
+			detectors: []string{"alias-cover"},
+		},
+		{
+			mutation: "bypass-synch", workload: "fortran-alias",
+			opt:       translate.Options{Schema: translate.Schema3},
+			detectors: []string{"alias-cover"},
+		},
+		{
+			mutation: "bypass-synch", workload: "aliased-swap",
+			opt:       translate.Options{Schema: translate.Schema3Opt},
+			detectors: []string{"alias-cover"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.mutation+"/"+tc.workload, func(t *testing.T) {
+			res := mustTranslate(t, tc.workload, tc.opt)
+			if rep := Run(res.Graph, res); !rep.Clean() {
+				t.Fatalf("baseline not clean:\n%s", rep)
+			}
+			m := mutationByName(t, tc.mutation)
+			mut, ok := m.Apply(res)
+			if !ok {
+				t.Fatalf("mutation %s does not apply to %s", tc.mutation, tc.workload)
+			}
+			rep := Run(mut, res)
+			if rep.Errors() == 0 {
+				t.Fatalf("mutation %s escaped: report clean", tc.mutation)
+			}
+			got := rep.Detectors()
+			for _, want := range tc.detectors {
+				i := sort.SearchStrings(got, want)
+				if i >= len(got) || got[i] != want {
+					t.Errorf("mutation %s: pass %s reported no error; detectors: %v\n%s", tc.mutation, want, got, rep)
+				}
+			}
+		})
+	}
+}
+
+// TestMutationsApplyBroadly: every mutation class finds a site on at
+// least one committed workload.
+func TestMutationsApplyBroadly(t *testing.T) {
+	candidates := []*translate.Result{
+		mustTranslate(t, "fortran-alias", translate.Options{Schema: translate.Schema3}),
+		mustTranslate(t, "diamond", translate.Options{Schema: translate.Schema2}),
+		mustTranslate(t, "running-example", translate.Options{Schema: translate.Schema2}),
+	}
+	for _, m := range Mutations() {
+		applied := false
+		for _, res := range candidates {
+			if _, ok := m.Apply(res); ok {
+				applied = true
+				break
+			}
+		}
+		if !applied {
+			t.Errorf("mutation %s found no site on any candidate workload", m.Name)
+		}
+	}
+}
+
+// TestFig9PlacementAgreement pins the acceptance criterion: on the paper's
+// Figure 9–11 worked example the switch-placement pass's independently
+// recomputed placement must equal the switch set the translator emitted.
+func TestFig9PlacementAgreement(t *testing.T) {
+	res := mustTranslate(t, "fig9-bypass", translate.Options{Schema: translate.Schema2Opt})
+	u := newUnit(res.Graph, res)
+	pi := u.placementInfo()
+	if pi.err != nil {
+		t.Fatal(pi.err)
+	}
+
+	emitted := map[stmtTok]bool{}
+	for _, n := range res.Graph.Nodes {
+		if n.Kind == dfg.Switch {
+			emitted[stmtTok{n.Stmt, n.Tok}] = true
+		}
+	}
+	recomputed := map[stmtTok]bool{}
+	for f, toks := range pi.place.Needs {
+		if f < 0 || f >= res.CFG.Len() || res.CFG.Nodes[f].Kind != cfg.KindFork {
+			continue
+		}
+		for tok := range toks {
+			recomputed[stmtTok{f, tok}] = true
+		}
+	}
+	for k := range emitted {
+		if !recomputed[k] {
+			t.Errorf("translator switched %q at stmt %d; recomputation did not", k.tok, k.stmt)
+		}
+	}
+	for k := range recomputed {
+		if !emitted[k] {
+			t.Errorf("recomputation demands a switch for %q at stmt %d; translator emitted none", k.tok, k.stmt)
+		}
+	}
+	if len(emitted) == 0 {
+		t.Fatal("fig9-bypass emitted no switches; the worked example lost its fork")
+	}
+}

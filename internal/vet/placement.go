@@ -1,0 +1,414 @@
+package vet
+
+import (
+	"fmt"
+	"sort"
+
+	"ctdf/internal/analysis"
+	"ctdf/internal/cfg"
+	"ctdf/internal/dfg"
+	"ctdf/internal/machcheck"
+	"ctdf/internal/translate"
+)
+
+// stmtTok keys graph operators by provenance: the originating CFG
+// statement and the access token served.
+type stmtTok struct {
+	stmt int
+	tok  string
+}
+
+func sortedStmtToks[T any](m map[stmtTok]T) []stmtTok {
+	out := make([]stmtTok, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].stmt != out[j].stmt {
+			return out[i].stmt < out[j].stmt
+		}
+		return out[i].tok < out[j].tok
+	})
+	return out
+}
+
+// placeInfo is the independently recomputed translation plan the
+// validation passes diff the graph against: the extended need function,
+// the switch placement, and the per-loop circulating token sets.
+type placeInfo struct {
+	need     analysis.NeedFunc
+	place    *analysis.Placement
+	loopNeed map[int]map[string]bool
+	err      error
+}
+
+// placementInfo recomputes switch placement from first principles —
+// CD+ closures via analysis.IteratedCD (Definition 5), not the Figure 10
+// worklist the translator itself ran — so agreement between the two is a
+// genuine cross-check, iterated with loop needs to the same monotone
+// fixpoint translate.placeWithLoopControl uses. Cached per Unit.
+func (u *Unit) placementInfo() *placeInfo {
+	if u.placeOnce {
+		return u.place
+	}
+	u.placeOnce = true
+	u.place = recomputePlacement(u.Res)
+	return u.place
+}
+
+func recomputePlacement(res *translate.Result) *placeInfo {
+	g := res.CFG
+	base := baseNeed(res)
+	pi := &placeInfo{}
+
+	opt := res.Options.Schema == translate.Schema2Opt || res.Options.Schema == translate.Schema3Opt
+	if !opt {
+		// Schema 1/2/3: every fork switches every token.
+		needs := map[int]map[string]bool{}
+		for _, n := range g.Nodes {
+			if n.Kind != cfg.KindFork {
+				continue
+			}
+			set := map[string]bool{}
+			for _, tok := range res.Universe {
+				set[tok] = true
+			}
+			needs[n.ID] = set
+		}
+		pi.place = &analysis.Placement{Needs: needs}
+		pi.need = base
+		pi.loopNeed = analysis.LoopNeeds(g, res.Loops, base, pi.place)
+		return pi
+	}
+
+	cd := analysis.ComputeControlDeps(g)
+	loopNeed := map[int]map[string]bool{}
+	extended := func(id int) []string {
+		set := map[string]bool{}
+		for _, tok := range base(id) {
+			set[tok] = true
+		}
+		for tok := range loopNeed[id] {
+			set[tok] = true
+		}
+		return sortedKeys(set)
+	}
+	for iter := 0; ; iter++ {
+		if iter > g.Len()+len(res.Universe)+8 {
+			pi.err = fmt.Errorf("vet: loop-need fixpoint did not converge")
+			return pi
+		}
+		// Corollary 1: fork F needs a switch for token t iff F ∈ CD+ of
+		// the nodes needing t.
+		users := map[string][]int{}
+		for _, id := range g.SortedIDs() {
+			for _, tok := range extended(id) {
+				users[tok] = append(users[tok], id)
+			}
+		}
+		needs := map[int]map[string]bool{}
+		for tok, us := range users {
+			for f := range cd.IteratedCD(us) {
+				if needs[f] == nil {
+					needs[f] = map[string]bool{}
+				}
+				needs[f][tok] = true
+			}
+		}
+		place := &analysis.Placement{Needs: needs}
+		next := analysis.LoopNeeds(g, res.Loops, base, place)
+		if loopNeedsEqual(loopNeed, next) {
+			pi.place = place
+			pi.need = extended
+			pi.loopNeed = next
+			return pi
+		}
+		loopNeed = next
+	}
+}
+
+// baseNeed mirrors the translator's need derivation: a node needs the
+// union of the token sets of the variables it references (I-structure
+// arrays have none), plus the completion token of any §6.3-parallelized
+// store it carries.
+func baseNeed(res *translate.Result) analysis.NeedFunc {
+	istructs := map[string]bool{}
+	for _, a := range res.IStructures {
+		istructs[a] = true
+	}
+	doneAt := map[int][]string{}
+	for _, ps := range res.ParallelStores {
+		doneAt[ps.StoreStmt] = append(doneAt[ps.StoreStmt], ps.DoneToken())
+	}
+	g := res.CFG
+	return func(id int) []string {
+		set := map[string]bool{}
+		for v := range g.Refs(id) {
+			if istructs[v] {
+				continue
+			}
+			for _, tok := range res.TokensOf[v] {
+				set[tok] = true
+			}
+		}
+		for _, tok := range doneAt[id] {
+			set[tok] = true
+		}
+		return sortedKeys(set)
+	}
+}
+
+// passSwitchPlacement diffs the switches the translator emitted against
+// the independently recomputed placement. The comparison is keyed by
+// (originating fork, token) via the nodes' Stmt provenance:
+//
+//   - a missing switch is unsound (Theorem 1: the fork is in CD+ of a node
+//     referencing the token, so the token MUST be routed by the branch —
+//     unrouted it arrives on an untaken path and breaks determinacy);
+//   - a redundant switch is legal but a missed §4 optimization (warning,
+//     suppressed for the unoptimized schemas whose contract IS "a switch
+//     at every fork for every token");
+//   - a duplicated switch delivers two tokens per predicate evaluation.
+func passSwitchPlacement(u *Unit) ([]Diagnostic, string) {
+	if !u.hasMeta() {
+		return nil, noMetaReason
+	}
+	pi := u.placementInfo()
+	if pi.err != nil {
+		return []Diagnostic{{Severity: SevError, Check: machcheck.InvalidConfig, Node: -1, Msg: pi.err.Error()}}, ""
+	}
+	g := u.Res.CFG
+
+	actual := map[stmtTok][]int{}
+	for _, n := range u.G.Nodes {
+		if n.Kind == dfg.Switch {
+			k := stmtTok{n.Stmt, n.Tok}
+			actual[k] = append(actual[k], n.ID)
+		}
+	}
+
+	var ds []Diagnostic
+	expected := map[stmtTok]bool{}
+	// Switches are emitted only at real fork statements; placement marks
+	// start too (the conventional start→end edge makes it a fork for CD
+	// purposes) but the builder gives start no switch.
+	for _, f := range sortedIntKeys(pi.place.Needs) {
+		if f < 0 || f >= g.Len() || g.Nodes[f].Kind != cfg.KindFork {
+			continue
+		}
+		for _, tok := range sortedKeys(pi.place.Needs[f]) {
+			k := stmtTok{f, tok}
+			expected[k] = true
+			switch ids := actual[k]; {
+			case len(ids) == 0:
+				ds = append(ds, Diagnostic{
+					Severity: SevError, Check: machcheck.Determinacy, Node: -1, Tok: tok,
+					Msg: fmt.Sprintf("missing switch for token %s at fork %s: the fork is in CD+ of a node referencing it, so the token must be branch-routed", tok, g.Nodes[f]),
+				})
+			case len(ids) > 1:
+				ds = append(ds, Diagnostic{
+					Severity: SevError, Check: machcheck.TagViolation, Node: ids[1], Tok: tok,
+					Msg: fmt.Sprintf("token %s is switched %d times at fork %s: want exactly one switch", tok, len(ids), g.Nodes[f]),
+				})
+			}
+		}
+	}
+	for _, n := range u.G.Nodes {
+		if n.Kind != dfg.Switch || expected[stmtTok{n.Stmt, n.Tok}] {
+			continue
+		}
+		if n.Stmt < 0 || n.Stmt >= g.Len() || g.Nodes[n.Stmt].Kind != cfg.KindFork {
+			ds = append(ds, Diagnostic{
+				Severity: SevError, Check: machcheck.Determinacy, Node: n.ID, Tok: n.Tok,
+				Msg: fmt.Sprintf("switch has no originating fork (stmt %d)", n.Stmt),
+			})
+			continue
+		}
+		ds = append(ds, Diagnostic{
+			Severity: SevWarning, Node: n.ID, Tok: n.Tok,
+			Msg: fmt.Sprintf("redundant switch: fork %s is not in CD+ of any node referencing token %s (missed §4 optimization)", g.Nodes[n.Stmt], n.Tok),
+		})
+	}
+	return ds, ""
+}
+
+// passSourceVectors recomputes the Figure 11 source vectors under the
+// recomputed placement and checks the merge set: a dataflow merge exists
+// exactly where a token has more than one source — at joins and end, and
+// at the initial and back ports of the loop entries of the tokens each
+// loop circulates. The same metadata checks the loop entry/exit operator
+// sets against the recomputed circulating-token sets.
+func passSourceVectors(u *Unit) ([]Diagnostic, string) {
+	if !u.hasMeta() {
+		return nil, noMetaReason
+	}
+	pi := u.placementInfo()
+	if pi.err != nil {
+		return nil, "placement recomputation failed: " + pi.err.Error()
+	}
+	res := u.Res
+	g := res.CFG
+	sv, err := analysis.ComputeSourceVectors(g, res.Loops, res.Universe, pi.need, pi.place)
+	if err != nil {
+		return []Diagnostic{{Severity: SevError, Check: machcheck.InvalidConfig, Node: -1,
+			Msg: "source-vector recomputation failed: " + err.Error()}}, ""
+	}
+
+	expected := map[stmtTok]int{}
+	for _, id := range g.SortedIDs() {
+		switch g.Nodes[id].Kind {
+		case cfg.KindJoin, cfg.KindEnd:
+			for tok, srcs := range sv.SV[id] {
+				if len(srcs) > 1 {
+					expected[stmtTok{id, tok}]++
+				}
+			}
+		case cfg.KindLoopEntry:
+			for tok := range sv.LoopNeed[id] {
+				if len(sv.SV[id][tok]) > 1 {
+					expected[stmtTok{id, tok}]++
+				}
+				if len(sv.Back[id][tok]) > 1 {
+					expected[stmtTok{id, tok}]++
+				}
+			}
+		}
+	}
+	actual := map[stmtTok]int{}
+	for _, n := range u.G.Nodes {
+		if n.Kind == dfg.Merge {
+			actual[stmtTok{n.Stmt, n.Tok}]++
+		}
+	}
+	var ds []Diagnostic
+	keys := map[stmtTok]bool{}
+	for k := range expected {
+		keys[k] = true
+	}
+	for k := range actual {
+		keys[k] = true
+	}
+	for _, k := range sortedStmtToks(keys) {
+		want, got := expected[k], actual[k]
+		switch {
+		case got < want:
+			ds = append(ds, Diagnostic{
+				Severity: SevError, Check: machcheck.TagViolation, Node: -1, Tok: k.tok,
+				Msg: fmt.Sprintf("missing merge for token %s at %s: |SV| > 1, so several sources would collide on one port (want %d merges, found %d)", k.tok, stmtLabel(g, k.stmt), want, got),
+			})
+		case got > want:
+			ds = append(ds, Diagnostic{
+				Severity: SevWarning, Node: mergeNodeAt(u, k.stmt, k.tok), Tok: k.tok,
+				Msg: fmt.Sprintf("redundant merge for token %s at %s: the source vector has a single element (want %d merges, found %d)", k.tok, stmtLabel(g, k.stmt), want, got),
+			})
+		}
+	}
+
+	// Loop circulation: one entry and one exit operator per circulated
+	// token, none for bypassing tokens.
+	ds = append(ds, checkLoopCirculation(u, sv)...)
+	return ds, ""
+}
+
+// checkLoopCirculation diffs the loop entry/exit operators against the
+// recomputed per-loop circulating token sets (§3's tag discipline: exactly
+// the circulated tokens get fresh iteration tags).
+func checkLoopCirculation(u *Unit, sv *analysis.SourceVectors) []Diagnostic {
+	g := u.Res.CFG
+	count := func(kind dfg.Kind) map[stmtTok]int {
+		m := map[stmtTok]int{}
+		for _, n := range u.G.Nodes {
+			if n.Kind == kind {
+				m[stmtTok{n.Stmt, n.Tok}]++
+			}
+		}
+		return m
+	}
+	entries, exits := count(dfg.LoopEntry), count(dfg.LoopExit)
+	var ds []Diagnostic
+	check := func(kind string, stmt int, actual map[stmtTok]int) {
+		for _, tok := range sortedKeys(sv.LoopNeed[stmt]) {
+			k := stmtTok{stmt, tok}
+			if actual[k] != 1 {
+				ds = append(ds, Diagnostic{
+					Severity: SevError, Check: machcheck.TagViolation, Node: -1, Tok: tok,
+					Msg: fmt.Sprintf("loop %s at %s must circulate token %s exactly once: found %d operators", kind, stmtLabel(g, stmt), tok, actual[k]),
+				})
+			}
+			delete(actual, k)
+		}
+	}
+	for _, id := range g.SortedIDs() {
+		switch g.Nodes[id].Kind {
+		case cfg.KindLoopEntry:
+			check("entry", id, entries)
+		case cfg.KindLoopExit:
+			check("exit", id, exits)
+		}
+	}
+	stray := func(kind string, left map[stmtTok]int) {
+		for _, k := range sortedStmtToks(left) {
+			ds = append(ds, Diagnostic{
+				Severity: SevError, Check: machcheck.TagViolation, Node: -1, Tok: k.tok,
+				Msg: fmt.Sprintf("loop %s operator for token %s at %s, but the loop does not circulate that token", kind, k.tok, stmtLabel(g, k.stmt)),
+			})
+		}
+	}
+	stray("entry", entries)
+	stray("exit", exits)
+	return ds
+}
+
+func stmtLabel(g *cfg.Graph, stmt int) string {
+	if stmt >= 0 && stmt < g.Len() {
+		return g.Nodes[stmt].String()
+	}
+	return fmt.Sprintf("stmt %d", stmt)
+}
+
+// mergeNodeAt finds a merge node with the given provenance, for anchoring
+// a diagnostic; -1 when none exists.
+func mergeNodeAt(u *Unit, stmt int, tok string) int {
+	for _, n := range u.G.Nodes {
+		if n.Kind == dfg.Merge && n.Stmt == stmt && n.Tok == tok {
+			return n.ID
+		}
+	}
+	return -1
+}
+
+func loopNeedsEqual(a, b map[int]map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for tok := range av {
+			if !bv[tok] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedIntKeys(m map[int]map[string]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,285 @@
+// Package vet statically verifies dataflow graphs against the paper's
+// correctness conditions. Where internal/machcheck names the invariants an
+// execution may violate at run time, vet proves (or refutes) them on the
+// graph itself, before any token moves:
+//
+//   - structure — the dfg.Validate structural invariants (§2.2);
+//   - token-balance — every variable's access token count is exactly 1 on
+//     every path: no output port leaks tokens, no input port starves, and
+//     every token line runs from start to end (the Schema 2 invariant, §3);
+//   - determinacy — no port can statically receive two same-tag tokens;
+//     merge inputs must arrive from disjoint predicate paths (§2.2, §5);
+//   - switch-placement — the emitted switches equal an independent
+//     recomputation of CD+ per token (Theorem 1/Corollary 1, Figure 10):
+//     a missing switch is unsound, a redundant one is a missed §4
+//     optimization;
+//   - source-vectors — merges exist exactly where the recomputed source
+//     vector SV_N(x) has more than one element (Figure 11), and loop
+//     entry/exit operators exist exactly for the tokens each loop
+//     circulates;
+//   - alias-cover — every memory operation on x gathers, through its synch
+//     tree, the access token of every cover element intersecting [x]
+//     (§5, Figure 13).
+//
+// The passes run over a Unit: the graph plus (when available) the
+// translate.Result metadata recording which schema contract the graph must
+// satisfy. Graphs without metadata (loaded from text, linked separate
+// compilation) get the graph-level passes only; the translation-validation
+// passes are reported as skipped.
+//
+// Each Diagnostic carries the machcheck.Check the defect would trip at run
+// time, so static findings map onto the existing taxonomy.
+package vet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ctdf/internal/dfg"
+	"ctdf/internal/machcheck"
+	"ctdf/internal/translate"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+// Severities. Errors refute a correctness condition (the graph can
+// deadlock, leak, or misbehave); warnings flag missed optimizations and
+// harmless redundancy.
+const (
+	SevError Severity = iota
+	SevWarning
+)
+
+func (s Severity) String() string {
+	if s == SevWarning {
+		return "warning"
+	}
+	return "error"
+}
+
+// Diagnostic is one finding of one pass.
+type Diagnostic struct {
+	// Pass names the reporting pass.
+	Pass string `json:"pass"`
+	// Severity grades the finding.
+	Severity Severity `json:"-"`
+	// Check is the machcheck invariant the defect would violate at run
+	// time (empty for pure optimization warnings).
+	Check machcheck.Check `json:"check,omitempty"`
+	// Node is the dataflow node the finding anchors to, or -1.
+	Node int `json:"node"`
+	// Label is the node's diagnostic label ("" when Node is -1).
+	Label string `json:"label,omitempty"`
+	// Tok is the access token or variable involved, if any.
+	Tok string `json:"tok,omitempty"`
+	// Paper cites the section/figure/theorem the violated condition comes
+	// from.
+	Paper string `json:"paper,omitempty"`
+	// Msg describes the finding.
+	Msg string `json:"msg"`
+}
+
+// String renders the diagnostic on one line.
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%s]", d.Severity, d.Pass)
+	if d.Node >= 0 {
+		if d.Label != "" {
+			fmt.Fprintf(&b, " %s:", d.Label)
+		} else {
+			fmt.Fprintf(&b, " d%d:", d.Node)
+		}
+	}
+	fmt.Fprintf(&b, " %s", d.Msg)
+	if d.Paper != "" {
+		fmt.Fprintf(&b, " (%s)", d.Paper)
+	}
+	return b.String()
+}
+
+// SkippedPass records a pass that could not run and why.
+type SkippedPass struct {
+	Pass   string `json:"pass"`
+	Reason string `json:"reason"`
+}
+
+// Report is the outcome of a vet run.
+type Report struct {
+	// Diags lists every finding, grouped by pass in registry order.
+	Diags []Diagnostic `json:"diagnostics"`
+	// Ran lists the passes that ran.
+	Ran []string `json:"passes"`
+	// Skipped lists the passes that could not run (missing metadata).
+	Skipped []SkippedPass `json:"skipped,omitempty"`
+}
+
+// Clean reports whether the run produced no diagnostics at all.
+func (r *Report) Clean() bool { return len(r.Diags) == 0 }
+
+// Errors counts error-severity diagnostics.
+func (r *Report) Errors() int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Severity == SevError {
+			n++
+		}
+	}
+	return n
+}
+
+// Detectors returns the sorted set of passes that reported at least one
+// error (the mutation self-tests assert on it).
+func (r *Report) Detectors() []string {
+	set := map[string]bool{}
+	for _, d := range r.Diags {
+		if d.Severity == SevError {
+			set[d.Pass] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the report: one line per diagnostic, then a summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, d := range r.Diags {
+		b.WriteString(d.String())
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "vet: %d passes", len(r.Ran))
+	if len(r.Skipped) > 0 {
+		fmt.Fprintf(&b, " (%d skipped)", len(r.Skipped))
+	}
+	fmt.Fprintf(&b, ", %d errors, %d warnings\n", r.Errors(), len(r.Diags)-r.Errors())
+	return b.String()
+}
+
+// Pass is one registered analysis.
+type Pass struct {
+	// Name identifies the pass in diagnostics and reports.
+	Name string
+	// Paper is the default citation attached to the pass's findings.
+	Paper string
+	// Doc is a one-line description.
+	Doc string
+
+	run func(u *Unit) (diags []Diagnostic, skip string)
+}
+
+// Passes returns the ordered pass registry.
+func Passes() []Pass {
+	return []Pass{
+		{Name: "structure", Paper: "§2.2", Doc: "dfg.Validate structural invariants", run: passStructure},
+		{Name: "token-balance", Paper: "§3", Doc: "every access token count is exactly 1 on every path", run: passTokenBalance},
+		{Name: "determinacy", Paper: "§2.2, §5", Doc: "no port statically receives two same-tag tokens", run: passDeterminacy},
+		{Name: "switch-placement", Paper: "§4 Theorem 1, Figure 10", Doc: "emitted switches equal the recomputed CD+ placement", run: passSwitchPlacement},
+		{Name: "source-vectors", Paper: "§4.2 Figure 11", Doc: "merges exist exactly where |SV_N(x)| > 1", run: passSourceVectors},
+		{Name: "alias-cover", Paper: "§5 Figure 13", Doc: "memory ops gather the access set C[x] through their synch trees", run: passAliasCover},
+	}
+}
+
+// Run vets graph g. res supplies the translation metadata the
+// translation-validation passes diff against; nil (or a Result without a
+// CFG) restricts the run to the graph-level passes.
+func Run(g *dfg.Graph, res *translate.Result) *Report {
+	u := newUnit(g, res)
+	rep := &Report{}
+	for _, p := range Passes() {
+		diags, skip := p.run(u)
+		if skip != "" {
+			rep.Skipped = append(rep.Skipped, SkippedPass{Pass: p.Name, Reason: skip})
+			continue
+		}
+		rep.Ran = append(rep.Ran, p.Name)
+		for i := range diags {
+			diags[i].Pass = p.Name
+			if diags[i].Paper == "" {
+				diags[i].Paper = p.Paper
+			}
+			if diags[i].Node >= 0 && diags[i].Node < len(g.Nodes) && diags[i].Label == "" {
+				diags[i].Label = g.Nodes[diags[i].Node].String()
+			}
+		}
+		rep.Diags = append(rep.Diags, diags...)
+	}
+	return rep
+}
+
+// Unit is the subject of a vet run: the graph, optional translation
+// metadata, and a defensively built arc index (mutated or hand-written
+// graphs may violate the invariants dfg.Graph's own index assumes, so the
+// passes never trust it).
+type Unit struct {
+	G   *dfg.Graph
+	Res *translate.Result
+
+	// ins[node][port] and outs[node][port] list arcs; arcs referencing
+	// out-of-range nodes or ports are dropped here and reported by the
+	// structure pass.
+	ins  []map[int][]dfg.Arc
+	outs []map[int][]dfg.Arc
+
+	place     *placeInfo // cached recomputed placement (passes 3–5)
+	placeOnce bool
+}
+
+func newUnit(g *dfg.Graph, res *translate.Result) *Unit {
+	u := &Unit{
+		G: g, Res: res,
+		ins:  make([]map[int][]dfg.Arc, len(g.Nodes)),
+		outs: make([]map[int][]dfg.Arc, len(g.Nodes)),
+	}
+	for i := range g.Nodes {
+		u.ins[i] = map[int][]dfg.Arc{}
+		u.outs[i] = map[int][]dfg.Arc{}
+	}
+	for _, a := range g.Arcs {
+		if a.From < 0 || a.From >= len(g.Nodes) || a.To < 0 || a.To >= len(g.Nodes) {
+			continue
+		}
+		if a.FromPort < 0 || a.FromPort >= g.Nodes[a.From].OutPorts() {
+			continue
+		}
+		if a.ToPort < 0 || a.ToPort >= g.Nodes[a.To].NIns {
+			continue
+		}
+		u.outs[a.From][a.FromPort] = append(u.outs[a.From][a.FromPort], a)
+		u.ins[a.To][a.ToPort] = append(u.ins[a.To][a.ToPort], a)
+	}
+	return u
+}
+
+// In returns the arcs entering (node, port).
+func (u *Unit) In(node, port int) []dfg.Arc { return u.ins[node][port] }
+
+// Out returns the arcs leaving (node, port).
+func (u *Unit) Out(node, port int) []dfg.Arc { return u.outs[node][port] }
+
+// hasMeta reports whether translation-validation metadata is available.
+func (u *Unit) hasMeta() bool {
+	return u.Res != nil && u.Res.CFG != nil && u.Res.TokensOf != nil
+}
+
+const noMetaReason = "no translation metadata (graph loaded from text or linked)"
+
+// passStructure reruns the structural validator and reports its first
+// finding as a diagnostic; the remaining passes still run (their arc index
+// ignores malformed arcs), so one broken invariant does not hide others.
+func passStructure(u *Unit) ([]Diagnostic, string) {
+	if err := u.G.Validate(); err != nil {
+		return []Diagnostic{{
+			Severity: SevError,
+			Check:    machcheck.InvalidConfig,
+			Node:     -1,
+			Msg:      err.Error(),
+		}}, ""
+	}
+	return nil, ""
+}

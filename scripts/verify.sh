@@ -28,6 +28,11 @@ go test -race -timeout 5m ./...
 echo "== chaos smoke matrix =="
 go run ./cmd/ctdf chaos -smoke
 
+echo "== vet suite =="
+# Every committed workload × schema must verify statically clean
+# (see ANALYSIS.md; the committed snapshot is artifacts/vet.json).
+go run ./cmd/ctdf vet -suite
+
 echo "== benchmark smoke =="
 go test -run=NONE -bench='BenchmarkE11|BenchmarkObs' -benchtime=1x .
 
