@@ -414,6 +414,27 @@ func BenchmarkObsEnabled(b *testing.B) {
 	}
 }
 
+// BenchmarkObsJournal is the same run recording the full causal journal:
+// every firing carries its complete operand-producer set, plus
+// matching-store parks, powering Explain/Impact, replay, and the
+// exporters.
+func BenchmarkObsJournal(b *testing.B) {
+	p := compileBench(b, workloads.MustByName("fib-iterative").Source)
+	d, err := p.Translate(Options{Schema: Schema2Opt})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		r, err := d.Run(RunConfig{MemLatency: 4, Obs: &ObsOptions{Journal: true}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Journal == nil {
+			b.Fatal("journal missing")
+		}
+	}
+}
+
 // BenchmarkSynchLegalization measures the two-input legalization pass and
 // its runtime effect.
 func BenchmarkSynchLegalization(b *testing.B) {

@@ -33,6 +33,14 @@ func cmdChaos(args []string) error {
 			fmt.Printf("%-8s %-12s %-16s %-20s site %d/%d: %s\n",
 				c.Engine, c.Schema, c.Workload, c.Class, c.Site, c.Sites, c.Outcome)
 		}
+		for _, r := range m.Replay {
+			abort := "clean finish"
+			if r.Abort != "" {
+				abort = fmt.Sprintf("%s @ cycle %d", r.Abort, r.AbortCycle)
+			}
+			fmt.Printf("replay   %-12s %-16s %-20s site %d: %s (%s)\n",
+				r.Schema, r.Workload, r.Class, r.Site, r.Outcome, abort)
+		}
 	}
 	fmt.Print(m.Summary())
 	if *jsonPath != "" {
@@ -51,6 +59,10 @@ func cmdChaos(args []string) error {
 	}
 	if m.LeakedGoroutines != 0 {
 		return fmt.Errorf("chaos: %d goroutines leaked across the sweep", m.LeakedGoroutines)
+	}
+	if m.ReplayReproduced != m.ReplayTotal {
+		return fmt.Errorf("chaos: %d of %d fault journals failed to replay exactly",
+			m.ReplayTotal-m.ReplayReproduced, m.ReplayTotal)
 	}
 	return nil
 }

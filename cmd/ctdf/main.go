@@ -6,6 +6,8 @@
 //
 //	ctdf run [flags] (file | -workload name)      execute a program
 //	ctdf profile [flags] (file | -workload name)  observed run: NDJSON events + report
+//	ctdf trace [flags] (file | -workload name)    causal journal: explain/impact, exports
+//	ctdf replay [flags] (journal | -suite)        time-travel replay of a saved journal
 //	ctdf dot [flags] (file | -workload name)      emit Graphviz (CFG or DFG)
 //	ctdf stats [flags] (file | -workload name)    dataflow graph sizes per schema
 //	ctdf vet [flags] (file | -workload name)      statically verify the dataflow graph
@@ -40,6 +42,10 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "profile":
 		err = cmdProfile(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
 	case "dot":
 		err = cmdDot(os.Args[2:])
 	case "stats":
@@ -74,6 +80,8 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   ctdf run [flags] (file | -workload name)
   ctdf profile [flags] (file | -workload name)
+  ctdf trace [flags] (file | -workload name)
+  ctdf replay [flags] (journal-file | -suite)
   ctdf dot [flags] (file | -workload name)
   ctdf stats (file | -workload name)
   ctdf vet [flags] (file | -workload name | -suite)

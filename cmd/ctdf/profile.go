@@ -7,6 +7,7 @@ import (
 	"os"
 
 	"ctdf"
+	"ctdf/internal/obs"
 )
 
 // cmdProfile executes a program as an observed run: it streams the
@@ -60,7 +61,8 @@ func cmdProfile(args []string) error {
 	case "-":
 		eventsW = os.Stdout
 	default:
-		f, err := os.Create(*events)
+		// CreateStream gzips transparently when the path ends in ".gz".
+		f, err := obs.CreateStream(*events)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+
+	"ctdf/internal/cfg"
+	"ctdf/internal/machine"
+	"ctdf/internal/obs"
+	"ctdf/internal/obs/journal"
+	"ctdf/internal/translate"
+	"ctdf/internal/workloads"
+)
+
+// cmdReplay is the time-travel debugger: it re-executes the machine
+// engine under a journal's recorded configuration (fault plan included)
+// and diffs the re-execution against the recording firing by firing.
+// The machine is deterministic, so any divergence is a bug — in the
+// engine, the journal, or the configuration capture — and the command
+// exits non-zero. With -at it additionally dumps the reconstructed
+// machine state (in-flight firings, live tokens, matching-store
+// contents) at that cycle.
+//
+// Two modes:
+//
+//	ctdf replay [-at cycle] journal-file   replay one saved journal
+//	ctdf replay -suite [-v]                record+replay every serializable
+//	                                       workload × schema (verify gate)
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	at := fs.Int("at", -1, "also dump machine state at this cycle")
+	suite := fs.Bool("suite", false, "record and replay every serializable workload × schema")
+	verbose := fs.Bool("v", false, "suite mode: print one line per replayed run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *suite {
+		return replaySuite(*verbose)
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("expected exactly one journal file (or -suite)")
+	}
+	j, err := journal.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Println(j.Summary())
+	rr, err := journal.Replay(j)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rr.Text())
+	if *at >= 0 {
+		st, err := rr.Replayed.StateAt(*at)
+		if err != nil {
+			return err
+		}
+		fmt.Print(st.Text(rr.Replayed))
+	}
+	if len(rr.Divergences) > 0 {
+		return fmt.Errorf("replay diverged from the recording")
+	}
+	return nil
+}
+
+// replaySuite records and replays the same workload × schema matrix the
+// vet suite verifies (minus linked procedure graphs, which are not
+// serializable in dfg text format v1), pushing every journal through an
+// NDJSON round trip first so the gate also covers serialization. It is
+// the replay-divergence gate run by scripts/verify.sh.
+func replaySuite(verbose bool) error {
+	schemas := []translate.Options{
+		{Schema: translate.Schema1},
+		{Schema: translate.Schema2},
+		{Schema: translate.Schema2Opt},
+		{Schema: translate.Schema3},
+		{Schema: translate.Schema3Opt},
+	}
+	runs, diverged := 0, 0
+	for _, w := range workloads.All() {
+		g := cfg.MustBuild(w.Parse())
+		for _, opt := range schemas {
+			res, err := translate.Translate(g, opt)
+			if err != nil {
+				return fmt.Errorf("%s/%v: %w", w.Name, opt.Schema, err)
+			}
+			if len(res.Graph.Calls) > 0 {
+				continue
+			}
+			label := fmt.Sprintf("%s/%v", w.Name, opt.Schema)
+			jcfg := journal.Config{Processors: 2, MemLatency: 3}
+			rec := journal.NewRecorder(res.Graph, label, jcfg)
+			col := obs.NewCollector(res.Graph, obs.Options{Journal: rec})
+			out, err := machine.Run(res.Graph, machine.Config{Processors: 2, MemLatency: 3, Collector: col})
+			if err != nil {
+				return fmt.Errorf("%s: %w", label, err)
+			}
+			j := rec.Finish(out.Stats.Cycles)
+			var buf bytes.Buffer
+			if err := j.Write(&buf); err != nil {
+				return fmt.Errorf("%s: %w", label, err)
+			}
+			loaded, err := journal.Read(&buf)
+			if err != nil {
+				return fmt.Errorf("%s: reload: %w", label, err)
+			}
+			rr, err := journal.Replay(loaded)
+			if err != nil {
+				return fmt.Errorf("%s: %w", label, err)
+			}
+			runs++
+			if len(rr.Divergences) > 0 {
+				diverged++
+				fmt.Printf("%s: DIVERGED\n%s", label, rr.Text())
+			} else if verbose {
+				fmt.Printf("%-40s ok: %d firings, %d cycles\n", label, len(loaded.Fires), loaded.Cycles)
+			}
+		}
+	}
+	fmt.Printf("replay suite: %d runs replayed, %d diverged\n", runs, diverged)
+	if diverged > 0 {
+		return fmt.Errorf("replay suite: %d divergent runs", diverged)
+	}
+	return nil
+}

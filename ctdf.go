@@ -36,6 +36,7 @@ import (
 	"ctdf/internal/lang"
 	"ctdf/internal/machine"
 	"ctdf/internal/obs"
+	"ctdf/internal/obs/journal"
 	"ctdf/internal/translate"
 )
 
@@ -423,6 +424,9 @@ type Result struct {
 	Profile []int
 	// Obs is the observability report (nil unless RunConfig.Obs was set).
 	Obs *ObsReport
+	// Journal is the causal execution journal (nil unless
+	// RunConfig.Obs.Journal was set; EngineMachine only).
+	Journal *ExecJournal
 	// Fault reports the fault injector's view of the run (nil unless
 	// RunConfig.Fault was set).
 	Fault *FaultReport
@@ -440,8 +444,29 @@ func (d *Dataflow) Run(cfg RunConfig) (*Result, error) {
 	switch cfg.Engine {
 	case EngineMachine:
 		var col *obs.Collector
+		var rec *journal.Recorder
 		if cfg.Obs != nil {
-			col = obs.NewCollector(d.res.Graph, obs.Options{CriticalPath: cfg.Obs.CriticalPath})
+			opts := obs.Options{CriticalPath: cfg.Obs.CriticalPath}
+			if cfg.Obs.Journal {
+				// The journal captures the full run configuration so Replay
+				// can re-execute it bit-for-bit, fault plan included.
+				jcfg := journal.Config{
+					Processors: cfg.Processors,
+					MemLatency: cfg.MemLatency,
+					MaxCycles:  cfg.MaxCycles,
+					MaxOps:     cfg.MaxOps,
+					RandomSeed: cfg.RandomSeed,
+					Binding:    cfg.Binding,
+				}
+				if cfg.Fault != nil {
+					jcfg.FaultClass = string(cfg.Fault.Class)
+					jcfg.FaultSite = cfg.Fault.Site
+					jcfg.FaultDelay = cfg.Fault.Delay
+				}
+				rec = journal.NewRecorder(d.res.Graph, cfg.Obs.Label, jcfg)
+				opts.Journal = rec
+			}
+			col = obs.NewCollector(d.res.Graph, opts)
 			if cfg.Obs.Events != nil {
 				if err := obs.WriteMeta(cfg.Obs.Events, col.Meta()); err != nil {
 					return nil, err
@@ -489,6 +514,9 @@ func (d *Dataflow) Run(cfg RunConfig) (*Result, error) {
 			}
 			res.Obs = &ObsReport{rep: rep}
 		}
+		if rec != nil {
+			res.Journal = &ExecJournal{j: rec.Finish(out.Stats.Cycles)}
+		}
 		return res, err
 	case EngineChannels:
 		var counters *obs.NodeCounters
@@ -512,7 +540,7 @@ func (d *Dataflow) Run(cfg RunConfig) (*Result, error) {
 			Fault:    faultReport(inj),
 		}
 		if counters != nil {
-			rep := obs.NewCountersReport(d.res.Graph.Meta(), counters.Firings())
+			rep := obs.NewCountersReport(d.res.Graph.Meta(), counters.Firings(), counters.Clocks())
 			rep.Engine = "channels"
 			rep.Schema = cfg.Obs.Label
 			if cfg.Obs.Events != nil {

@@ -66,6 +66,13 @@ type msg struct {
 	port int
 	val  int64
 	tg   token.Tag
+	// clock is the producing firing's Lamport logical timestamp (0 for
+	// the start node's initial tokens). A firing's own timestamp is the
+	// max over its operand clocks + 1, giving the engine a causal order
+	// despite having no global cycle counter; on the machine engine the
+	// same quantity is the journal's causal depth, so the two engines'
+	// orders are directly comparable (dataflow determinacy).
+	clock int64
 }
 
 // mailbox is an unbounded FIFO: sends never block, so cyclic graphs cannot
@@ -192,6 +199,10 @@ type engine struct {
 type deferredRead struct {
 	node int
 	tg   token.Tag
+	// clock is the deferred read firing's own Lamport timestamp; the
+	// satisfying write joins it with its own (max) before emitting the
+	// result, keeping both causal edges.
+	clock int64
 }
 
 type chanActivation struct {
@@ -416,6 +427,8 @@ type matchState struct {
 	vals []int64
 	tg   token.Tag
 	n    int
+	// clock accumulates the max Lamport timestamp over arrived operands.
+	clock int64
 }
 
 func (e *engine) worker(n *dfg.Node) {
@@ -429,7 +442,7 @@ func (e *engine) worker(n *dfg.Node) {
 			return
 		}
 		if anyArrival || n.NIns <= 1 {
-			e.fire(n, []int64{m.val}, m.port, m.tg)
+			e.fire(n, []int64{m.val}, m.port, m.tg, m.clock)
 			e.retire()
 			continue
 		}
@@ -437,6 +450,9 @@ func (e *engine) worker(n *dfg.Node) {
 		if st == nil {
 			st = &matchState{vals: make([]int64, n.NIns), tg: m.tg}
 			match[m.tg.Key()] = st
+		}
+		if m.clock > st.clock {
+			st.clock = m.clock
 		}
 		bit := uint64(1) << uint(m.port)
 		if st.have&bit != 0 {
@@ -450,7 +466,7 @@ func (e *engine) worker(n *dfg.Node) {
 		st.n++
 		if st.n == n.NIns {
 			delete(match, m.tg.Key())
-			e.fire(n, st.vals, 0, st.tg)
+			e.fire(n, st.vals, 0, st.tg, st.clock)
 		}
 		e.retire()
 	}
@@ -482,14 +498,18 @@ func (e *engine) resolveNameLocked(name string, tg token.Tag) string {
 	return name
 }
 
-// emit broadcasts val on every arc leaving (node, port).
-func (e *engine) emit(node, port int, val int64, tg token.Tag) {
+// emit broadcasts val on every arc leaving (node, port), stamping each
+// token with the producing firing's Lamport clock.
+func (e *engine) emit(node, port int, val int64, tg token.Tag, clock int64) {
 	for _, a := range e.g.OutArcs(node, port) {
-		e.send(a.To, msg{port: a.ToPort, val: val, tg: tg})
+		e.send(a.To, msg{port: a.ToPort, val: val, tg: tg, clock: clock})
 	}
 }
 
-func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
+// fire executes one activation. clock is the max Lamport timestamp over
+// the activation's operand tokens; the firing's own timestamp is
+// clock + 1 and is stamped onto every token it emits.
+func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag, clock int64) {
 	if e.failed.Load() {
 		return
 	}
@@ -498,7 +518,9 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 			"exceeded %d firings (runaway loop?)", e.maxOps))
 		return
 	}
+	fc := clock + 1
 	e.counters.Inc(n.ID)
+	e.counters.ObserveClock(n.ID, fc)
 	switch n.Kind {
 	case dfg.End:
 		if !tg.IsRoot() {
@@ -520,7 +542,7 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 		}
 
 	case dfg.Const:
-		e.emit(n.ID, 0, n.Val, tg)
+		e.emit(n.ID, 0, n.Val, tg, fc)
 
 	case dfg.BinOp:
 		v, err := interp.Apply(n.Op, vals[0], vals[1])
@@ -533,7 +555,7 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 				v = fv
 			}
 		}
-		e.emit(n.ID, 0, v, tg)
+		e.emit(n.ID, 0, v, tg, fc)
 
 	case dfg.UnOp:
 		var v int64
@@ -548,17 +570,17 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 			e.fail(machcheck.Newf(machcheck.OperatorFault, "channels", "bad unary op %v", n.Op))
 			return
 		}
-		e.emit(n.ID, 0, v, tg)
+		e.emit(n.ID, 0, v, tg, fc)
 
 	case dfg.Switch:
 		out := 0
 		if vals[1] == 0 {
 			out = 1
 		}
-		e.emit(n.ID, out, vals[0], tg)
+		e.emit(n.ID, out, vals[0], tg, fc)
 
 	case dfg.Merge, dfg.Param:
-		e.emit(n.ID, 0, vals[0], tg)
+		e.emit(n.ID, 0, vals[0], tg, fc)
 
 	case dfg.Apply:
 		info := e.procByApply[n.ID]
@@ -578,7 +600,7 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 		e.procMu.Unlock()
 		nt := tg.PushCall(id)
 		for j := range info.Params {
-			e.emit(n.ID, len(info.InTokens)+j, 0, nt)
+			e.emit(n.ID, len(info.InTokens)+j, 0, nt, fc)
 		}
 
 	case dfg.ProcReturn:
@@ -597,11 +619,11 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 			return
 		}
 		for p := 0; p < len(rec.info.InTokens); p++ {
-			e.emit(rec.info.Apply, p, 0, rec.callerTag)
+			e.emit(rec.info.Apply, p, 0, rec.callerTag, fc)
 		}
 
 	case dfg.Synch:
-		e.emit(n.ID, 0, 0, tg)
+		e.emit(n.ID, 0, 0, tg, fc)
 
 	case dfg.LoopEntry:
 		var nt token.Tag
@@ -615,7 +637,7 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 				return
 			}
 		}
-		e.emit(n.ID, 0, vals[0], nt)
+		e.emit(n.ID, 0, vals[0], nt, fc)
 
 	case dfg.LoopExit:
 		nt, err := tg.Pop()
@@ -623,15 +645,15 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 			e.fail(machcheck.Newf(machcheck.TagViolation, "channels", "%s: %v", n, err))
 			return
 		}
-		e.emit(n.ID, 0, vals[0], nt)
+		e.emit(n.ID, 0, vals[0], nt, fc)
 
 	case dfg.Load:
-		e.emit(n.ID, 0, e.store.Get(e.resolveName(n.Var, tg)), tg)
-		e.emit(n.ID, 1, 0, tg)
+		e.emit(n.ID, 0, e.store.Get(e.resolveName(n.Var, tg)), tg, fc)
+		e.emit(n.ID, 1, 0, tg, fc)
 
 	case dfg.Store:
 		e.store.Set(e.resolveName(n.Var, tg), vals[0])
-		e.emit(n.ID, 0, 0, tg)
+		e.emit(n.ID, 0, 0, tg, fc)
 
 	case dfg.LoadIdx:
 		v, err := e.store.GetIdx(e.resolveName(n.Var, tg), vals[0])
@@ -639,15 +661,15 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 			e.fail(machcheck.Newf(machcheck.OperatorFault, "channels", "%s: %v", n, err))
 			return
 		}
-		e.emit(n.ID, 0, v, tg)
-		e.emit(n.ID, 1, 0, tg)
+		e.emit(n.ID, 0, v, tg, fc)
+		e.emit(n.ID, 1, 0, tg, fc)
 
 	case dfg.StoreIdx:
 		if err := e.store.SetIdx(e.resolveName(n.Var, tg), vals[0], vals[1]); err != nil {
 			e.fail(machcheck.Newf(machcheck.OperatorFault, "channels", "%s: %v", n, err))
 			return
 		}
-		e.emit(n.ID, 0, 0, tg)
+		e.emit(n.ID, 0, 0, tg, fc)
 
 	case dfg.ILoad:
 		idx := vals[0]
@@ -660,7 +682,7 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 			return
 		}
 		if !full[idx] {
-			e.istructWait[n.Var][idx] = append(e.istructWait[n.Var][idx], deferredRead{node: n.ID, tg: tg})
+			e.istructWait[n.Var][idx] = append(e.istructWait[n.Var][idx], deferredRead{node: n.ID, tg: tg, clock: fc})
 			e.deferredReads.Add(1)
 			e.istructMu.Unlock()
 			return
@@ -671,7 +693,7 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 			e.fail(machcheck.Newf(machcheck.OperatorFault, "channels", "%s: %v", n, err))
 			return
 		}
-		e.emit(n.ID, 0, v, tg)
+		e.emit(n.ID, 0, v, tg, fc)
 
 	case dfg.IStore:
 		idx := vals[0]
@@ -700,7 +722,13 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag) {
 		e.istructMu.Unlock()
 		for _, w := range waiters {
 			e.deferredReads.Add(-1)
-			e.emit(w.node, 0, vals[1], w.tg)
+			// The result token is causally after both the store firing and
+			// the deferred read firing: join their clocks.
+			jc := fc
+			if w.clock > jc {
+				jc = w.clock
+			}
+			e.emit(w.node, 0, vals[1], w.tg, jc)
 		}
 
 	default:

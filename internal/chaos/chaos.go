@@ -76,6 +76,33 @@ type Matrix struct {
 	// (must be 0: every aborted channel-engine run tears down its
 	// workers).
 	LeakedGoroutines int `json:"leaked_goroutines"`
+	// Replay holds the journal-replay reproduction rows: one per
+	// machine-applicable fault class. The causal journal records the
+	// fault plan alongside the provenance DAG, so replaying a
+	// fault-injected journal must reproduce the run exactly — same
+	// firings, and for aborted runs the same machine check at the same
+	// cycle. The gate demands ReplayReproduced == ReplayTotal.
+	Replay           []ReplayCell `json:"replay"`
+	ReplayTotal      int          `json:"replay_total"`
+	ReplayReproduced int          `json:"replay_reproduced"`
+}
+
+// ReplayCell is one journal-replay reproduction row: a fault-injected
+// machine run recorded to a journal, then replayed from it.
+type ReplayCell struct {
+	Workload string `json:"workload"`
+	Schema   string `json:"schema"`
+	Class    string `json:"class"`
+	Site     int64  `json:"site"`
+	// Abort is the machine check that ended the recorded run ("" when
+	// the faulted run survived to completion); AbortCycle its cycle.
+	Abort      string `json:"abort,omitempty"`
+	AbortCycle int    `json:"abort_cycle,omitempty"`
+	// Outcome is "reproduced" (replay identical, abort included),
+	// "diverged" (with the first diffs in Err), or "no-sites".
+	Outcome    string `json:"outcome"`
+	Reproduced bool   `json:"reproduced"`
+	Err        string `json:"err,omitempty"`
 }
 
 // Summary renders per-class detection counts, in stable order.
@@ -108,6 +135,10 @@ func (m *Matrix) Summary() string {
 	}
 	out += fmt.Sprintf("total: %d/%d detected, %d cells skipped (no eligible sites), %d leaked goroutines\n",
 		m.Detected, m.Total, m.Skipped, m.LeakedGoroutines)
+	if m.ReplayTotal > 0 {
+		out += fmt.Sprintf("replay: %d/%d fault journals reproduced exactly\n",
+			m.ReplayReproduced, m.ReplayTotal)
+	}
 	return out
 }
 
@@ -190,6 +221,13 @@ func Run(cfg Config) (*Matrix, error) {
 				}
 			}
 		}
+	}
+
+	// Journal-replay reproduction rows: one per machine-applicable fault
+	// class on a fixed workload/schema point. These runs use only the
+	// machine engine and so cannot leak goroutines.
+	if err := runReplaySweep(m, cfg); err != nil {
+		return nil, err
 	}
 
 	// The whole sweep must leave no goroutines behind: every aborted
@@ -287,6 +325,93 @@ func runCell(d *ctdf.Dataflow, eng ctdf.Engine, engName, schema, wname string, c
 		cell.Outcome = "undetected"
 	}
 	return cell
+}
+
+// runReplaySweep appends one journal-replay reproduction row per
+// machine-applicable fault class: a faulted machine run is recorded to a
+// causal journal (which captures the fault plan alongside the provenance
+// DAG), then replayed from it. The replay diff covers the abort check and
+// abort cycle, so a reproduced row means the same machine check fired at
+// the same cycle — the journal is a faithful crash recording.
+func runReplaySweep(m *Matrix, cfg Config) error {
+	const wname = "fib-iterative"
+	schema := ctdf.Schema2Opt
+	w, err := workloads.ByName(wname)
+	if err != nil {
+		return err
+	}
+	p, err := ctdf.Compile(w.Source)
+	if err != nil {
+		return fmt.Errorf("chaos: compile %s: %w", wname, err)
+	}
+	d, err := p.Translate(ctdf.Options{Schema: schema})
+	if err != nil {
+		return fmt.Errorf("chaos: translate %s/%s: %w", wname, schema, err)
+	}
+	for _, class := range ctdf.FaultClasses() {
+		if !class.AppliesTo("machine") {
+			continue
+		}
+		rc := runReplayCell(d, wname, schema.String(), class, cfg)
+		m.Replay = append(m.Replay, rc)
+		if rc.Outcome == "no-sites" {
+			continue
+		}
+		m.ReplayTotal++
+		if rc.Reproduced {
+			m.ReplayReproduced++
+		}
+	}
+	return nil
+}
+
+// runReplayCell records one fault-injected machine run to a journal and
+// replays it.
+func runReplayCell(d *ctdf.Dataflow, wname, schema string, class ctdf.FaultClass, cfg Config) ReplayCell {
+	rc := ReplayCell{Workload: wname, Schema: schema, Class: string(class)}
+
+	clean, err := d.Run(ctdf.RunConfig{
+		Engine: ctdf.EngineMachine,
+		Fault:  &ctdf.FaultPlan{Class: class, Site: 0},
+	})
+	if err != nil {
+		rc.Outcome = "clean-run-failed"
+		rc.Err = err.Error()
+		return rc
+	}
+	if clean.Fault.Sites == 0 {
+		rc.Outcome = "no-sites"
+		return rc
+	}
+	rc.Site = ctdf.PickFaultSite(cellSeed(cfg.Seed, "replay", schema, wname, string(class)), clean.Fault.Sites)
+
+	// The faulted run may abort on a machine check; the journal is still
+	// populated (the machine returns its partial outcome on abort), so the
+	// run error itself is not a row failure — the replay diff decides.
+	r, _ := d.Run(ctdf.RunConfig{
+		Engine: ctdf.EngineMachine,
+		Fault:  &ctdf.FaultPlan{Class: class, Site: rc.Site},
+		Obs:    &ctdf.ObsOptions{Journal: true, Label: schema},
+	})
+	if r == nil || r.Journal == nil {
+		rc.Outcome = "no-journal"
+		return rc
+	}
+	rc.Abort, rc.AbortCycle = r.Journal.Abort()
+	report, diverged, err := r.Journal.Replay()
+	if err != nil {
+		rc.Outcome = "replay-failed"
+		rc.Err = err.Error()
+		return rc
+	}
+	if diverged {
+		rc.Outcome = "diverged"
+		rc.Err = report
+		return rc
+	}
+	rc.Outcome = "reproduced"
+	rc.Reproduced = true
+	return rc
 }
 
 // firingsEqual compares the per-node firing-count vectors of two observed

@@ -54,6 +54,34 @@ func TestSmokeMatrixFullyDetected(t *testing.T) {
 	if _, err := json.Marshal(m); err != nil {
 		t.Errorf("matrix not JSON-serializable: %v", err)
 	}
+	// Every machine-applicable fault class must have a journal-replay row,
+	// and replaying the fault-injected journal must reproduce the run
+	// exactly — same firings, same machine check at the same cycle.
+	if m.ReplayTotal == 0 {
+		t.Fatal("no journal-replay rows")
+	}
+	if m.ReplayReproduced != m.ReplayTotal {
+		for _, r := range m.Replay {
+			if !r.Reproduced && r.Outcome != "no-sites" {
+				t.Errorf("not reproduced: %s/%s/%s site %d: %s %s",
+					r.Workload, r.Schema, r.Class, r.Site, r.Outcome, r.Err)
+			}
+		}
+		t.Fatalf("replay reproduction %d/%d", m.ReplayReproduced, m.ReplayTotal)
+	}
+	aborted := 0
+	for _, r := range m.Replay {
+		if r.Abort != "" {
+			if r.AbortCycle <= 0 {
+				t.Errorf("replay row %s aborted on %s with non-positive cycle %d",
+					r.Class, r.Abort, r.AbortCycle)
+			}
+			aborted++
+		}
+	}
+	if aborted == 0 {
+		t.Error("no replay row reproduced a machine-check abort")
+	}
 }
 
 func TestMatrixIsDeterministic(t *testing.T) {

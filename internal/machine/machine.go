@@ -184,6 +184,12 @@ type tok struct {
 	// (-1 when the DAG is not being recorded or the token has no
 	// producer, e.g. the initial start tokens).
 	dep int32
+	// dep2 is the second producer firing for the rare token with two: a
+	// deferred I-structure read's result depends on both the read firing
+	// and the store that satisfied it. dep holds the later-finishing one
+	// (the critical-path link); dep2 the other, recorded only while
+	// journaling so the provenance DAG keeps both edges. -1 when absent.
+	dep2 int32
 }
 
 // matchEntry is one partially matched activation: a frame slot set in the
@@ -195,6 +201,9 @@ type matchEntry struct {
 	// dep is the latest-finishing producer firing among the operands
 	// matched so far (critical-path recording only).
 	dep int32
+	// deps accumulates every operand's producer firings in arrival order
+	// (journaling only; nil otherwise).
+	deps []int32
 }
 
 // firing is an enabled operator activation.
@@ -208,6 +217,9 @@ type firing struct {
 	// dep is the latest-finishing input firing before issue; after issue
 	// it is reused to hold this firing's own id in the firing DAG.
 	dep int32
+	// deps holds the producer firings of every operand (journaling only;
+	// nil otherwise). Ownership passes to the journal at issue.
+	deps []int32
 }
 
 // deadlineStride is how many schedulable units (cycles or firings) pass
@@ -275,7 +287,8 @@ func Run(g *dfg.Graph, cfgc Config) (*Outcome, error) {
 		}
 		m.col.AddSink(&obs.TraceSink{W: cfgc.Trace, Labels: labels})
 	}
-	m.crit = m.col.CriticalPathEnabled()
+	m.dag = m.col.DAGEnabled()
+	m.jour = m.col.JournalEnabled()
 	m.inj = cfgc.Inject
 	m.par = cfgc.ParallelIssue
 	if cfgc.RandomSeed != 0 {
@@ -328,11 +341,15 @@ type sim struct {
 	done     bool
 
 	// Observability: col collects counters/events (nil when disabled),
-	// crit caches col.CriticalPathEnabled(), and curDep is the firing id
-	// the tokens currently being emitted inherit as their producer.
-	col    *obs.Collector
-	crit   bool
-	curDep int32
+	// dag caches col.DAGEnabled() (critical path or journal), jour caches
+	// col.JournalEnabled(), curDep is the firing id the tokens currently
+	// being emitted inherit as their producer, and curDep2 the second
+	// producer for deferred I-structure read results (-1 otherwise).
+	col     *obs.Collector
+	dag     bool
+	jour    bool
+	curDep  int32
+	curDep2 int32
 
 	// Fault injection (nil = none) and the delivered-token budget that
 	// bounds token explosions.
@@ -384,11 +401,12 @@ func (m *sim) overDeadline(start time.Time) error {
 func (m *sim) run() (*Outcome, error) {
 	m.inflight = map[int][]delayed{}
 	m.endVals = make([]int64, m.g.Nodes[m.g.EndID].NIns)
+	m.curDep, m.curDep2 = -1, -1
 	start := time.Now()
 
 	// Cycle 0: start emits one dummy token per out arc at the root tag.
 	for _, t := range m.g.OutTargets(m.g.StartID, 0) {
-		if err := m.deliver(tok{to: t, val: 0, tgID: rootTagID, dep: -1}); err != nil {
+		if err := m.deliver(tok{to: t, val: 0, tgID: rootTagID, dep: -1, dep2: -1}); err != nil {
 			return m.abort(err)
 		}
 	}
@@ -461,11 +479,11 @@ func (m *sim) run() (*Outcome, error) {
 			if m.col != nil {
 				// f.dep switches meaning here: latest input firing in,
 				// this firing's own DAG id out.
-				f.dep = m.col.Fire(f.node, m.cycle, m.costOf(f.node), len(f.vals), f.dep, m.tags.key(f.tgID))
+				f.dep = m.col.Fire(f.node, m.cycle, m.costOf(f.node), len(f.vals), f.port, f.dep, f.deps, m.tags.key(f.tgID))
 			} else {
 				f.dep = -1
 			}
-			m.curDep = f.dep
+			m.curDep, m.curDep2 = f.dep, -1
 			if usePar && m.parOut[i].ok {
 				out := &m.parOut[i]
 				if out.err != nil {
@@ -605,7 +623,11 @@ func (m *sim) deliverOnce(t tok) error {
 		// Any-arrival operators: each token fires the node on its own.
 		vals := m.getVals(1)
 		vals[0] = t.val
-		m.ready.push(firing{node: n.ID, tgID: t.tgID, vals: vals, port: t.to.Port, dep: t.dep})
+		fr := firing{node: n.ID, tgID: t.tgID, vals: vals, port: t.to.Port, dep: t.dep}
+		if m.jour {
+			fr.deps = appendDeps(nil, &t)
+		}
+		m.ready.push(fr)
 		return nil
 	case dfg.End:
 		if t.tgID != rootTagID {
@@ -616,7 +638,11 @@ func (m *sim) deliverOnce(t tok) error {
 	if n.NIns == 1 {
 		vals := m.getVals(1)
 		vals[0] = t.val
-		m.ready.push(firing{node: n.ID, tgID: t.tgID, vals: vals, dep: t.dep})
+		fr := firing{node: n.ID, tgID: t.tgID, vals: vals, dep: t.dep}
+		if m.jour {
+			fr.deps = appendDeps(nil, &t)
+		}
+		m.ready.push(fr)
 		return nil
 	}
 	e := m.matchLookup(n.ID, t.tgID)
@@ -624,8 +650,11 @@ func (m *sim) deliverOnce(t tok) error {
 		e = m.getEntry(n.NIns)
 		e.dep = t.dep
 		m.matchInsert(n.ID, t.tgID, e)
-	} else if m.crit {
+	} else if m.dag {
 		e.dep = m.col.MaxDep(e.dep, t.dep)
+	}
+	if m.jour {
+		e.deps = appendDeps(e.deps, &t)
 	}
 	bit := uint64(1) << uint(t.to.Port)
 	if e.have&bit != 0 {
@@ -637,12 +666,12 @@ func (m *sim) deliverOnce(t tok) error {
 	e.n++
 	if e.n == n.NIns {
 		m.matchDelete(n.ID, t.tgID)
-		m.ready.push(firing{node: n.ID, tgID: t.tgID, vals: e.vals, dep: e.dep})
+		m.ready.push(firing{node: n.ID, tgID: t.tgID, vals: e.vals, dep: e.dep, deps: e.deps})
 		m.putEntry(e)
 	} else {
 		m.stats.Matches++
 		if m.col != nil {
-			m.col.Wait(n.ID, m.cycle, m.tags.key(t.tgID))
+			m.col.Wait(n.ID, m.cycle, t.to.Port, t.dep, m.tags.key(t.tgID))
 		}
 		if m.matchCount > m.stats.PeakMatchStore {
 			m.stats.PeakMatchStore = m.matchCount
@@ -652,16 +681,28 @@ func (m *sim) deliverOnce(t tok) error {
 }
 
 // emitAll broadcasts val on every arc leaving (node, port) by appending
-// to the cycle's emission buffer. Emitted tokens inherit m.curDep as
-// their producer firing.
+// to the cycle's emission buffer. Emitted tokens inherit m.curDep (and
+// m.curDep2, normally -1) as their producer firings.
 func (m *sim) emitAll(node, port int, val int64, tgID int32) {
 	targets := m.g.OutTargets(node, port)
 	for _, t := range targets {
-		m.emitBuf = append(m.emitBuf, tok{to: t, val: val, tgID: tgID, dep: m.curDep})
+		m.emitBuf = append(m.emitBuf, tok{to: t, val: val, tgID: tgID, dep: m.curDep, dep2: m.curDep2})
 	}
 	if m.col != nil {
 		m.col.Emitted(node, len(targets))
 	}
+}
+
+// appendDeps accumulates a token's producer firings onto a journal deps
+// list, skipping absent (-1) links. Called only while journaling.
+func appendDeps(deps []int32, t *tok) []int32 {
+	if t.dep >= 0 {
+		deps = append(deps, t.dep)
+	}
+	if t.dep2 >= 0 {
+		deps = append(deps, t.dep2)
+	}
+	return deps
 }
 
 // costOf is an operator's duration in cycles: split-phase memory
@@ -857,11 +898,20 @@ func (m *sim) fire(f *firing) error {
 		storeDep := m.curDep
 		for _, w := range waiters {
 			// A deferred read's result depends on both the read's own
-			// firing and the store that satisfied it.
+			// firing and the store that satisfied it: dep carries the
+			// later-finishing link (critical path), dep2 the other edge so
+			// the journaled provenance DAG keeps both producers.
 			m.curDep = m.col.MaxDep(storeDep, w.dep)
+			if m.jour {
+				if m.curDep == storeDep {
+					m.curDep2 = w.dep
+				} else {
+					m.curDep2 = storeDep
+				}
+			}
 			m.emitAll(w.node, 0, f.vals[1], w.tgID)
 		}
-		m.curDep = storeDep
+		m.curDep, m.curDep2 = storeDep, -1
 		m.park(mark, nil)
 		return nil
 	}

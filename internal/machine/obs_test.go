@@ -33,7 +33,10 @@ func TestTraceGoldenByteCompatible(t *testing.T) {
 // the machine's own aggregate statistics on the running example.
 func TestCollectorCountersMatchStats(t *testing.T) {
 	res := translateWorkload(t, workloads.RunningExample, translate.Options{Schema: translate.Schema2})
-	ring := obs.NewRingSink(1 << 16)
+	ring, err := obs.NewRingSink(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	col := obs.NewCollector(res.Graph, obs.Options{Sink: ring, CriticalPath: true})
 	out, err := Run(res.Graph, Config{MemLatency: 4, Collector: col})
 	if err != nil {
@@ -174,7 +177,11 @@ func TestCollectorDisabledIdenticalRun(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", w.Name, err)
 		}
-		col := obs.NewCollector(res.Graph, obs.Options{Sink: obs.NewRingSink(64), CriticalPath: true})
+		ring, err := obs.NewRingSink(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col := obs.NewCollector(res.Graph, obs.Options{Sink: ring, CriticalPath: true})
 		observed, err := Run(res.Graph, Config{MemLatency: 2, Collector: col})
 		if err != nil {
 			t.Fatalf("%s observed: %v", w.Name, err)

@@ -292,10 +292,11 @@ func (m *sim) getEntry(n int) *matchEntry {
 	return e
 }
 
-// putEntry recycles a completed entry; its operand slice has moved onto
-// the firing that consumed the match.
+// putEntry recycles a completed entry; its operand slice and journal
+// deps have moved onto the firing that consumed the match.
 func (m *sim) putEntry(e *matchEntry) {
 	e.vals = nil
+	e.deps = nil
 	m.entryFree = append(m.entryFree, e)
 }
 

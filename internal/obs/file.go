@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bufio"
+	"compress/gzip"
+	"io"
+	"os"
+)
+
+// CreateStream opens path for writing an NDJSON stream (events or
+// journal lines), transparently gzip-compressing when the path ends in
+// ".gz". The returned WriteCloser must be closed to flush; the gzip
+// header is written with a zero modification time, so compressed output
+// is byte-deterministic.
+func CreateStream(path string) (io.WriteCloser, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if !isGzipPath(path) {
+		return f, nil
+	}
+	return &gzipStream{gz: gzip.NewWriter(f), f: f}, nil
+}
+
+// OpenStream opens path for reading an NDJSON stream, transparently
+// decompressing gzip input. Detection is by content (the two gzip magic
+// bytes), not by file name, so renamed journals still load.
+func OpenStream(path string) (io.ReadCloser, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(f)
+	magic, err := br.Peek(2)
+	if err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		return &gunzipStream{gz: gz, f: f}, nil
+	}
+	return &plainStream{r: br, f: f}, nil
+}
+
+func isGzipPath(path string) bool {
+	return len(path) > 3 && path[len(path)-3:] == ".gz"
+}
+
+type gzipStream struct {
+	gz *gzip.Writer
+	f  *os.File
+}
+
+func (s *gzipStream) Write(p []byte) (int, error) { return s.gz.Write(p) }
+
+func (s *gzipStream) Close() error {
+	gzErr := s.gz.Close()
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	return gzErr
+}
+
+type gunzipStream struct {
+	gz *gzip.Reader
+	f  *os.File
+}
+
+func (s *gunzipStream) Read(p []byte) (int, error) { return s.gz.Read(p) }
+
+func (s *gunzipStream) Close() error {
+	gzErr := s.gz.Close()
+	if err := s.f.Close(); err != nil {
+		return err
+	}
+	return gzErr
+}
+
+type plainStream struct {
+	r *bufio.Reader
+	f *os.File
+}
+
+func (s *plainStream) Read(p []byte) (int, error) { return s.r.Read(p) }
+
+func (s *plainStream) Close() error { return s.f.Close() }

@@ -1,0 +1,212 @@
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ctdf/internal/obs"
+)
+
+// The on-disk journal is NDJSON: one self-describing JSON object per
+// line, streamable and greppable like the event log (-events). Line
+// types, in order:
+//
+//	{"type":"journal", ...}   header: version, engine, label, config,
+//	                          graph text, node metadata
+//	{"type":"fire", ...}      one per firing, in issue order
+//	{"type":"park", ...}      one per matching-store wait
+//	{"type":"fault", ...}     one per injected fault
+//	{"type":"abort", ...}     present iff the run died on a machine check
+//	{"type":"end", ...}       trailer: total cycles; its presence marks
+//	                          the journal complete
+//
+// Fires/parks/faults are written sorted by kind (not interleaved by
+// cycle): the fire ids are self-describing, so no information is lost,
+// and readers get locality. Paths ending in ".gz" are transparently
+// compressed on write and sniffed on read (obs.CreateStream/OpenStream).
+
+type headerLine struct {
+	Type    string         `json:"type"`
+	Version int            `json:"version"`
+	Engine  string         `json:"engine"`
+	Label   string         `json:"label,omitempty"`
+	Config  Config         `json:"config"`
+	Graph   string         `json:"graph,omitempty"`
+	Nodes   []obs.NodeMeta `json:"nodes"`
+}
+
+type fireLine struct {
+	Type string `json:"type"`
+	Fire
+}
+
+type parkLine struct {
+	Type string `json:"type"`
+	Park
+}
+
+type faultLine struct {
+	Type string `json:"type"`
+	Fault
+}
+
+type abortLine struct {
+	Type  string `json:"type"`
+	Cycle int    `json:"cycle"`
+	Check string `json:"check"`
+}
+
+type endLine struct {
+	Type   string `json:"type"`
+	Cycles int    `json:"cycles"`
+}
+
+// Write streams the journal as NDJSON.
+func (j *Journal) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(headerLine{
+		Type: "journal", Version: j.Version, Engine: j.Engine, Label: j.Label,
+		Config: j.Config, Graph: j.GraphText, Nodes: j.Nodes,
+	}); err != nil {
+		return err
+	}
+	for i := range j.Fires {
+		if err := enc.Encode(fireLine{Type: "fire", Fire: j.Fires[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range j.Parks {
+		if err := enc.Encode(parkLine{Type: "park", Park: j.Parks[i]}); err != nil {
+			return err
+		}
+	}
+	for i := range j.Faults {
+		if err := enc.Encode(faultLine{Type: "fault", Fault: j.Faults[i]}); err != nil {
+			return err
+		}
+	}
+	if j.AbortCheck != "" {
+		if err := enc.Encode(abortLine{Type: "abort", Cycle: j.AbortCycle, Check: j.AbortCheck}); err != nil {
+			return err
+		}
+	}
+	if err := enc.Encode(endLine{Type: "end", Cycles: j.Cycles}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read parses an NDJSON journal and validates its internal consistency.
+func Read(r io.Reader) (*Journal, error) {
+	sc := bufio.NewScanner(r)
+	// A serialized graph rides in one header line; give it room.
+	sc.Buffer(make([]byte, 64*1024), 1<<26)
+	j := &Journal{}
+	var kind struct {
+		Type string `json:"type"`
+	}
+	sawHeader, sawEnd := false, false
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		if err := json.Unmarshal(raw, &kind); err != nil {
+			return nil, fmt.Errorf("journal: line %d: %w", line, err)
+		}
+		if !sawHeader && kind.Type != "journal" {
+			return nil, fmt.Errorf("journal: line %d: expected journal header, got %q", line, kind.Type)
+		}
+		switch kind.Type {
+		case "journal":
+			if sawHeader {
+				return nil, fmt.Errorf("journal: line %d: duplicate header", line)
+			}
+			var h headerLine
+			if err := json.Unmarshal(raw, &h); err != nil {
+				return nil, fmt.Errorf("journal: line %d: %w", line, err)
+			}
+			if h.Version != Version {
+				return nil, fmt.Errorf("journal: unsupported format version %d (have %d)", h.Version, Version)
+			}
+			j.Version, j.Engine, j.Label = h.Version, h.Engine, h.Label
+			j.Config, j.GraphText, j.Nodes = h.Config, h.Graph, h.Nodes
+			sawHeader = true
+		case "fire":
+			var f fireLine
+			if err := json.Unmarshal(raw, &f); err != nil {
+				return nil, fmt.Errorf("journal: line %d: %w", line, err)
+			}
+			j.Fires = append(j.Fires, f.Fire)
+		case "park":
+			var p parkLine
+			if err := json.Unmarshal(raw, &p); err != nil {
+				return nil, fmt.Errorf("journal: line %d: %w", line, err)
+			}
+			j.Parks = append(j.Parks, p.Park)
+		case "fault":
+			var f faultLine
+			if err := json.Unmarshal(raw, &f); err != nil {
+				return nil, fmt.Errorf("journal: line %d: %w", line, err)
+			}
+			j.Faults = append(j.Faults, f.Fault)
+		case "abort":
+			var a abortLine
+			if err := json.Unmarshal(raw, &a); err != nil {
+				return nil, fmt.Errorf("journal: line %d: %w", line, err)
+			}
+			j.AbortCycle, j.AbortCheck = a.Cycle, a.Check
+		case "end":
+			var e endLine
+			if err := json.Unmarshal(raw, &e); err != nil {
+				return nil, fmt.Errorf("journal: line %d: %w", line, err)
+			}
+			j.Cycles = e.Cycles
+			sawEnd = true
+		default:
+			return nil, fmt.Errorf("journal: line %d: unknown line type %q", line, kind.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("journal: empty input")
+	}
+	if !sawEnd {
+		return nil, fmt.Errorf("journal: truncated (no end trailer)")
+	}
+	if err := j.checkIDs(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// WriteFile writes the journal to path, gzipped when path ends in ".gz".
+func (j *Journal) WriteFile(path string) error {
+	w, err := obs.CreateStream(path)
+	if err != nil {
+		return err
+	}
+	if err := j.Write(w); err != nil {
+		w.Close()
+		return err
+	}
+	return w.Close()
+}
+
+// ReadFile loads a journal from path, decompressing gzip transparently
+// (detected by content, not suffix).
+func ReadFile(path string) (*Journal, error) {
+	r, err := obs.OpenStream(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	return Read(r)
+}

@@ -6,8 +6,17 @@ import (
 	"testing"
 )
 
+func mustRing(t *testing.T, n int) *RingSink {
+	t.Helper()
+	r, err := NewRingSink(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
 func TestRingSinkWraps(t *testing.T) {
-	r := NewRingSink(3)
+	r := mustRing(t, 3)
 	for i := 0; i < 5; i++ {
 		r.Emit(Event{Cycle: i, Type: EvFire})
 	}
@@ -53,8 +62,19 @@ func TestNDJSONSinkOneObjectPerLine(t *testing.T) {
 	}
 }
 
+func TestRingSinkRejectsNonPositiveCapacity(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		if r, err := NewRingSink(n); err == nil {
+			t.Errorf("NewRingSink(%d) = %v, want error", n, r)
+		}
+	}
+	if _, err := NewRingSink(1); err != nil {
+		t.Errorf("NewRingSink(1) rejected: %v", err)
+	}
+}
+
 func TestMultiSinkFansOut(t *testing.T) {
-	a, b := NewRingSink(8), NewRingSink(8)
+	a, b := mustRing(t, 8), mustRing(t, 8)
 	m := MultiSink{a, b}
 	m.Emit(Event{Cycle: 7, Type: EvFire})
 	if a.Total() != 1 || b.Total() != 1 {
@@ -76,11 +96,11 @@ func TestTraceSinkFormatAndFilter(t *testing.T) {
 
 func TestNilCollectorNoOps(t *testing.T) {
 	var c *Collector
-	if got := c.Fire(3, 1, 1, 2, 5, "0"); got != noDep {
+	if got := c.Fire(3, 1, 1, 2, 0, 5, nil, "0"); got != noDep {
 		t.Errorf("nil Fire returned %d", got)
 	}
 	c.Emitted(3, 2)
-	c.Wait(3, 1, "0")
+	c.Wait(3, 1, 0, noDep, "0")
 	if got := c.MaxDep(1, 2); got != noDep {
 		t.Errorf("nil MaxDep returned %d", got)
 	}
@@ -92,8 +112,12 @@ func TestNilCollectorNoOps(t *testing.T) {
 	}
 	var nc *NodeCounters
 	nc.Inc(0)
+	nc.ObserveClock(0, 5)
 	if nc.Firings() != nil {
 		t.Error("nil NodeCounters.Firings should be nil")
+	}
+	if nc.Clocks() != nil {
+		t.Error("nil NodeCounters.Clocks should be nil")
 	}
 }
 
@@ -103,9 +127,12 @@ func TestNewCountersReportAggregates(t *testing.T) {
 		{Node: 1, Kind: "binop", Label: "d1: binop +"},
 		{Node: 2, Kind: "binop", Label: "d2: binop *"},
 	}
-	r := NewCountersReport(meta, []int64{0, 4, 6})
+	r := NewCountersReport(meta, []int64{0, 4, 6}, []int64{0, 2, 3})
 	if r.Ops != 10 {
 		t.Errorf("ops = %d, want 10", r.Ops)
+	}
+	if r.Nodes[1].LamportMax != 2 || r.Nodes[2].LamportMax != 3 {
+		t.Errorf("lamport clocks not carried: %+v", r.Nodes)
 	}
 	if len(r.ByKind) != 2 || r.ByKind[0].Kind != "binop" || r.ByKind[0].Firings != 10 {
 		t.Errorf("byKind = %+v", r.ByKind)

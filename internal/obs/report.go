@@ -22,6 +22,10 @@ type NodeStats struct {
 	Emitted        int64    `json:"emitted"`
 	MatchWaits     int64    `json:"matchWaits"`
 	MemStallCycles int64    `json:"memStallCycles"`
+	// LamportMax is the node's maximum Lamport logical timestamp
+	// (channel-engine runs with clock tracking; 0 elsewhere) — the causal
+	// depth of the node's deepest firing.
+	LamportMax int64 `json:"lamportMax,omitempty"`
 }
 
 // KindStats aggregates NodeStats over an operator kind.
@@ -86,14 +90,18 @@ func (c *Collector) Report(cycles int, profile []int) *Report {
 
 // NewCountersReport builds a firing-counts-only report (the shape the
 // channel engine produces from NodeCounters): meta must be the graph's
-// node metadata and fires the per-node firing counts, both indexed by
-// node id.
-func NewCountersReport(meta []NodeMeta, fires []int64) *Report {
+// node metadata, fires the per-node firing counts, and clocks the
+// per-node maximum Lamport timestamps (nil when not tracked), all
+// indexed by node id.
+func NewCountersReport(meta []NodeMeta, fires, clocks []int64) *Report {
 	r := &Report{Nodes: make([]NodeStats, len(meta))}
 	for i, m := range meta {
 		r.Nodes[i] = NodeStats{Meta: m}
 		if i < len(fires) {
 			r.Nodes[i].Firings = fires[i]
+		}
+		if i < len(clocks) {
+			r.Nodes[i].LamportMax = clocks[i]
 		}
 	}
 	r.aggregate()

@@ -65,12 +65,14 @@ type RingSink struct {
 	total int
 }
 
-// NewRingSink makes a ring holding the last n events (n >= 1).
-func NewRingSink(n int) *RingSink {
+// NewRingSink makes a ring holding the last n events. Non-positive
+// capacities are rejected: a ring that silently clamped to one event
+// would drop almost the entire stream while looking configured.
+func NewRingSink(n int) (*RingSink, error) {
 	if n < 1 {
-		n = 1
+		return nil, fmt.Errorf("obs: ring sink capacity must be positive, got %d", n)
 	}
-	return &RingSink{buf: make([]Event, 0, n)}
+	return &RingSink{buf: make([]Event, 0, n)}, nil
 }
 
 // Emit implements Sink.

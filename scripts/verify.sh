@@ -33,6 +33,19 @@ echo "== vet suite =="
 # (see ANALYSIS.md; the committed snapshot is artifacts/vet.json).
 go run ./cmd/ctdf vet -suite
 
+echo "== replay divergence gate =="
+# Record and replay every serializable workload × schema: the machine is
+# deterministic, so the journal must reproduce with zero divergences
+# (see OBSERVABILITY.md).
+go run ./cmd/ctdf replay -suite
+
+echo "== pprof export acceptance =="
+# The hand-rolled profile.proto encoding must be accepted by go tool pprof.
+go run ./cmd/ctdf trace -workload running-example -latency 4 \
+    -pprof /tmp/ctdf-verify.pprof.pb.gz >/dev/null
+go tool pprof -raw /tmp/ctdf-verify.pprof.pb.gz >/dev/null
+rm -f /tmp/ctdf-verify.pprof.pb.gz
+
 echo "== benchmark smoke =="
 go test -run=NONE -bench='BenchmarkE11|BenchmarkObs' -benchtime=1x .
 
