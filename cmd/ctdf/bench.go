@@ -5,6 +5,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"ctdf/internal/bench"
@@ -19,6 +21,7 @@ import (
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	smoke := fs.Bool("smoke", false, "run the fast subset and gate allocs/op against the committed baseline")
+	cpu := fs.String("cpu", "1,4,8", "comma-separated worker counts for the sharded-machine scaling matrix (empty to skip)")
 	benchtime := fs.Duration("benchtime", 0, "measurement time per cell (default 1s, 150ms in smoke mode)")
 	out := fs.String("out", "BENCH_machine.json", "where to write the report (full mode)")
 	baseline := fs.String("baseline", "BENCH_machine.json", "committed report the smoke gate compares against")
@@ -33,13 +36,27 @@ func cmdBench(args []string) error {
 			bt = 150 * time.Millisecond
 		}
 	}
-	rep, err := bench.RunMatrix(bt, *smoke)
+	cpus, err := parseCPUList(*cpu)
+	if err != nil {
+		return err
+	}
+	rep, err := bench.RunMatrix(bt, *smoke, cpus)
 	if err != nil {
 		return err
 	}
 	fmt.Print(rep.Table())
 	if rep.MaxScalingSpeedup > 0 {
 		fmt.Printf("speedup vs seed on scaling/size=16: %.2fx\n", rep.MaxScalingSpeedup)
+	}
+	if rep.WorkerSpeedup > 0 {
+		fmt.Printf("worker scaling: %.2fx fires/sec at the largest worker count (GOMAXPROCS=%d)\n",
+			rep.WorkerSpeedup, rep.GOMAXPROCS)
+	}
+	if violations := bench.ScalingGate(rep); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "scaling gate:", v)
+		}
+		return fmt.Errorf("scaling gate: sharded machine failed to scale")
 	}
 
 	if *smoke {
@@ -70,4 +87,22 @@ func cmdBench(args []string) error {
 	}
 	fmt.Printf("wrote %s (%d cells)\n", *out, len(rep.Results))
 	return nil
+}
+
+// parseCPUList parses the -cpu flag ("1,4,8") into worker counts;
+// "" and "0" mean skip the worker matrix.
+func parseCPUList(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "0" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -cpu list %q (want comma-separated worker counts, e.g. 1,4,8)", s)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }

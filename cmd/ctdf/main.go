@@ -179,6 +179,7 @@ func cmdRun(args []string) error {
 	seed := fs.Int64("seed", 0, "randomize machine issue order with this seed")
 	races := fs.Bool("races", false, "detect overlapping conflicting memory operations")
 	parissue := fs.Bool("parissue", false, "evaluate pure operators of large issue batches on a worker pool (machine engine)")
+	workers := fs.Int("workers", 1, "shard the machine across N shared-nothing workers (byte-identical execution)")
 	profile := fs.Bool("profile", false, "print the per-cycle parallelism profile")
 	legalize := fs.Bool("legalize", false, "decompose wide synch collectors into two-input trees")
 	linked := fs.Bool("linked", false, "compile procedures separately (Apply/Param/ProcReturn linkage)")
@@ -229,6 +230,7 @@ func cmdRun(args []string) error {
 	cfg := ctdf.RunConfig{
 		Processors: *procs, MemLatency: *latency, Binding: b,
 		RandomSeed: *seed, DetectRaces: *races, ParallelIssue: *parissue,
+		Workers: *workers,
 	}
 	if *trace {
 		cfg.Trace = os.Stderr

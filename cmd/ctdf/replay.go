@@ -67,8 +67,11 @@ func cmdReplay(args []string) error {
 // replaySuite records and replays the same workload × schema matrix the
 // vet suite verifies (minus linked procedure graphs, which are not
 // serializable in dfg text format v1), pushing every journal through an
-// NDJSON round trip first so the gate also covers serialization. It is
-// the replay-divergence gate run by scripts/verify.sh.
+// NDJSON round trip first so the gate also covers serialization. Each
+// cell runs at worker counts 1 and 4: the sharded machine's contract is
+// byte-identical execution, so both journals must replay divergence-free
+// AND agree with each other firing by firing. It is the replay gate run
+// by scripts/verify.sh.
 func replaySuite(verbose bool) error {
 	schemas := []translate.Options{
 		{Schema: translate.Schema1},
@@ -77,6 +80,7 @@ func replaySuite(verbose bool) error {
 		{Schema: translate.Schema3},
 		{Schema: translate.Schema3Opt},
 	}
+	workerCounts := []int{1, 4}
 	runs, diverged := 0, 0
 	for _, w := range workloads.All() {
 		g := cfg.MustBuild(w.Parse())
@@ -88,37 +92,51 @@ func replaySuite(verbose bool) error {
 			if len(res.Graph.Calls) > 0 {
 				continue
 			}
-			label := fmt.Sprintf("%s/%v", w.Name, opt.Schema)
-			jcfg := journal.Config{Processors: 2, MemLatency: 3}
-			rec := journal.NewRecorder(res.Graph, label, jcfg)
-			col := obs.NewCollector(res.Graph, obs.Options{Journal: rec})
-			out, err := machine.Run(res.Graph, machine.Config{Processors: 2, MemLatency: 3, Collector: col})
-			if err != nil {
-				return fmt.Errorf("%s: %w", label, err)
-			}
-			j := rec.Finish(out.Stats.Cycles)
-			var buf bytes.Buffer
-			if err := j.Write(&buf); err != nil {
-				return fmt.Errorf("%s: %w", label, err)
-			}
-			loaded, err := journal.Read(&buf)
-			if err != nil {
-				return fmt.Errorf("%s: reload: %w", label, err)
-			}
-			rr, err := journal.Replay(loaded)
-			if err != nil {
-				return fmt.Errorf("%s: %w", label, err)
-			}
-			runs++
-			if len(rr.Divergences) > 0 {
-				diverged++
-				fmt.Printf("%s: DIVERGED\n%s", label, rr.Text())
-			} else if verbose {
-				fmt.Printf("%-40s ok: %d firings, %d cycles\n", label, len(loaded.Fires), loaded.Cycles)
+			var baseline *journal.Journal
+			for _, workers := range workerCounts {
+				label := fmt.Sprintf("%s/%v/w%d", w.Name, opt.Schema, workers)
+				jcfg := journal.Config{Processors: 2, MemLatency: 3, Workers: workers}
+				rec := journal.NewRecorder(res.Graph, label, jcfg)
+				col := obs.NewCollector(res.Graph, obs.Options{Journal: rec})
+				out, err := machine.Run(res.Graph, machine.Config{Processors: 2, MemLatency: 3, Collector: col, Workers: workers})
+				if err != nil {
+					return fmt.Errorf("%s: %w", label, err)
+				}
+				j := rec.Finish(out.Stats.Cycles)
+				var buf bytes.Buffer
+				if err := j.Write(&buf); err != nil {
+					return fmt.Errorf("%s: %w", label, err)
+				}
+				loaded, err := journal.Read(&buf)
+				if err != nil {
+					return fmt.Errorf("%s: reload: %w", label, err)
+				}
+				rr, err := journal.Replay(loaded)
+				if err != nil {
+					return fmt.Errorf("%s: %w", label, err)
+				}
+				runs++
+				if len(rr.Divergences) > 0 {
+					diverged++
+					fmt.Printf("%s: DIVERGED\n%s", label, rr.Text())
+				} else if verbose {
+					fmt.Printf("%-40s ok: %d firings, %d cycles\n", label, len(loaded.Fires), loaded.Cycles)
+				}
+				// Cross-worker-count byte-exactness: the sharded journal must
+				// match the sequential one firing by firing.
+				if baseline == nil {
+					baseline = loaded
+				} else if ds := journal.Diff(baseline, loaded); len(ds) > 0 {
+					diverged++
+					fmt.Printf("%s: DIVERGED from w%d journal:\n", label, workerCounts[0])
+					for _, d := range ds {
+						fmt.Printf("  %s\n", d)
+					}
+				}
 			}
 		}
 	}
-	fmt.Printf("replay suite: %d runs replayed, %d diverged\n", runs, diverged)
+	fmt.Printf("replay suite: %d runs replayed (worker counts %v), %d diverged\n", runs, workerCounts, diverged)
 	if diverged > 0 {
 		return fmt.Errorf("replay suite: %d divergent runs", diverged)
 	}

@@ -168,6 +168,13 @@ type RunConfig struct {
 	// observably identical, it just finishes sooner. EngineMachine only;
 	// ignored while fault injection is active.
 	ParallelIssue bool
+	// Workers, when > 1, runs the sharded multi-core machine: nodes are
+	// partitioned across Workers shared-nothing shards and each cycle's
+	// pure firings and token deliveries execute on per-shard host
+	// workers. The simulated execution is byte-identical to the
+	// sequential engine at every worker count (see SCALING.md).
+	// EngineMachine only; ignored while fault injection is active.
+	Workers int
 	// MaxCycles / MaxOps bound the execution (defaults: one million
 	// cycles, ten million firings).
 	MaxCycles int
@@ -456,6 +463,7 @@ func (d *Dataflow) Run(cfg RunConfig) (*Result, error) {
 					MaxCycles:  cfg.MaxCycles,
 					MaxOps:     cfg.MaxOps,
 					RandomSeed: cfg.RandomSeed,
+					Workers:    cfg.Workers,
 					Binding:    cfg.Binding,
 				}
 				if cfg.Fault != nil {
@@ -485,6 +493,7 @@ func (d *Dataflow) Run(cfg RunConfig) (*Result, error) {
 			RandomSeed:    cfg.RandomSeed,
 			DetectRaces:   cfg.DetectRaces,
 			ParallelIssue: cfg.ParallelIssue,
+			Workers:       cfg.Workers,
 			Trace:         cfg.Trace,
 			Collector:     col,
 		})

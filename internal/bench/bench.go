@@ -91,10 +91,35 @@ func Matrix() []Case {
 	return cases
 }
 
+// WorkerMatrix returns the worker-scaling cells (`ctdf bench -cpu`): the
+// wide independent-lane workload — sustained issue width proportional to
+// the lane count, the shape the sharded machine is built for — run once
+// per requested worker count. Memory elimination keeps the firings pure,
+// so the parallel fire phase carries nearly all the work. Every cell is
+// part of the smoke subset: the scaling gate (ScalingGate) rides on the
+// smoke run in scripts/verify.sh.
+func WorkerMatrix(counts []int) []Case {
+	w := workloads.Wide(64, 60)
+	var cases []Case
+	for _, n := range counts {
+		cases = append(cases, Case{
+			Name:   fmt.Sprintf("workers/%s/w%d", w.Name, n),
+			Source: w.Source,
+			Opt:    ctdf.Options{Schema: ctdf.Schema2Opt, EliminateMemory: true},
+			Run:    ctdf.RunConfig{Workers: n},
+			Smoke:  true,
+		})
+	}
+	return cases
+}
+
 // Result is one measured cell.
 type Result struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// BestNsPerOp is the fastest single iteration — the noise-robust
+	// number the worker-scaling gate compares (see measure).
+	BestNsPerOp float64 `json:"best_ns_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	Iterations  int     `json:"iterations"`
@@ -115,18 +140,29 @@ type Result struct {
 	SeedAllocsPerOp float64 `json:"seed_allocs_per_op,omitempty"`
 	Speedup         float64 `json:"speedup,omitempty"`
 	SteadyState     bool    `json:"steady_state,omitempty"`
+	// Workers is the sharded-machine worker count of the cell (0 for
+	// sequential cells outside the worker matrix).
+	Workers int `json:"workers,omitempty"`
 }
 
 // Report is the full benchmark-trajectory artifact (BENCH_machine.json).
 type Report struct {
-	GoVersion string   `json:"go_version"`
-	GOARCH    string   `json:"goarch"`
-	CPUs      int      `json:"cpus"`
-	Benchtime string   `json:"benchtime"`
-	Results   []Result `json:"results"`
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	CPUs      int    `json:"cpus"`
+	// GOMAXPROCS is the host parallelism the run had available; the
+	// worker-scaling gate is host-aware (ScalingGate), so the committed
+	// report must record what the numbers were measured against.
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Benchtime  string   `json:"benchtime"`
+	Results    []Result `json:"results"`
 	// MaxScalingSpeedup is the speedup vs seed on the largest scaling
 	// cell — the headline number EXPERIMENTS.md E16 asserts.
 	MaxScalingSpeedup float64 `json:"max_scaling_speedup,omitempty"`
+	// WorkerSpeedup is fires/sec at the largest measured worker count
+	// over fires/sec at workers=1 on the worker matrix (0 when the run
+	// didn't measure it). See SCALING.md for the methodology.
+	WorkerSpeedup float64 `json:"worker_speedup,omitempty"`
 }
 
 // seedBaseline is the committed measurement of this same matrix on the
@@ -150,25 +186,35 @@ func SeedBaseline() (map[string]seedEntry, error) {
 }
 
 // measure times fn until benchtime has elapsed (at least one iteration)
-// and reports per-iteration wall time and allocation counts.
-func measure(fn func() error, benchtime time.Duration) (nsPerOp, allocsPerOp, bytesPerOp float64, iters int, err error) {
+// and reports per-iteration wall time (mean and fastest-iteration) and
+// allocation counts. The fastest iteration is what noise-sensitive
+// comparisons (the worker-scaling gate) use: on shared CI hosts,
+// hypervisor steal time inflates the mean by integer factors, while the
+// minimum tracks what the code can actually do.
+func measure(fn func() error, benchtime time.Duration) (nsPerOp, bestNsPerOp, allocsPerOp, bytesPerOp float64, iters int, err error) {
 	if err := fn(); err != nil { // warmup + validity
-		return 0, 0, 0, 0, err
+		return 0, 0, 0, 0, 0, err
 	}
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
 	n := 0
+	best := time.Duration(0)
 	for elapsed := time.Duration(0); n == 0 || elapsed < benchtime; elapsed = time.Since(start) {
+		t0 := time.Now()
 		if err := fn(); err != nil {
-			return 0, 0, 0, 0, err
+			return 0, 0, 0, 0, 0, err
+		}
+		if d := time.Since(t0); n == 0 || d < best {
+			best = d
 		}
 		n++
 	}
 	total := time.Since(start)
 	runtime.ReadMemStats(&after)
 	return float64(total.Nanoseconds()) / float64(n),
+		float64(best.Nanoseconds()),
 		float64(after.Mallocs-before.Mallocs) / float64(n),
 		float64(after.TotalAlloc-before.TotalAlloc) / float64(n),
 		n, nil
@@ -185,7 +231,7 @@ func RunCase(c Case, benchtime time.Duration) (Result, error) {
 		return Result{}, fmt.Errorf("%s: %w", c.Name, err)
 	}
 	var last *ctdf.Result
-	ns, allocs, bytes, iters, err := measure(func() error {
+	ns, bestNs, allocs, bytes, iters, err := measure(func() error {
 		r, err := d.Run(c.Run)
 		last = r
 		return err
@@ -194,8 +240,8 @@ func RunCase(c Case, benchtime time.Duration) (Result, error) {
 		return Result{}, fmt.Errorf("%s: %w", c.Name, err)
 	}
 	res := Result{
-		Name: c.Name, NsPerOp: ns, AllocsPerOp: allocs, BytesPerOp: bytes,
-		Iterations: iters, SteadyState: c.SteadyState,
+		Name: c.Name, NsPerOp: ns, BestNsPerOp: bestNs, AllocsPerOp: allocs, BytesPerOp: bytes,
+		Iterations: iters, SteadyState: c.SteadyState, Workers: c.Run.Workers,
 	}
 	if last != nil {
 		res.Cycles = last.Cycles
@@ -211,20 +257,25 @@ func RunCase(c Case, benchtime time.Duration) (Result, error) {
 	return res, nil
 }
 
-// RunMatrix measures the matrix (the smoke subset when smokeOnly) and
-// fills in the seed-baseline trajectory.
-func RunMatrix(benchtime time.Duration, smokeOnly bool) (*Report, error) {
+// RunMatrix measures the matrix (the smoke subset when smokeOnly) plus
+// the worker-scaling matrix at the given worker counts (none when cpus
+// is empty), and fills in the seed-baseline trajectory and the
+// worker-speedup headline.
+func RunMatrix(benchtime time.Duration, smokeOnly bool, cpus []int) (*Report, error) {
 	seed, err := SeedBaseline()
 	if err != nil {
 		return nil, err
 	}
 	rep := &Report{
-		GoVersion: runtime.Version(),
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		Benchtime: benchtime.String(),
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchtime:  benchtime.String(),
 	}
-	for _, c := range Matrix() {
+	cases := Matrix()
+	cases = append(cases, WorkerMatrix(cpus)...)
+	for _, c := range cases {
 		if smokeOnly && !c.Smoke {
 			continue
 		}
@@ -242,7 +293,125 @@ func RunMatrix(benchtime time.Duration, smokeOnly bool) (*Report, error) {
 		}
 		rep.Results = append(rep.Results, r)
 	}
+	if base, best, over := workerEndpoints(rep); base != nil {
+		// Informational headline: the largest measured worker count, even
+		// when it oversubscribes the host (the gate itself is host-aware).
+		top := over
+		if top == nil {
+			top = best
+		}
+		if top != nil {
+			if b, g := bestFires(base), bestFires(top); b > 0 && g > 0 {
+				rep.WorkerSpeedup = g / b
+			}
+		}
+	}
 	return rep, nil
+}
+
+// bestFires is the cell's fires/sec at its fastest observed iteration —
+// the number the scaling comparisons use (see measure).
+func bestFires(r *Result) float64 {
+	if r.BestNsPerOp <= 0 || r.Ops <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / (r.BestNsPerOp / 1e9)
+}
+
+// workerEndpoints picks out of a report's worker matrix: the workers=1
+// cell, the largest-worker-count cell that fits the host's core budget
+// (the cell the scaling gate scores — a count above GOMAXPROCS cannot
+// physically speed up), and the largest oversubscribed cell (gated only
+// against the pathology floor).
+func workerEndpoints(rep *Report) (base, best, over *Result) {
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		if !strings.HasPrefix(r.Name, "workers/") {
+			continue
+		}
+		switch {
+		case r.Workers <= 1:
+			base = r
+		case r.Workers <= rep.GOMAXPROCS:
+			if best == nil || r.Workers > best.Workers {
+				best = r
+			}
+		default:
+			if over == nil || r.Workers > over.Workers {
+				over = r
+			}
+		}
+	}
+	return base, best, over
+}
+
+// Scaling-gate floors: minimum best-iteration fires/sec ratio versus
+// the workers=1 cell, chosen by how many of the measured workers fit
+// the host (see ScalingGate). SCALING.md documents the rationale; the
+// doc-sync test in docs_test.go keeps its quoted numbers equal to
+// these.
+const (
+	ScalingFloorFull    = 2.5  // >= 8 usable slots: the acceptance bar
+	ScalingFloorHalf    = 0.75 // 4-7 slots: regression tripwire
+	ScalingFloorTwo     = 0.35 // 2-3 slots: parity is best case, gate collapse
+	ScalingFloorOversub = 0.2  // workers > GOMAXPROCS: pathology floor
+)
+
+// ScalingGate checks the worker matrix against host-aware floors. The
+// acceptance bar — >=2.5x fires/sec at 8 workers — is only physically
+// reachable with 8 cores, so the gate scores the largest worker count
+// <= GOMAXPROCS and scales its expectation to the host:
+//
+//   - with >=8 usable slots the full 2.5x floor applies;
+//   - with 4-7 slots the floor is 0.75x: the host cannot demonstrate
+//     the scaling the bar protects, so this (and the tiers below) are
+//     regression tripwires, not performance claims;
+//   - with 2-3 slots the floor is 0.35x — per-cycle phase barriers and
+//     sequential merges cost roughly what two cores win back on this
+//     engine's token grain (SCALING.md quantifies this), so two-core
+//     parity is the realistic best case and only collapse is gated;
+//   - worker counts above GOMAXPROCS are informational, gated only
+//     against a catastrophic-regression floor (>=0.2x).
+//
+// All comparisons use each cell's fastest observed iteration (BestNsPerOp)
+// rather than the mean: shared CI hosts show multi-x steal-time noise,
+// and the minimum is the only statistic stable enough to gate on.
+// GOMAXPROCS and per-cell worker counts are recorded in the report so a
+// committed BENCH_machine.json states which bar its numbers cleared.
+func ScalingGate(rep *Report) []string {
+	base, best, over := workerEndpoints(rep)
+	if base == nil || bestFires(base) <= 0 {
+		return nil
+	}
+	var violations []string
+	check := func(cell *Result, floor float64, kind string) {
+		if cell == nil {
+			return
+		}
+		g := bestFires(cell)
+		if g <= 0 {
+			return
+		}
+		speedup := g / bestFires(base)
+		if speedup < floor {
+			violations = append(violations, fmt.Sprintf(
+				"%s: best-iteration fires/sec %.2fx of %s is below the %.2fx %s floor (GOMAXPROCS=%d)",
+				cell.Name, speedup, base.Name, floor, kind, rep.GOMAXPROCS))
+		}
+	}
+	if best != nil {
+		slots := best.Workers
+		floor := ScalingFloorTwo
+		switch {
+		case slots >= 8:
+			floor = ScalingFloorFull
+		case slots >= 4:
+			floor = ScalingFloorHalf
+		}
+		check(best, floor, "scaling")
+	}
+	check(over, ScalingFloorOversub, "oversubscription")
+	return violations
 }
 
 // Gate checks a fresh (smoke) report against the committed

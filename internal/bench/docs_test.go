@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// These tests keep the documentation honest, in the spirit of
+// internal/experiments/checkdoc_test.go: the architecture docs must
+// mention every internal package, and SCALING.md's quoted worker-scaling
+// numbers must equal the committed BENCH_machine.json and the gate
+// floors compiled into this package.
+
+func readDoc(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// internalPackages returns every directory under internal/ that directly
+// contains Go source — i.e. every internal package, including nested
+// ones like obs/journal.
+func internalPackages(t *testing.T) []string {
+	t.Helper()
+	root := filepath.Join("..", "..", "internal")
+	hasGo := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(d.Name(), ".go") {
+			rel, err := filepath.Rel(root, filepath.Dir(path))
+			if err != nil {
+				return err
+			}
+			hasGo[filepath.ToSlash(rel)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []string
+	for rel := range hasGo {
+		pkgs = append(pkgs, "internal/"+rel)
+	}
+	return pkgs
+}
+
+// TestArchitectureDocsCoverInternalPackages: the README repository
+// layout and the DESIGN.md system inventory must each mention every
+// internal package, so a new subsystem cannot land undocumented.
+func TestArchitectureDocsCoverInternalPackages(t *testing.T) {
+	docs := map[string]string{
+		"README.md": readDoc(t, "README.md"),
+		"DESIGN.md": readDoc(t, "DESIGN.md"),
+	}
+	for _, pkg := range internalPackages(t) {
+		for name, body := range docs {
+			if !strings.Contains(body, pkg) {
+				t.Errorf("%s does not mention %s (add it to the subsystem map)", name, pkg)
+			}
+		}
+	}
+}
+
+// group3 formats n with comma thousands separators ("9,643,940"),
+// matching how SCALING.md quotes fires/sec.
+func group3(n int64) string {
+	s := fmt.Sprintf("%d", n)
+	for i := len(s) - 3; i > 0; i -= 3 {
+		s = s[:i] + "," + s[i:]
+	}
+	return s
+}
+
+// TestScalingDocMatchesBench: every number SCALING.md quotes about the
+// worker matrix — per-cell best-iteration fires/sec, the vs-w1 ratios,
+// the host's GOMAXPROCS, and the gate floors — must match the committed
+// BENCH_machine.json and the ScalingFloor* constants. Regenerate with
+// `go run ./cmd/ctdf bench -cpu 1,4,8` and update SCALING.md together.
+func TestScalingDocMatchesBench(t *testing.T) {
+	doc := readDoc(t, "SCALING.md")
+	data, err := os.ReadFile(filepath.Join("..", "..", "BENCH_machine.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+
+	base, _, _ := workerEndpoints(&rep)
+	if base == nil {
+		t.Fatal("BENCH_machine.json has no workers/ matrix (regenerate with `go run ./cmd/ctdf bench -cpu 1,4,8`)")
+	}
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		if !strings.HasPrefix(r.Name, "workers/") {
+			continue
+		}
+		if !strings.Contains(doc, r.Name) {
+			t.Errorf("SCALING.md does not mention bench cell %s", r.Name)
+			continue
+		}
+		fires := group3(int64(math.Round(bestFires(r))))
+		if !strings.Contains(doc, fires) {
+			t.Errorf("SCALING.md does not quote %s fires/sec %s (stale table? regenerate and update)", r.Name, fires)
+		}
+		ratio := fmt.Sprintf("%.2fx", bestFires(r)/bestFires(base))
+		if !strings.Contains(doc, ratio) {
+			t.Errorf("SCALING.md does not quote %s vs-w1 ratio %s", r.Name, ratio)
+		}
+	}
+
+	if !strings.Contains(doc, fmt.Sprintf("GOMAXPROCS=%d", rep.GOMAXPROCS)) {
+		t.Errorf("SCALING.md does not state the measured GOMAXPROCS=%d", rep.GOMAXPROCS)
+	}
+	for _, floor := range []float64{ScalingFloorFull, ScalingFloorHalf, ScalingFloorTwo, ScalingFloorOversub} {
+		want := fmt.Sprintf("%gx floor", floor)
+		if !strings.Contains(doc, want) {
+			t.Errorf("SCALING.md does not document the %s (gate floors changed in bench.go?)", want)
+		}
+	}
+}

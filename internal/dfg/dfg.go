@@ -287,6 +287,33 @@ func (g *Graph) OutTargets(node, port int) []Target {
 	return g.outTargets[node][port]
 }
 
+// WarmTargets builds the OutTargets cache for every (node, port) up
+// front. The sharded machine calls it once before starting parallel
+// phases: shard workers fan out tokens concurrently, and the lazy
+// per-node cache build would otherwise be a data race.
+func (g *Graph) WarmTargets() {
+	for id := range g.Nodes {
+		for p := range g.outs[id] {
+			g.OutTargets(id, p)
+		}
+	}
+}
+
+// MaxFanOut returns the largest number of arcs leaving any single
+// (node, port) — the sharded machine's stride for packing (firing,
+// emission index) pairs into one ordered sequence key.
+func (g *Graph) MaxFanOut() int {
+	max := 0
+	for id := range g.Nodes {
+		for _, arcs := range g.outs[id] {
+			if len(arcs) > max {
+				max = len(arcs)
+			}
+		}
+	}
+	return max
+}
+
 // InDegree returns the number of arcs entering (node, port).
 func (g *Graph) InDegree(node, port int) int { return len(g.ins[node][port]) }
 

@@ -22,6 +22,10 @@
 //     (see PERFORMANCE.md).
 //   - par.go — the optional parallel issue stage (Config.ParallelIssue)
 //     that evaluates pure operators of a large batch on a worker pool.
+//   - shard.go — the sharded multi-core machine (Config.Workers): the
+//     whole engine partitioned into shared-nothing per-worker shards
+//     with deterministic cross-shard token routing, byte-identical to
+//     the sequential engine at every worker count (see SCALING.md).
 //   - istruct.go — the I-structure memory unit of §6.3: presence bits,
 //     deferred reads satisfied by the eventual write.
 //   - procs.go — activation contexts for procedure invocations (§2.2),
@@ -86,6 +90,18 @@ type Config struct {
 	// statistics, same events; it only spends host CPUs to get there
 	// faster. Ignored while fault injection is active.
 	ParallelIssue bool
+	// Workers, when > 1, runs the sharded multi-core machine (see
+	// shard.go and SCALING.md): nodes are partitioned across Workers
+	// shared-nothing shards, each cycle's pure firings and token
+	// deliveries run on per-shard host workers, and the impure remainder
+	// retires sequentially in global issue order. The simulated execution
+	// is byte-identical to the sequential one at every worker count —
+	// same snapshots, statistics, firing vectors, journal — because the
+	// shard count parameterizes only host-side data layout, never the
+	// simulated schedule. 0 and 1 select the sequential engine; the value
+	// is capped at 256; ignored while fault injection is active
+	// (injection decisions must see deliveries in sequential order).
+	Workers int
 	// ProfileLimit caps the recorded parallelism profile length (default
 	// 1<<16 cycles; negative values are rejected); statistics remain exact
 	// beyond it.
@@ -125,6 +141,9 @@ func (c *Config) validate() error {
 	case c.Deadline < 0:
 		return machcheck.Newf(machcheck.InvalidConfig, "machine",
 			"Deadline must be >= 0 (0 = none), got %v", c.Deadline)
+	case c.Workers < 0:
+		return machcheck.Newf(machcheck.InvalidConfig, "machine",
+			"Workers must be >= 0 (0 or 1 = sequential), got %d", c.Workers)
 	}
 	return nil
 }
@@ -266,14 +285,6 @@ func Run(g *dfg.Graph, cfgc Config) (*Outcome, error) {
 		tags:   newTagTable(),
 		shards: make([]shardSlot, len(g.Nodes)),
 	}
-	m.ready = newReadyQueue(len(g.Nodes), m.tags)
-	maxIns := 1
-	for _, n := range g.Nodes {
-		if n.NIns > maxIns {
-			maxIns = n.NIns
-		}
-	}
-	m.valsFree = make([][][]int64, maxIns+1)
 	m.col = cfgc.Collector
 	if cfgc.Trace != nil {
 		// The historical trace format is an event sink; traced runs are
@@ -291,14 +302,31 @@ func Run(g *dfg.Graph, cfgc Config) (*Outcome, error) {
 	m.jour = m.col.JournalEnabled()
 	m.inj = cfgc.Inject
 	m.par = cfgc.ParallelIssue
-	if cfgc.RandomSeed != 0 {
-		m.rng = rand.New(rand.NewSource(cfgc.RandomSeed))
-	}
 	if cfgc.DetectRaces {
 		m.locs = newRaceDetector(g.Prog, cfgc.Binding)
 	}
 	m.istruct = newIStructUnit(g)
 	m.procs = newProcLinkage(g)
+	// Worker count: >1 selects the sharded engine; fault injection forces
+	// the sequential path (like ParallelIssue, injection decisions must
+	// observe deliveries in sequential order).
+	w := cfgc.Workers
+	if w > maxShards {
+		w = maxShards
+	}
+	if w < 1 || m.inj != nil {
+		w = 1
+	}
+	m.initShards(w)
+	if cfgc.RandomSeed != 0 {
+		m.rng = rand.New(rand.NewSource(cfgc.RandomSeed))
+		for _, sh := range m.shs {
+			sh.rng = rand.New(rand.NewSource(shardSeed(cfgc.RandomSeed, sh.id)))
+		}
+	}
+	if w > 1 {
+		return m.runSharded()
+	}
 	return m.run()
 }
 
@@ -308,24 +336,29 @@ type sim struct {
 	store *interp.Store
 	rng   *rand.Rand
 
-	// Scheduling state: tags interns tag keys, ready holds enabled
-	// firings bucketed per node, shards is the matching store sharded by
-	// destination node and keyed by interned tag, matchCount tracks the
-	// store's population (shards hold it spread out).
-	tags       *tagTable
-	ready      *readyQueue
-	shards     []shardSlot
-	matchCount int
+	// Scheduling state: tags interns tag keys, shards is the matching
+	// store sharded by destination node and keyed by interned tag. The
+	// ready queues, matching-store population counts, and free lists live
+	// on the per-shard states (shs); the sequential engine runs with one
+	// shard (sh0) owning every node, the sharded engine (shard.go) with
+	// Workers shards partitioned by node id.
+	tags    *tagTable
+	shards  []shardSlot
+	shs     []*shardState
+	sh0     *shardState
+	shardOf []int32
+	// sharded marks the multi-worker engine: deliverOnce records
+	// matching-store waits as mergeable per-shard events instead of
+	// updating global statistics in place.
+	sharded bool
 
-	// Hot-path scratch, free lists, and arenas (see queue.go): batchBuf
-	// holds the cycle's issue batch, emitBuf the tokens it emits.
-	batchBuf   []firing
-	emitBuf    []tok
-	entryFree  []*matchEntry
-	entryArena []matchEntry
-	valsFree   [][][]int64
-	valsArena  []int64
-	tokArena   []tok
+	// Hot-path scratch and arenas: batchBuf holds the sequential engine's
+	// issue batch, emitBuf the tokens the firing currently retiring emits,
+	// tokArena backs parked in-flight token slices. All three are touched
+	// only by sequential code (issue/retire), never by shard workers.
+	batchBuf []firing
+	emitBuf  []tok
+	tokArena []tok
 
 	// inflight memory completions: cycle → emissions.
 	inflight map[int][]delayed
@@ -360,6 +393,21 @@ type sim struct {
 	// per-batch-slot results of the pure-operator compute phase.
 	par    bool
 	parOut []pureOut
+
+	// Sharded engine state (shard.go): the worker pool, the
+	// sequential-writer inbox lanes (impure emissions and start tokens;
+	// released split-phase completions), the sequence-key stride, the
+	// base firing-DAG id of the current cycle's batch, the merged live
+	// matching-store population, and reusable merge cursors.
+	pool      *shardPool
+	seqBox    [][]routedTok
+	relBox    [][]routedTok
+	fanStride int64
+	dagBase   int32
+	matchLive int
+	selCur    []int
+	evCur     []int
+	imCur     []int
 
 	locs    *raceDetector
 	istruct *istructUnit
@@ -416,7 +464,8 @@ func (m *sim) run() (*Outcome, error) {
 	// the token's value is dead, e.g. after §6.1 elimination) are dropped
 	// at that switch, and the drops may be scheduled after end's inputs
 	// completed.
-	for !m.done || m.ready.count > 0 || len(m.inflight) > 0 {
+	ready := m.sh0.ready
+	for !m.done || ready.count > 0 || len(m.inflight) > 0 {
 		if m.cycle > m.cfg.MaxCycles {
 			return m.abort(machcheck.Newf(machcheck.CyclesExceeded, "machine",
 				"exceeded %d cycles (deadlock or runaway loop?)", m.cfg.MaxCycles).WithStuck(m.stuckList()))
@@ -426,12 +475,12 @@ func (m *sim) run() (*Outcome, error) {
 				return m.abort(err)
 			}
 		}
-		if !m.done && m.ready.count == 0 && len(m.inflight) == 0 {
+		if !m.done && ready.count == 0 && len(m.inflight) == 0 {
 			return m.abort(m.deadlockError())
 		}
 		// Issue up to Processors enabled operations this cycle, in
 		// deterministic order (or seeded-random when configured).
-		issue := m.ready.count
+		issue := ready.count
 		if m.cfg.Processors > 0 && issue > m.cfg.Processors {
 			issue = m.cfg.Processors
 		}
@@ -445,17 +494,17 @@ func (m *sim) run() (*Outcome, error) {
 			// order, shuffle it (consuming the same randomness the old
 			// global sort+shuffle did), issue a prefix and re-queue the
 			// rest.
-			all := m.ready.fill(m.batchBuf[:0], m.ready.count)
+			all := ready.fill(m.batchBuf[:0], ready.count)
 			m.batchBuf = all
 			m.rng.Shuffle(len(all), func(i, j int) {
 				all[i], all[j] = all[j], all[i]
 			})
 			batch = all[:issue]
 			for _, f := range all[issue:] {
-				m.ready.push(f)
+				ready.push(f)
 			}
 		} else {
-			m.batchBuf = m.ready.fill(m.batchBuf[:0], issue)
+			m.batchBuf = ready.fill(m.batchBuf[:0], issue)
 			batch = m.batchBuf
 		}
 		if issue > m.stats.MaxParallelism {
@@ -493,7 +542,7 @@ func (m *sim) run() (*Outcome, error) {
 			} else if err := m.fire(f); err != nil {
 				return m.abort(err)
 			}
-			m.putVals(f.vals)
+			m.sh0.putVals(f.vals)
 			if m.cfg.Deadline > 0 {
 				if err := m.overDeadline(start); err != nil {
 					return m.abort(err)
@@ -535,11 +584,20 @@ func (m *sim) run() (*Outcome, error) {
 	// Strict conservation: after the drain, no partially matched
 	// activation may remain in the matching store (a waiting token whose
 	// partner can never arrive is a translation bug).
-	if m.matchCount != 0 {
+	if n := m.totalMatchCount(); n != 0 {
 		return m.abort(machcheck.Newf(machcheck.TokenLeak, "machine",
-			"%d tokens left after end fired", m.matchCount).WithStuck(m.stuckList()))
+			"%d tokens left after end fired", n).WithStuck(m.stuckList()))
 	}
 	return &Outcome{Store: m.store, EndValues: m.endVals, Stats: m.stats}, nil
+}
+
+// totalMatchCount sums the matching store's population over all shards.
+func (m *sim) totalMatchCount() int {
+	n := 0
+	for _, sh := range m.shs {
+		n += sh.matchCount
+	}
+	return n
 }
 
 // stuckList renders the matching store's partially matched activations as
@@ -550,7 +608,7 @@ func (m *sim) stuckList() []machcheck.Stuck {
 		tag  string
 		e    *matchEntry
 	}
-	keys := make([]stuckKey, 0, m.matchCount)
+	keys := make([]stuckKey, 0, m.totalMatchCount())
 	for node := range m.shards {
 		s := &m.shards[node]
 		if s.e != nil {
@@ -593,6 +651,9 @@ func matchSite(n *dfg.Node) bool {
 // deliver routes a token to its destination, enabling a firing when the
 // activation's operands are complete. It is also the fault-injection
 // point for delivery faults and enforces the delivered-token budget.
+// Sequential engine only; the sharded engine's delivery phase calls
+// deliverOnce per shard directly (injection forces the sequential path,
+// and the token budget is enforced at the cycle merge).
 func (m *sim) deliver(t tok) error {
 	if m.delivered++; m.delivered > 8*m.cfg.MaxOps+1024 {
 		return machcheck.Newf(machcheck.CyclesExceeded, "machine",
@@ -605,7 +666,7 @@ func (m *sim) deliver(t tok) error {
 			return nil
 		case fault.ActDup:
 			m.col.Fault(t.to.Node, m.cycle, string(fault.DupToken))
-			if err := m.deliverOnce(t); err != nil {
+			if err := m.deliverOnce(m.sh0, t, 0); err != nil {
 				return err
 			}
 		case fault.ActCorruptTag:
@@ -613,21 +674,28 @@ func (m *sim) deliver(t tok) error {
 			t.tgID = m.tags.pushID(t.tgID)
 		}
 	}
-	return m.deliverOnce(t)
+	return m.deliverOnce(m.sh0, t, 0)
 }
 
-func (m *sim) deliverOnce(t tok) error {
+// deliverOnce lands one token on the shard that owns its destination
+// node. seq is the token's position in the sequential delivery order of
+// the cycle (see shard.go); the sequential engine passes 0 — it
+// processes tokens in that order anyway. In sharded mode, matching-store
+// waits are recorded as per-shard events keyed by seq instead of
+// updating Matches/PeakMatchStore in place, and the cycle merge replays
+// them in seq order so the statistics come out byte-identical.
+func (m *sim) deliverOnce(sh *shardState, t tok, seq int64) error {
 	n := m.g.Nodes[t.to.Node]
 	switch n.Kind {
 	case dfg.Merge, dfg.LoopEntry, dfg.Param:
 		// Any-arrival operators: each token fires the node on its own.
-		vals := m.getVals(1)
+		vals := sh.getVals(1)
 		vals[0] = t.val
 		fr := firing{node: n.ID, tgID: t.tgID, vals: vals, port: t.to.Port, dep: t.dep}
 		if m.jour {
 			fr.deps = appendDeps(nil, &t)
 		}
-		m.ready.push(fr)
+		sh.ready.push(fr)
 		return nil
 	case dfg.End:
 		if t.tgID != rootTagID {
@@ -636,20 +704,21 @@ func (m *sim) deliverOnce(t tok) error {
 		}
 	}
 	if n.NIns == 1 {
-		vals := m.getVals(1)
+		vals := sh.getVals(1)
 		vals[0] = t.val
 		fr := firing{node: n.ID, tgID: t.tgID, vals: vals, dep: t.dep}
 		if m.jour {
 			fr.deps = appendDeps(nil, &t)
 		}
-		m.ready.push(fr)
+		sh.ready.push(fr)
 		return nil
 	}
 	e := m.matchLookup(n.ID, t.tgID)
-	if e == nil {
-		e = m.getEntry(n.NIns)
+	inserted := e == nil
+	if inserted {
+		e = sh.getEntry(n.NIns)
 		e.dep = t.dep
-		m.matchInsert(n.ID, t.tgID, e)
+		m.matchInsert(sh, n.ID, t.tgID, e)
 	} else if m.dag {
 		e.dep = m.col.MaxDep(e.dep, t.dep)
 	}
@@ -665,16 +734,27 @@ func (m *sim) deliverOnce(t tok) error {
 	e.vals[t.to.Port] = t.val
 	e.n++
 	if e.n == n.NIns {
-		m.matchDelete(n.ID, t.tgID)
-		m.ready.push(firing{node: n.ID, tgID: t.tgID, vals: e.vals, dep: e.dep, deps: e.deps})
-		m.putEntry(e)
+		m.matchDelete(sh, n.ID, t.tgID)
+		sh.ready.push(firing{node: n.ID, tgID: t.tgID, vals: e.vals, dep: e.dep, deps: e.deps})
+		sh.putEntry(e)
+		if m.sharded {
+			sh.waits = append(sh.waits, waitEvent{seq: seq, delta: -1})
+		}
+	} else if m.sharded {
+		var d int8
+		if inserted {
+			d = 1
+		}
+		sh.waits = append(sh.waits, waitEvent{
+			seq: seq, node: int32(n.ID), port: int32(t.to.Port), dep: t.dep, tgID: t.tgID, delta: d,
+		})
 	} else {
 		m.stats.Matches++
 		if m.col != nil {
 			m.col.Wait(n.ID, m.cycle, t.to.Port, t.dep, m.tags.key(t.tgID))
 		}
-		if m.matchCount > m.stats.PeakMatchStore {
-			m.stats.PeakMatchStore = m.matchCount
+		if sh.matchCount > m.stats.PeakMatchStore {
+			m.stats.PeakMatchStore = sh.matchCount
 		}
 	}
 	return nil
@@ -956,5 +1036,5 @@ func (m *sim) deadlockError() error {
 	}
 	return machcheck.Newf(machcheck.Deadlock, "machine",
 		"no enabled work at cycle %d but end has not fired; %d activations waiting",
-		m.cycle, m.matchCount).WithStuck(m.stuckList())
+		m.cycle, m.totalMatchCount()).WithStuck(m.stuckList())
 }

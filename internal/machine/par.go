@@ -11,8 +11,12 @@ import (
 	"ctdf/internal/machcheck"
 )
 
-// The optional parallel issue stage (Config.ParallelIssue). A cycle's
-// issue batch is split in two phases:
+// The optional parallel issue stage (Config.ParallelIssue). The ETS
+// firing rule (paper §2.2) is purely local — an enabled operator reads
+// only its matched operands — so a cycle's already-selected issue batch
+// can be evaluated in any order, including concurrently, without
+// changing what each firing computes. A cycle's issue batch is split in
+// two phases:
 //
 //   - compute (parallel): the pure operators — those that read only
 //     their operand values and the immutable graph, emit on a port

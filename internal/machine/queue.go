@@ -6,10 +6,13 @@ import (
 	"ctdf/internal/token"
 )
 
-// This file holds the hot-path data structures of the simulator:
+// This file holds the hot-path data structures of the simulator — the
+// fast implementations of the two ETS mechanisms of paper §2.2, tag
+// matching in the waiting-matching store and enabled-instruction issue:
 //
-//   - tagTable interns tag keys to dense int32 ids so the matching store
-//     hashes integers instead of strings on every delivery;
+//   - tagTable interns tag keys (the iteration/activation contexts of
+//     §2.2/§3) to dense int32 ids so the matching store hashes integers
+//     instead of strings on every delivery;
 //   - readyQueue is the insertion-ordered, per-node-bucketed ready queue
 //     that replaced the per-cycle sort.Slice over the whole enabled list:
 //     the deterministic issue order (node id, then tag key, then port) is
@@ -111,6 +114,28 @@ func (t *tagTable) popID(id int32) (int32, error) {
 	return nid, nil
 }
 
+// peekPush / peekBump / peekPop are the read-only halves of the
+// tag-arithmetic caches, for the sharded machine's parallel fire phase:
+// the cycle's tags are resolved (and cached) during sequential selection,
+// so the phase itself only reads the maps — a cache miss means the tag
+// could not be resolved ahead of time (e.g. a malformed pop) and the
+// firing falls back to the sequential retire pass, which re-runs the
+// arithmetic and surfaces any error in deterministic issue order.
+func (t *tagTable) peekPush(id int32) (int32, bool) {
+	nid, ok := t.push[id]
+	return nid, ok
+}
+
+func (t *tagTable) peekBump(id int32) (int32, bool) {
+	nid, ok := t.bump[id]
+	return nid, ok
+}
+
+func (t *tagTable) peekPop(id int32) (int32, bool) {
+	nid, ok := t.pop[id]
+	return nid, ok
+}
+
 // bucket holds the pending firings of one node. items[head:] are
 // pending; consumed entries are not shifted, only head advances, and the
 // slice is reset when it drains.
@@ -204,6 +229,46 @@ func (q *readyQueue) fill(dst []firing, max int) []firing {
 	return dst
 }
 
+// takePlanned consumes firings according to a selection plan — per-node
+// (node, take) entries in ascending node order, a subsequence of the
+// active list — invoking fn(f, base+j) for the j-th firing taken from
+// each planned bucket. It mirrors fill's bookkeeping exactly
+// (sort-on-dirty, head advance, active-list compaction) but leaves the
+// global issue index to the plan, which the sharded machine computed by
+// merging all shards' active lists (see shard.go).
+func (q *readyQueue) takePlanned(plan []planEntry, fn func(f *firing, gi int)) {
+	taken, w, p := 0, 0, 0
+	for r := 0; r < len(q.active); r++ {
+		node := q.active[r]
+		if p == len(plan) || plan[p].node != node {
+			q.active[w] = node
+			w++
+			continue
+		}
+		b := &q.buckets[node]
+		if b.dirty {
+			sortFirings(b.items[b.head:], q.tt)
+			b.dirty = false
+		}
+		take := plan[p].take
+		for j := 0; j < take; j++ {
+			fn(&b.items[b.head+j], plan[p].base+j)
+		}
+		b.head += take
+		taken += take
+		p++
+		if b.head == len(b.items) {
+			b.items = b.items[:0]
+			b.head = 0
+		} else {
+			q.active[w] = node
+			w++
+		}
+	}
+	q.active = q.active[:w]
+	q.count -= taken
+}
+
 // sortFirings orders one bucket's pending range by (tag key, port); the
 // node is constant within a bucket.
 func sortFirings(fs []firing, tt *tagTable) {
@@ -242,91 +307,94 @@ func (m *sim) matchLookup(node int, tgID int32) *matchEntry {
 	return nil
 }
 
-// matchInsert records a new pending entry for (node, tgID).
-func (m *sim) matchInsert(node int, tgID int32, e *matchEntry) {
+// matchInsert records a new pending entry for (node, tgID), charged to
+// the owning shard's population count.
+func (m *sim) matchInsert(sh *shardState, node int, tgID int32, e *matchEntry) {
 	s := &m.shards[node]
 	if s.e == nil {
 		s.e, s.tgID = e, tgID
-		m.matchCount++
+		sh.matchCount++
 		return
 	}
 	if s.more == nil {
 		s.more = map[int32]*matchEntry{}
 	}
 	s.more[tgID] = e
-	m.matchCount++
+	sh.matchCount++
 }
 
 // matchDelete removes the completed entry for (node, tgID).
-func (m *sim) matchDelete(node int, tgID int32) {
+func (m *sim) matchDelete(sh *shardState, node int, tgID int32) {
 	s := &m.shards[node]
 	if s.e != nil && s.tgID == tgID {
 		s.e = nil
 	} else {
 		delete(s.more, tgID)
 	}
-	m.matchCount--
+	sh.matchCount--
 }
 
 // --- free lists and arenas --------------------------------------------
 
 // Free lists recycle steady-state churn; chunked arenas amortize the
 // warmup growth (Go allocations) that remains, carving many small
-// objects out of one allocation.
+// objects out of one allocation. They live on the shardState so every
+// shard recycles privately — no cross-shard sharing, no locks; the
+// sequential engine uses shard 0's lists for everything.
 
 // getEntry returns a blank match entry with an operand slice of length n.
-func (m *sim) getEntry(n int) *matchEntry {
+func (sh *shardState) getEntry(n int) *matchEntry {
 	var e *matchEntry
-	if k := len(m.entryFree); k > 0 {
-		e = m.entryFree[k-1]
-		m.entryFree = m.entryFree[:k-1]
+	if k := len(sh.entryFree); k > 0 {
+		e = sh.entryFree[k-1]
+		sh.entryFree = sh.entryFree[:k-1]
 		*e = matchEntry{}
 	} else {
-		if len(m.entryArena) == 0 {
-			m.entryArena = make([]matchEntry, 64)
+		if len(sh.entryArena) == 0 {
+			sh.entryArena = make([]matchEntry, 64)
 		}
-		e = &m.entryArena[0]
-		m.entryArena = m.entryArena[1:]
+		e = &sh.entryArena[0]
+		sh.entryArena = sh.entryArena[1:]
 	}
-	e.vals = m.getVals(n)
+	e.vals = sh.getVals(n)
 	return e
 }
 
 // putEntry recycles a completed entry; its operand slice and journal
 // deps have moved onto the firing that consumed the match.
-func (m *sim) putEntry(e *matchEntry) {
+func (sh *shardState) putEntry(e *matchEntry) {
 	e.vals = nil
 	e.deps = nil
-	m.entryFree = append(m.entryFree, e)
+	sh.entryFree = append(sh.entryFree, e)
 }
 
 // getVals returns an operand slice of exactly length n. Slices are not
 // zeroed: every port is overwritten before it is read (an activation
 // fires only once all its operands arrived).
-func (m *sim) getVals(n int) []int64 {
-	if n < len(m.valsFree) {
-		if k := len(m.valsFree[n]); k > 0 {
-			v := m.valsFree[n][k-1]
-			m.valsFree[n] = m.valsFree[n][:k-1]
+func (sh *shardState) getVals(n int) []int64 {
+	if n < len(sh.valsFree) {
+		if k := len(sh.valsFree[n]); k > 0 {
+			v := sh.valsFree[n][k-1]
+			sh.valsFree[n] = sh.valsFree[n][:k-1]
 			return v
 		}
 	}
-	if len(m.valsArena) < n {
+	if len(sh.valsArena) < n {
 		size := 512
 		if n > size {
 			size = n
 		}
-		m.valsArena = make([]int64, size)
+		sh.valsArena = make([]int64, size)
 	}
-	v := m.valsArena[:n:n]
-	m.valsArena = m.valsArena[n:]
+	v := sh.valsArena[:n:n]
+	sh.valsArena = sh.valsArena[n:]
 	return v
 }
 
 // putVals recycles a fired activation's operand slice.
-func (m *sim) putVals(v []int64) {
-	if n := len(v); n > 0 && n < len(m.valsFree) {
-		m.valsFree[n] = append(m.valsFree[n], v)
+func (sh *shardState) putVals(v []int64) {
+	if n := len(v); n > 0 && n < len(sh.valsFree) {
+		sh.valsFree[n] = append(sh.valsFree[n], v)
 	}
 }
 

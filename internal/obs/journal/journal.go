@@ -77,6 +77,7 @@ type Config struct {
 	MaxCycles  int               `json:"maxCycles,omitempty"`
 	MaxOps     int64             `json:"maxOps,omitempty"`
 	RandomSeed int64             `json:"randomSeed,omitempty"`
+	Workers    int               `json:"workers,omitempty"`
 	Binding    map[string]string `json:"binding,omitempty"`
 	// FaultClass/FaultSite/FaultDelay reconstruct the deterministic fault
 	// injector, so replaying a fault-injected journal reproduces the same

@@ -66,6 +66,7 @@ func Replay(j *Journal) (*ReplayResult, error) {
 		MaxCycles:  j.Config.MaxCycles,
 		MaxOps:     j.Config.MaxOps,
 		RandomSeed: j.Config.RandomSeed,
+		Workers:    j.Config.Workers,
 	}
 	if len(j.Config.Binding) > 0 {
 		cfg.Binding = interp.Binding(j.Config.Binding)
@@ -96,12 +97,28 @@ func Replay(j *Journal) (*ReplayResult, error) {
 	replayed := rec.Finish(cycles)
 
 	res := &ReplayResult{Replayed: replayed}
+	res.Divergences, res.Truncated = Diff(j, replayed), false
+	if len(res.Divergences) > MaxDivergences {
+		res.Divergences = res.Divergences[:MaxDivergences]
+		res.Truncated = true
+	}
+	return res, nil
+}
+
+// Diff compares two journals of what should be the same run — a
+// recording against its replay, or a sequential-engine journal against a
+// sharded-engine one (byte-exactness gate, SCALING.md) — firing by
+// firing. It returns at most MaxDivergences+1 entries; an empty slice
+// means the journals agree exactly.
+func Diff(j, replayed *Journal) []Divergence {
+	var out []Divergence
+	truncated := false
 	add := func(index int, field, want, got string) {
-		if len(res.Divergences) >= MaxDivergences {
-			res.Truncated = true
+		if len(out) > MaxDivergences {
+			truncated = true
 			return
 		}
-		res.Divergences = append(res.Divergences, Divergence{Index: index, Field: field, Want: want, Got: got})
+		out = append(out, Divergence{Index: index, Field: field, Want: want, Got: got})
 	}
 
 	if len(j.Fires) != len(replayed.Fires) {
@@ -128,7 +145,7 @@ func Replay(j *Journal) (*ReplayResult, error) {
 		if !depsEqual(a.Deps, b.Deps) {
 			add(i, "deps", fmt.Sprint(a.Deps), fmt.Sprint(b.Deps))
 		}
-		if res.Truncated {
+		if truncated {
 			break
 		}
 	}
@@ -144,7 +161,7 @@ func Replay(j *Journal) (*ReplayResult, error) {
 	if j.AbortCheck == replayed.AbortCheck && j.AbortCycle != replayed.AbortCycle {
 		add(-1, "abort cycle", fmt.Sprint(j.AbortCycle), fmt.Sprint(replayed.AbortCycle))
 	}
-	return res, nil
+	return out
 }
 
 func depsEqual(a, b []int32) bool {

@@ -525,6 +525,28 @@ func MustByName(name string) Workload {
 	return w
 }
 
+// Wide generates a program of `lanes` fully independent counter loops,
+// each folding its own scalar accumulator for `iters` iterations. No
+// lane shares a variable with any other, so the dataflow graph is
+// `lanes` disjoint cyclic subgraphs and the machine's per-cycle issue
+// width stays proportional to the lane count for the whole run — the
+// worker-scaling benchmark shape (see SCALING.md). It is a generator
+// rather than a Kernels entry so the exhaustive workload × schema
+// matrices (goldens, vet, replay) don't pay for its size.
+func Wide(lanes, iters int) Workload {
+	var names []string
+	for l := 0; l < lanes; l++ {
+		names = append(names, fmt.Sprintf("i%d", l), fmt.Sprintf("s%d", l))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "var %s\n", strings.Join(names, ", "))
+	for l := 0; l < lanes; l++ {
+		fmt.Fprintf(&b, "i%d := 0\nwhile i%d < %d {\n  s%d := s%d * 3 + i%d + 1\n  i%d := i%d + 1\n}\n",
+			l, l, iters, l, l, l, l, l)
+	}
+	return Workload{Name: fmt.Sprintf("wide-%dx%d", lanes, iters), Source: b.String()}
+}
+
 // Random generates a seeded random structured program that terminates by
 // construction: loops are canned counters, conditionals branch on computed
 // scalars, and a pool of scalars and one array receive random assignments.

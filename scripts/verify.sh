@@ -25,6 +25,14 @@ go test ./...
 echo "== go test -race =="
 go test -race -timeout 5m ./...
 
+echo "== sharded machine -race (W=4) =="
+# The sharded engine's byte-exactness suites (worker counts 2, 3, 4, 8,
+# forced through the worker pool) under the race detector — the check
+# that holds the parallel phases to the shared-nothing discipline
+# described in SCALING.md. Also covered by the full -race run above;
+# this named step keeps the gate visible and independently runnable.
+go test -race -run 'Sharded' -count=1 ./internal/machine ./internal/obs/journal
+
 echo "== chaos smoke matrix =="
 go run ./cmd/ctdf chaos -smoke
 
@@ -51,7 +59,9 @@ go test -run=NONE -bench='BenchmarkE11|BenchmarkObs' -benchtime=1x .
 
 echo "== bench trajectory gate =="
 # Fails when a steady-state cell's allocs/op regresses beyond tolerance
-# against the committed BENCH_machine.json (see PERFORMANCE.md).
-go run ./cmd/ctdf bench -smoke
+# against the committed BENCH_machine.json (see PERFORMANCE.md), or when
+# the sharded machine's worker-scaling matrix falls below the host-aware
+# fires/sec floors (see SCALING.md).
+go run ./cmd/ctdf bench -smoke -cpu 1,4
 
 echo "== OK =="
