@@ -13,7 +13,10 @@ import (
 // cmdChaos runs the fault-injection detection matrix: every injected
 // fault must be caught by a named machine check or by oracle mismatch
 // (see ROBUSTNESS.md). Exits non-zero on any undetected fault or leaked
-// goroutine.
+// goroutine. With -recover it runs the recovery matrix instead: every
+// transient fault class must be survived — supervised runs
+// (RunConfig.Recovery) retried to an output byte-identical to the
+// fault-free golden.
 func cmdChaos(args []string) error {
 	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
 	smoke := fs.Bool("smoke", false, "fast CI gate: one schema, two workloads")
@@ -21,8 +24,12 @@ func cmdChaos(args []string) error {
 	deadline := fs.Duration("deadline", 10*time.Second, "per-run deadline")
 	jsonPath := fs.String("json", "", "write the detection matrix as JSON to this file")
 	verbose := fs.Bool("v", false, "print every matrix cell")
+	recover := fs.Bool("recover", false, "run the recovery matrix: prove transient faults are survived, not just detected")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *recover {
+		return chaosRecover(chaos.Config{Smoke: *smoke, Seed: *seed, Deadline: *deadline}, *jsonPath, *verbose)
 	}
 	m, err := chaos.Run(chaos.Config{Smoke: *smoke, Seed: *seed, Deadline: *deadline})
 	if err != nil {
@@ -63,6 +70,41 @@ func cmdChaos(args []string) error {
 	if m.ReplayReproduced != m.ReplayTotal {
 		return fmt.Errorf("chaos: %d of %d fault journals failed to replay exactly",
 			m.ReplayTotal-m.ReplayReproduced, m.ReplayTotal)
+	}
+	return nil
+}
+
+// chaosRecover runs the recovery matrix and writes artifacts/recover.json
+// style output. Exits non-zero on any unrecovered transient cell or
+// leaked goroutine.
+func chaosRecover(cfg chaos.Config, jsonPath string, verbose bool) error {
+	m, err := chaos.RunRecover(cfg)
+	if err != nil {
+		return err
+	}
+	if verbose {
+		for _, c := range m.Cells {
+			fmt.Printf("%-8s %-12s %-16s %-20s w%d site %d/%d attempts %d: %s\n",
+				c.Engine, c.Schema, c.Workload, c.Class, c.Workers, c.Site, c.Sites, c.Attempts, c.Outcome)
+		}
+	}
+	fmt.Print(m.Summary())
+	if jsonPath != "" {
+		js, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			return err
+		}
+		js = append(js, '\n')
+		if err := os.WriteFile(jsonPath, js, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("matrix written to %s\n", jsonPath)
+	}
+	if m.OK != m.Total {
+		return fmt.Errorf("chaos: %d of %d transient-fault cells were not recovered", m.Total-m.OK, m.Total)
+	}
+	if m.LeakedGoroutines != 0 {
+		return fmt.Errorf("chaos: %d goroutines leaked across the recovery sweep", m.LeakedGoroutines)
 	}
 	return nil
 }

@@ -184,6 +184,8 @@ func cmdRun(args []string) error {
 	legalize := fs.Bool("legalize", false, "decompose wide synch collectors into two-input trees")
 	linked := fs.Bool("linked", false, "compile procedures separately (Apply/Param/ProcReturn linkage)")
 	trace := fs.Bool("trace", false, "print one line per operator firing")
+	deadline := fs.Duration("deadline", 0, "wall-clock deadline per attempt (0 = none)")
+	supervise := fs.Bool("recover", false, "supervise the run: retry transient aborts, resuming the machine from its last checkpoint")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -230,7 +232,10 @@ func cmdRun(args []string) error {
 	cfg := ctdf.RunConfig{
 		Processors: *procs, MemLatency: *latency, Binding: b,
 		RandomSeed: *seed, DetectRaces: *races, ParallelIssue: *parissue,
-		Workers: *workers,
+		Workers: *workers, Deadline: *deadline,
+	}
+	if *supervise {
+		cfg.Recovery = &ctdf.RecoveryPolicy{}
 	}
 	if *trace {
 		cfg.Trace = os.Stderr
@@ -245,7 +250,22 @@ func cmdRun(args []string) error {
 	}
 	r, err := d.Run(cfg)
 	if err != nil {
+		if r != nil && r.Recovery != nil && len(r.Recovery.Checks) > 0 {
+			fmt.Fprintf(os.Stderr, "recovery: %d attempt(s) aborted (%s)\n",
+				r.Recovery.Attempts, strings.Join(r.Recovery.Checks, ", "))
+		}
+		if r != nil && r.Checkpoint != nil {
+			// The abort left a last-good checkpoint behind; its cycle is a
+			// direct `ctdf replay -at` target on this run's journal.
+			fmt.Fprintf(os.Stderr, "last checkpoint: id %d at cycle %d — reconstruct it with `ctdf replay ... -at %d`\n",
+				r.Checkpoint.ID, r.Checkpoint.Cycle, r.Checkpoint.Cycle)
+		}
 		return err
+	}
+	if r.Recovery != nil && r.Recovery.Recovered {
+		fmt.Fprintf(os.Stderr, "recovered after %d attempts (%s): %d checkpoints taken, %d cycles replayed\n",
+			r.Recovery.Attempts, strings.Join(r.Recovery.Checks, ", "),
+			r.Recovery.CheckpointsTaken, r.Recovery.CyclesReplayed)
 	}
 	st := d.Stats()
 	fmt.Printf("schema: %s   engine: %s\n", opt.Schema, *engine)

@@ -195,6 +195,13 @@ type RunConfig struct {
 	// per-node counters, the parallelism histogram, and (if requested)
 	// the critical path; Obs.Events streams NDJSON. See OBSERVABILITY.md.
 	Obs *ObsOptions
+	// Recovery, when non-nil, supervises the run: aborts whose machine
+	// check is classified transient (or whose planned fault actually
+	// fired) are retried — the machine engine resumes from its last
+	// checkpoint, the channel engine restarts from scratch — and
+	// Result.Recovery reports what happened. See RecoveryPolicy and
+	// ROBUSTNESS.md.
+	Recovery *RecoveryPolicy
 }
 
 // Program is a compiled source program: the AST and its statement-level
@@ -437,17 +444,38 @@ type Result struct {
 	// Fault reports the fault injector's view of the run (nil unless
 	// RunConfig.Fault was set).
 	Fault *FaultReport
+	// Checkpoint identifies the last completed machine checkpoint (nil
+	// unless checkpointing ran, i.e. under RunConfig.Recovery). On an
+	// aborted run it names the last good pre-abort state — point `ctdf
+	// replay -at` at its cycle to reconstruct it.
+	Checkpoint *CheckpointRef
+	// Recovery reports the supervisor's attempts (nil unless
+	// RunConfig.Recovery was set).
+	Recovery *RecoveryReport
 }
 
 // Run executes the dataflow graph. When the run aborts with a machine
 // check (see the Err* sentinels), the returned *Result is non-nil and
 // carries the partial execution state — final store so far, op counts,
-// and the observability report — so failed runs stay inspectable.
+// and the observability report — so failed runs stay inspectable. With
+// RunConfig.Recovery set, transient aborts are retried before the run is
+// declared failed.
 func (d *Dataflow) Run(cfg RunConfig) (*Result, error) {
+	if cfg.Recovery != nil {
+		return d.runSupervised(cfg)
+	}
 	var inj *fault.Injector
 	if cfg.Fault != nil {
 		inj = fault.NewInjector(fault.Plan{Class: cfg.Fault.Class, Site: cfg.Fault.Site, Delay: cfg.Fault.Delay})
 	}
+	return d.runOnce(cfg, inj, ckPlumb{})
+}
+
+// runOnce executes a single attempt: cfg, the attempt's injector (nil
+// when faults are off or this is a supervised retry), and the
+// supervisor's checkpoint plumbing (zero value when checkpointing is
+// off).
+func (d *Dataflow) runOnce(cfg RunConfig, inj *fault.Injector, ck ckPlumb) (*Result, error) {
 	switch cfg.Engine {
 	case EngineMachine:
 		var col *obs.Collector
@@ -483,19 +511,22 @@ func (d *Dataflow) Run(cfg RunConfig) (*Result, error) {
 			}
 		}
 		out, err := machine.Run(d.res.Graph, machine.Config{
-			Processors:    cfg.Processors,
-			MemLatency:    cfg.MemLatency,
-			MaxCycles:     cfg.MaxCycles,
-			MaxOps:        cfg.MaxOps,
-			Deadline:      cfg.Deadline,
-			Inject:        inj,
-			Binding:       interp.Binding(cfg.Binding),
-			RandomSeed:    cfg.RandomSeed,
-			DetectRaces:   cfg.DetectRaces,
-			ParallelIssue: cfg.ParallelIssue,
-			Workers:       cfg.Workers,
-			Trace:         cfg.Trace,
-			Collector:     col,
+			Processors:      cfg.Processors,
+			MemLatency:      cfg.MemLatency,
+			MaxCycles:       cfg.MaxCycles,
+			MaxOps:          cfg.MaxOps,
+			Deadline:        cfg.Deadline,
+			Inject:          inj,
+			Binding:         interp.Binding(cfg.Binding),
+			RandomSeed:      cfg.RandomSeed,
+			DetectRaces:     cfg.DetectRaces,
+			ParallelIssue:   cfg.ParallelIssue,
+			Workers:         cfg.Workers,
+			Trace:           cfg.Trace,
+			Collector:       col,
+			CheckpointEvery: ck.every,
+			CheckpointSink:  ck.sink,
+			Resume:          ck.resume,
 		})
 		if out == nil {
 			// Validation failed before the simulation started.
@@ -511,6 +542,9 @@ func (d *Dataflow) Run(cfg RunConfig) (*Result, error) {
 			PeakMatchStore: out.Stats.PeakMatchStore,
 			Profile:        out.Stats.Profile,
 			Fault:          faultReport(inj),
+		}
+		if out.Checkpoint != nil {
+			res.Checkpoint = &CheckpointRef{ID: out.Checkpoint.ID, Cycle: out.Checkpoint.Cycle}
 		}
 		if col != nil {
 			rep := col.Report(out.Stats.Cycles, out.Stats.Profile)

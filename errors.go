@@ -40,6 +40,9 @@ var (
 	// ErrDeterminacy: race detection observed overlapping conflicting
 	// memory operations, contradicting dataflow determinacy.
 	ErrDeterminacy error = machcheck.ErrDeterminacy
+	// ErrInvalidConfig: the run configuration was rejected before (or a
+	// checkpoint restore failed during) startup.
+	ErrInvalidConfig error = machcheck.ErrInvalidConfig
 )
 
 // CheckName returns the machine-check name carried by err ("deadlock",

@@ -154,6 +154,12 @@ var (
 	watchdogTestDelay func()
 )
 
+// seedTestDelay, when non-nil, runs between the start node's seed sends —
+// tests use it to hold the seeding loop open so every already-sent token
+// drains before the next send, forcing the widest possible quiescence
+// window mid-seeding.
+var seedTestDelay func()
+
 type engine struct {
 	g        *dfg.Graph
 	store    *interp.Store
@@ -285,9 +291,19 @@ func Run(g *dfg.Graph, cfg Config) (*Outcome, error) {
 	}
 
 	// The start node emits one dummy token per arc at the root context.
+	// The seeding loop itself holds a virtual in-flight token: workers are
+	// already running, and without it a prefix of the seeds can be fully
+	// absorbed (matched partially and retired) before the next send raises
+	// the count again, driving inflight to zero mid-seeding and tripping a
+	// spurious quiescent-before-end deadlock on a clean run.
+	e.inflight.Add(1)
 	for _, a := range g.OutArcs(g.StartID, 0) {
 		e.send(a.To, msg{port: a.ToPort, val: 0, tg: token.Root})
+		if seedTestDelay != nil {
+			seedTestDelay()
+		}
 	}
+	e.retire()
 	<-e.done
 	if watchdog != nil {
 		watchdog.Stop()

@@ -1,0 +1,83 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestSmokeRecoverMatrixFullyRecovered is the recovery gate's own test:
+// every transient fault class must be survived byte-identically in both
+// engines at every worker count.
+func TestSmokeRecoverMatrixFullyRecovered(t *testing.T) {
+	m, err := RunRecover(Config{Smoke: true, Seed: 1, Deadline: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Total == 0 {
+		t.Fatal("recovery matrix is empty")
+	}
+	if m.OK != m.Total {
+		for _, c := range m.Cells {
+			if !c.OK && c.Outcome != "no-sites" {
+				t.Errorf("not recovered: %s/%s/%s/%s w%d site %d/%d: %s %s",
+					c.Engine, c.Schema, c.Workload, c.Class, c.Workers, c.Site, c.Sites, c.Outcome, c.Err)
+			}
+		}
+		t.Fatalf("recovery %d/%d", m.OK, m.Total)
+	}
+	if m.Recovered == 0 {
+		t.Fatal("no cell exercised an actual retry")
+	}
+	if m.LeakedGoroutines != 0 {
+		t.Errorf("%d goroutines leaked", m.LeakedGoroutines)
+	}
+
+	// Both engines, both worker counts, and every gated class must appear.
+	engines := map[string]bool{}
+	workers := map[int]bool{}
+	classes := map[string]bool{}
+	resumed := 0
+	for _, c := range m.Cells {
+		if c.Outcome == "no-sites" {
+			continue
+		}
+		engines[c.Engine] = true
+		workers[c.Workers] = true
+		classes[c.Class] = true
+		if c.CheckpointUsed != nil {
+			resumed++
+		}
+	}
+	for _, want := range []string{"machine", "channels"} {
+		if !engines[want] {
+			t.Errorf("matrix has no %q cells", want)
+		}
+	}
+	for _, want := range []int{1, 4} {
+		if !workers[want] {
+			t.Errorf("matrix has no workers=%d cells", want)
+		}
+	}
+	for _, want := range []string{
+		"drop-token", "dup-token", "lose-mem-response",
+		"delay-mem-response", "wedge-mailbox", "deadline",
+	} {
+		if !classes[want] {
+			t.Errorf("matrix has no %q cells", want)
+		}
+	}
+	if resumed == 0 {
+		t.Error("no cell resumed from a checkpoint")
+	}
+
+	// The negative control must be tolerated outright, never retried.
+	for _, c := range m.Cells {
+		if c.Class == "delay-mem-response" && c.Outcome != "tolerated" && c.Outcome != "no-sites" {
+			t.Errorf("benign cell %s/%s w%d: outcome %s, want tolerated", c.Schema, c.Workload, c.Workers, c.Outcome)
+		}
+	}
+	if _, err := json.Marshal(m); err != nil {
+		t.Errorf("matrix not JSON-serializable: %v", err)
+	}
+}

@@ -1,0 +1,326 @@
+package machine
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ctdf/internal/cfg"
+	"ctdf/internal/fault"
+	"ctdf/internal/machcheck"
+	"ctdf/internal/translate"
+	"ctdf/internal/workloads"
+)
+
+// ckCell is the full observable outcome a resumed run must reproduce
+// byte-for-byte: snapshot, end values, and every statistic including
+// the per-cycle parallelism profile.
+type ckCell struct {
+	snapshot string
+	endVals  []int64
+	stats    Stats
+}
+
+func cellOf(out *Outcome) ckCell {
+	return ckCell{snapshot: out.Store.Snapshot(), endVals: append([]int64(nil), out.EndValues...), stats: out.Stats}
+}
+
+func (c ckCell) equal(o ckCell) bool {
+	return c.snapshot == o.snapshot &&
+		reflect.DeepEqual(c.endVals, o.endVals) &&
+		reflect.DeepEqual(c.stats, o.stats)
+}
+
+// checkpointWorkloads spans the state a checkpoint must carry: loops
+// (tag stacks), split-phase memory backlogs, I-structures (via the
+// memelim config), and live procedure activations.
+var checkpointWorkloads = []string{
+	"running-example", "fib-iterative", "array-sum", "nested-loops", "proc-in-loop",
+}
+
+type ckConfig struct {
+	name string
+	opt  translate.Options
+	pr   int
+	lat  int
+}
+
+func checkpointConfigs() []ckConfig {
+	return []ckConfig{
+		{name: "schema2opt-p3-l4", opt: translate.Options{Schema: translate.Schema2Opt}, pr: 3, lat: 4},
+		{name: "memelim-p2-l3", opt: translate.Options{Schema: translate.Schema2Opt, EliminateMemory: true}, pr: 2, lat: 3},
+	}
+}
+
+func buildGraph(t *testing.T, wname string, opt translate.Options) *translate.Result {
+	t.Helper()
+	w := workloads.MustByName(wname)
+	g := cfg.MustBuild(w.Parse())
+	res, err := translate.Translate(g, opt)
+	if err != nil {
+		t.Fatalf("%s: translate: %v", wname, err)
+	}
+	return res
+}
+
+// sampleCheckpoints bounds the resume matrix: all checkpoints when few,
+// otherwise an even stride that always keeps the first and last.
+func sampleCheckpoints(cks []*Checkpoint, max int) []*Checkpoint {
+	if len(cks) <= max {
+		return cks
+	}
+	out := make([]*Checkpoint, 0, max)
+	stride := (len(cks) - 1) / (max - 1)
+	for i := 0; i < len(cks)-1; i += stride {
+		out = append(out, cks[i])
+		if len(out) == max-1 {
+			break
+		}
+	}
+	return append(out, cks[len(cks)-1])
+}
+
+// roundTrip forces every captured checkpoint through the serialized
+// form, so the resume matrix also proves the on-disk format is lossless.
+func roundTrip(t *testing.T, ck *Checkpoint) *Checkpoint {
+	t.Helper()
+	b, err := ck.Encode()
+	if err != nil {
+		t.Fatalf("encode checkpoint %d: %v", ck.ID, err)
+	}
+	dec, err := DecodeCheckpoint(b)
+	if err != nil {
+		t.Fatalf("decode checkpoint %d: %v", ck.ID, err)
+	}
+	return dec
+}
+
+// TestCheckpointRestoreResumesByteIdentical is the tentpole property
+// test: across workloads × configs, a run that checkpoints every few
+// cycles (1) produces the same outcome as one that doesn't, and (2)
+// restoring at EVERY sampled checkpoint — serialized and deserialized,
+// at worker counts 1 and 4, from snapshots captured at worker counts 1
+// and 4 — resumes to the byte-identical final outcome: snapshot, end
+// values, and full statistics including the parallelism profile.
+func TestCheckpointRestoreResumesByteIdentical(t *testing.T) {
+	forceShardPool(t)
+	for _, wname := range checkpointWorkloads {
+		for _, cc := range checkpointConfigs() {
+			wname, cc := wname, cc
+			t.Run(wname+"/"+cc.name, func(t *testing.T) {
+				res := buildGraph(t, wname, cc.opt)
+				base, err := Run(res.Graph, Config{Processors: cc.pr, MemLatency: cc.lat})
+				if err != nil {
+					t.Fatalf("baseline: %v", err)
+				}
+				want := cellOf(base)
+				for _, capW := range []int{1, 4} {
+					var cks []*Checkpoint
+					res := buildGraph(t, wname, cc.opt)
+					out, err := Run(res.Graph, Config{
+						Processors: cc.pr, MemLatency: cc.lat, Workers: capW,
+						CheckpointEvery: 7,
+						CheckpointSink: func(ck *Checkpoint) error {
+							cks = append(cks, roundTrip(t, ck))
+							return nil
+						},
+					})
+					if err != nil {
+						t.Fatalf("capW=%d: checkpointed run: %v", capW, err)
+					}
+					if !cellOf(out).equal(want) {
+						t.Fatalf("capW=%d: checkpointing perturbed the run", capW)
+					}
+					if len(cks) == 0 {
+						t.Fatalf("capW=%d: run took no checkpoints (too short for interval 7?)", capW)
+					}
+					if out.Checkpoint == nil || out.Checkpoint.ID != cks[len(cks)-1].ID {
+						t.Fatalf("capW=%d: outcome does not reference the last checkpoint", capW)
+					}
+					for _, ck := range sampleCheckpoints(cks, 8) {
+						for _, resW := range []int{1, 4} {
+							res := buildGraph(t, wname, cc.opt)
+							got, err := Run(res.Graph, Config{
+								Processors: cc.pr, MemLatency: cc.lat, Workers: resW, Resume: ck,
+							})
+							if err != nil {
+								t.Fatalf("capW=%d ck=%d resW=%d: resume: %v", capW, ck.ID, resW, err)
+							}
+							if !cellOf(got).equal(want) {
+								t.Errorf("capW=%d ck=%d (cycle %d) resW=%d: resumed outcome diverged\nwant %+v\ngot  %+v",
+									capW, ck.ID, ck.Cycle, resW, want, cellOf(got))
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCheckpointFileRoundTrip pins the on-disk format: a checkpoint
+// written to disk and read back resumes to the identical outcome.
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	res := buildGraph(t, "fib-iterative", translate.Options{Schema: translate.Schema2Opt})
+	base, err := Run(res.Graph, Config{MemLatency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last *Checkpoint
+	res = buildGraph(t, "fib-iterative", translate.Options{Schema: translate.Schema2Opt})
+	if _, err := Run(res.Graph, Config{MemLatency: 4, CheckpointEvery: 11,
+		CheckpointSink: func(ck *Checkpoint) error { last = ck; return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	if last == nil {
+		t.Fatal("no checkpoint taken")
+	}
+	path := filepath.Join(t.TempDir(), "ck.json")
+	if err := last.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = buildGraph(t, "fib-iterative", translate.Options{Schema: translate.Schema2Opt})
+	got, err := Run(res.Graph, Config{MemLatency: 4, Resume: loaded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cellOf(got).equal(cellOf(base)) {
+		t.Error("resume from on-disk checkpoint diverged from the baseline run")
+	}
+}
+
+// TestCheckpointSeededRandomResume checks the RNG fast-forward: in
+// seeded-random issue mode a resumed run must replay the exact schedule
+// the original explored, at the worker count that took the snapshot;
+// restoring a seeded snapshot at a different worker count is rejected.
+func TestCheckpointSeededRandomResume(t *testing.T) {
+	forceShardPool(t)
+	const seed = 12345
+	for _, w := range []int{1, 4} {
+		res := buildGraph(t, "fib-iterative", translate.Options{Schema: translate.Schema2Opt})
+		base, err := Run(res.Graph, Config{MemLatency: 2, RandomSeed: seed, Workers: w})
+		if err != nil {
+			t.Fatalf("W=%d baseline: %v", w, err)
+		}
+		var cks []*Checkpoint
+		res = buildGraph(t, "fib-iterative", translate.Options{Schema: translate.Schema2Opt})
+		out, err := Run(res.Graph, Config{MemLatency: 2, RandomSeed: seed, Workers: w, CheckpointEvery: 5,
+			CheckpointSink: func(ck *Checkpoint) error { cks = append(cks, roundTrip(t, ck)); return nil }})
+		if err != nil {
+			t.Fatalf("W=%d checkpointed: %v", w, err)
+		}
+		if !cellOf(out).equal(cellOf(base)) {
+			t.Fatalf("W=%d: checkpointing perturbed the seeded run", w)
+		}
+		if len(cks) == 0 {
+			t.Fatalf("W=%d: no checkpoints", w)
+		}
+		for _, ck := range sampleCheckpoints(cks, 5) {
+			res := buildGraph(t, "fib-iterative", translate.Options{Schema: translate.Schema2Opt})
+			got, err := Run(res.Graph, Config{MemLatency: 2, RandomSeed: seed, Workers: w, Resume: ck})
+			if err != nil {
+				t.Fatalf("W=%d ck=%d: resume: %v", w, ck.ID, err)
+			}
+			if !cellOf(got).equal(cellOf(base)) {
+				t.Errorf("W=%d ck=%d (cycle %d): seeded resume diverged", w, ck.ID, ck.Cycle)
+			}
+		}
+		// Cross-worker seeded restore must be rejected, not silently wrong.
+		otherW := 4
+		if w == 4 {
+			otherW = 1
+		}
+		res = buildGraph(t, "fib-iterative", translate.Options{Schema: translate.Schema2Opt})
+		if _, err := Run(res.Graph, Config{MemLatency: 2, RandomSeed: seed, Workers: otherW, Resume: cks[0]}); !errors.Is(err, machcheck.ErrInvalidConfig) {
+			t.Errorf("W=%d snapshot restored at W=%d: got %v, want InvalidConfig", w, otherW, err)
+		}
+	}
+}
+
+// TestCheckpointsAreAlwaysPreFault pins the taint rule: once an armed
+// injector fires, no further checkpoints are taken, so restoring the
+// last checkpoint of a faulted run always restores clean state — the
+// resumed run (without the injector) completes with the fault-free
+// outcome.
+func TestCheckpointsAreAlwaysPreFault(t *testing.T) {
+	res := buildGraph(t, "fib-iterative", translate.Options{Schema: translate.Schema2Opt})
+	clean, err := Run(res.Graph, Config{MemLatency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := fault.NewInjector(fault.Plan{Class: fault.DropToken, Site: 0})
+	res = buildGraph(t, "fib-iterative", translate.Options{Schema: translate.Schema2Opt})
+	if _, err := Run(res.Graph, Config{MemLatency: 2, Inject: in}); err != nil {
+		t.Fatalf("counting pass: %v", err)
+	}
+	sites := in.Sites()
+	if sites == 0 {
+		t.Fatal("no drop-token sites")
+	}
+	for _, site := range []int64{sites / 2, sites} {
+		if site == 0 {
+			continue
+		}
+		var cks []*Checkpoint
+		in := fault.NewInjector(fault.Plan{Class: fault.DropToken, Site: site})
+		res := buildGraph(t, "fib-iterative", translate.Options{Schema: translate.Schema2Opt})
+		out, err := Run(res.Graph, Config{MemLatency: 2, Inject: in, CheckpointEvery: 2,
+			CheckpointSink: func(ck *Checkpoint) error { cks = append(cks, ck); return nil }})
+		if !in.Injected() {
+			t.Fatalf("site %d: fault did not fire", site)
+		}
+		if err == nil {
+			t.Fatalf("site %d: dropped token went undetected", site)
+		}
+		if len(cks) == 0 {
+			// The fault fired before the first interval elapsed; nothing
+			// to restore — the supervisor falls back to a scratch retry.
+			continue
+		}
+		if out == nil || out.Checkpoint == nil || out.Checkpoint.ID != cks[len(cks)-1].ID {
+			t.Fatalf("site %d: aborted outcome does not carry the last checkpoint", site)
+		}
+		res = buildGraph(t, "fib-iterative", translate.Options{Schema: translate.Schema2Opt})
+		got, err := Run(res.Graph, Config{MemLatency: 2, Resume: cks[len(cks)-1]})
+		if err != nil {
+			t.Fatalf("site %d: resume from last pre-fault checkpoint: %v", site, err)
+		}
+		if !cellOf(got).equal(cellOf(clean)) {
+			t.Errorf("site %d: resume from pre-fault checkpoint diverged from the clean run", site)
+		}
+	}
+}
+
+// TestCheckpointConfigValidation covers the rejected combinations and
+// mismatched restores.
+func TestCheckpointConfigValidation(t *testing.T) {
+	res := buildGraph(t, "running-example", translate.Options{Schema: translate.Schema2Opt})
+	if _, err := Run(res.Graph, Config{CheckpointEvery: -1}); !errors.Is(err, machcheck.ErrInvalidConfig) {
+		t.Errorf("negative CheckpointEvery: %v", err)
+	}
+	if _, err := Run(res.Graph, Config{CheckpointEvery: 4, DetectRaces: true}); !errors.Is(err, machcheck.ErrInvalidConfig) {
+		t.Errorf("CheckpointEvery with DetectRaces: %v", err)
+	}
+	var last *Checkpoint
+	if _, err := Run(res.Graph, Config{CheckpointEvery: 2,
+		CheckpointSink: func(ck *Checkpoint) error { last = ck; return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	if last == nil {
+		t.Fatal("no checkpoint")
+	}
+	in := fault.NewInjector(fault.Plan{Class: fault.DropToken, Site: 1})
+	if _, err := Run(res.Graph, Config{Resume: last, Inject: in}); !errors.Is(err, machcheck.ErrInvalidConfig) {
+		t.Errorf("Resume with Inject: %v", err)
+	}
+	// A checkpoint must refuse to restore into a different graph.
+	other := buildGraph(t, "gcd", translate.Options{Schema: translate.Schema2Opt})
+	if _, err := Run(other.Graph, Config{Resume: last}); !errors.Is(err, machcheck.ErrInvalidConfig) {
+		t.Errorf("restore into different graph: %v", err)
+	}
+}

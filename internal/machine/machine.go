@@ -102,6 +102,21 @@ type Config struct {
 	// is capped at 256; ignored while fault injection is active
 	// (injection decisions must see deliveries in sequential order).
 	Workers int
+	// CheckpointEvery, when > 0, captures a deterministic checkpoint of
+	// the full machine state every CheckpointEvery cycles (see
+	// checkpoint.go and ROBUSTNESS.md). Each completed checkpoint is
+	// handed to CheckpointSink; the run's Outcome carries the last one's
+	// CheckpointRef. Incompatible with DetectRaces, Trace, and Collector
+	// (checkpoints cannot capture race-detector or observability state).
+	CheckpointEvery int
+	// CheckpointSink receives each completed checkpoint. A sink error
+	// aborts the run.
+	CheckpointSink func(*Checkpoint) error
+	// Resume, when non-nil, restores the machine from a checkpoint
+	// instead of starting at cycle 0; the resumed run produces the
+	// byte-identical final Outcome the original would have. Incompatible
+	// with Inject (fault plans count delivery sites from cycle 0).
+	Resume *Checkpoint
 	// ProfileLimit caps the recorded parallelism profile length (default
 	// 1<<16 cycles; negative values are rejected); statistics remain exact
 	// beyond it.
@@ -144,6 +159,23 @@ func (c *Config) validate() error {
 	case c.Workers < 0:
 		return machcheck.Newf(machcheck.InvalidConfig, "machine",
 			"Workers must be >= 0 (0 or 1 = sequential), got %d", c.Workers)
+	case c.CheckpointEvery < 0:
+		return machcheck.Newf(machcheck.InvalidConfig, "machine",
+			"CheckpointEvery must be >= 0 (0 = disabled), got %d", c.CheckpointEvery)
+	}
+	if c.CheckpointEvery > 0 || c.Resume != nil {
+		switch {
+		case c.DetectRaces:
+			return machcheck.Newf(machcheck.InvalidConfig, "machine",
+				"checkpointing cannot capture race-detector state (disable DetectRaces)")
+		case c.Collector != nil || c.Trace != nil:
+			return machcheck.Newf(machcheck.InvalidConfig, "machine",
+				"checkpointing cannot capture observability state (detach Collector/Trace)")
+		}
+	}
+	if c.Resume != nil && c.Inject != nil {
+		return machcheck.Newf(machcheck.InvalidConfig, "machine",
+			"cannot resume a checkpoint with fault injection armed (sites are counted from cycle 0)")
 	}
 	return nil
 }
@@ -187,6 +219,12 @@ type Outcome struct {
 	// token lines).
 	EndValues []int64
 	Stats     Stats
+	// Checkpoint identifies the last completed checkpoint of the run
+	// (nil when checkpointing was off or no interval elapsed). On an
+	// aborted run this is the state a supervisor can restore — every
+	// checkpoint is pre-fault by construction — and the cycle `ctdf
+	// replay -at` can be pointed at.
+	Checkpoint *CheckpointRef
 }
 
 // token is a value travelling an arc. It is plain old data — the tag
@@ -279,11 +317,12 @@ func Run(g *dfg.Graph, cfgc Config) (*Outcome, error) {
 		return nil, err
 	}
 	m := &sim{
-		g:      g,
-		cfg:    cfgc,
-		store:  interp.NewStoreWithBinding(g.Prog, cfgc.Binding),
-		tags:   newTagTable(),
-		shards: make([]shardSlot, len(g.Nodes)),
+		g:         g,
+		cfg:       cfgc,
+		store:     interp.NewStoreWithBinding(g.Prog, cfgc.Binding),
+		tags:      newTagTable(),
+		shards:    make([]shardSlot, len(g.Nodes)),
+		resumedAt: -1,
 	}
 	m.col = cfgc.Collector
 	if cfgc.Trace != nil {
@@ -394,6 +433,15 @@ type sim struct {
 	par    bool
 	parOut []pureOut
 
+	// Checkpointing (checkpoint.go): ckID numbers completed checkpoints,
+	// lastCk is the newest one's handle, resumedAt the cycle this run was
+	// restored at (-1 otherwise), and shufLog the main RNG stream's
+	// shuffle-length history in seeded-random mode.
+	ckID      int
+	lastCk    *CheckpointRef
+	resumedAt int
+	shufLog   []int
+
 	// Sharded engine state (shard.go): the worker pool, the
 	// sequential-writer inbox lanes (impure emissions and start tokens;
 	// released split-phase completions), the sequence-key stride, the
@@ -429,7 +477,7 @@ func (m *sim) abort(err error) (*Outcome, error) {
 		ce.Cycle = m.cycle
 		m.col.Abort(m.cycle, string(ce.Check))
 	}
-	return &Outcome{Store: m.store, EndValues: m.endVals, Stats: m.stats}, err
+	return &Outcome{Store: m.store, EndValues: m.endVals, Stats: m.stats, Checkpoint: m.lastCk}, err
 }
 
 // overDeadline samples the wall clock once per deadlineStride schedulable
@@ -452,10 +500,19 @@ func (m *sim) run() (*Outcome, error) {
 	m.curDep, m.curDep2 = -1, -1
 	start := time.Now()
 
-	// Cycle 0: start emits one dummy token per out arc at the root tag.
-	for _, t := range m.g.OutTargets(m.g.StartID, 0) {
-		if err := m.deliver(tok{to: t, val: 0, tgID: rootTagID, dep: -1, dep2: -1}); err != nil {
-			return m.abort(err)
+	if m.cfg.Resume != nil {
+		// Restore a checkpoint instead of starting at cycle 0. A
+		// malformed checkpoint is a pre-run failure (nil Outcome), like
+		// any other invalid configuration.
+		if err := m.restore(m.cfg.Resume); err != nil {
+			return nil, err
+		}
+	} else {
+		// Cycle 0: start emits one dummy token per out arc at the root tag.
+		for _, t := range m.g.OutTargets(m.g.StartID, 0) {
+			if err := m.deliver(tok{to: t, val: 0, tgID: rootTagID, dep: -1, dep2: -1}); err != nil {
+				return m.abort(err)
+			}
 		}
 	}
 
@@ -466,6 +523,9 @@ func (m *sim) run() (*Outcome, error) {
 	// completed.
 	ready := m.sh0.ready
 	for !m.done || ready.count > 0 || len(m.inflight) > 0 {
+		if err := m.maybeCheckpoint(); err != nil {
+			return m.abort(err)
+		}
 		if m.cycle > m.cfg.MaxCycles {
 			return m.abort(machcheck.Newf(machcheck.CyclesExceeded, "machine",
 				"exceeded %d cycles (deadlock or runaway loop?)", m.cfg.MaxCycles).WithStuck(m.stuckList()))
@@ -499,6 +559,9 @@ func (m *sim) run() (*Outcome, error) {
 			m.rng.Shuffle(len(all), func(i, j int) {
 				all[i], all[j] = all[j], all[i]
 			})
+			if m.cfg.CheckpointEvery > 0 {
+				m.shufLog = append(m.shufLog, len(all))
+			}
 			batch = all[:issue]
 			for _, f := range all[issue:] {
 				ready.push(f)
@@ -588,7 +651,7 @@ func (m *sim) run() (*Outcome, error) {
 		return m.abort(machcheck.Newf(machcheck.TokenLeak, "machine",
 			"%d tokens left after end fired", n).WithStuck(m.stuckList()))
 	}
-	return &Outcome{Store: m.store, EndValues: m.endVals, Stats: m.stats}, nil
+	return &Outcome{Store: m.store, EndValues: m.endVals, Stats: m.stats, Checkpoint: m.lastCk}, nil
 }
 
 // totalMatchCount sums the matching store's population over all shards.

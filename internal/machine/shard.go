@@ -164,6 +164,10 @@ type shardState struct {
 	// rng is the shard's seeded-random issue stream (nil outside
 	// seeded-random mode), deterministic by (seed, shard id).
 	rng *rand.Rand
+	// shufLog records the stream's shuffle-length history while
+	// checkpointing, so a checkpoint can fast-forward a fresh stream to
+	// this one's exact state (see checkpoint.go).
+	shufLog []int
 
 	// Per-cycle scratch for the sharded engine's phases.
 	plan      []planEntry
@@ -320,20 +324,31 @@ func (m *sim) runSharded() (*Outcome, error) {
 	m.pool = newShardPool(m.shs)
 	defer m.pool.stop()
 
-	// Cycle 0: start emits one dummy token per out arc at the root tag,
-	// delivered through the same phase machinery as ordinary cycles.
-	for i, t := range m.g.OutTargets(m.g.StartID, 0) {
-		d := m.shardOf[t.Node]
-		m.seqBox[d] = append(m.seqBox[d], routedTok{
-			t: tok{to: t, val: 0, tgID: rootTagID, dep: -1, dep2: -1}, seq: int64(i),
-		})
-	}
-	m.runDeliverPhase()
-	if err := m.mergeCycle(); err != nil {
-		return m.abort(err)
+	if m.cfg.Resume != nil {
+		// Restore a checkpoint instead of starting at cycle 0 (pre-run
+		// failure on a malformed checkpoint, like invalid configuration).
+		if err := m.restore(m.cfg.Resume); err != nil {
+			return nil, err
+		}
+	} else {
+		// Cycle 0: start emits one dummy token per out arc at the root tag,
+		// delivered through the same phase machinery as ordinary cycles.
+		for i, t := range m.g.OutTargets(m.g.StartID, 0) {
+			d := m.shardOf[t.Node]
+			m.seqBox[d] = append(m.seqBox[d], routedTok{
+				t: tok{to: t, val: 0, tgID: rootTagID, dep: -1, dep2: -1}, seq: int64(i),
+			})
+		}
+		m.runDeliverPhase()
+		if err := m.mergeCycle(); err != nil {
+			return m.abort(err)
+		}
 	}
 
 	for !m.done || m.readyTotal() > 0 || len(m.inflight) > 0 {
+		if err := m.maybeCheckpoint(); err != nil {
+			return m.abort(err)
+		}
 		if m.cycle > m.cfg.MaxCycles {
 			return m.abort(machcheck.Newf(machcheck.CyclesExceeded, "machine",
 				"exceeded %d cycles (deadlock or runaway loop?)", m.cfg.MaxCycles).WithStuck(m.stuckList()))
@@ -405,7 +420,7 @@ func (m *sim) runSharded() (*Outcome, error) {
 		return m.abort(machcheck.Newf(machcheck.TokenLeak, "machine",
 			"%d tokens left after end fired", n).WithStuck(m.stuckList()))
 	}
-	return &Outcome{Store: m.store, EndValues: m.endVals, Stats: m.stats}, nil
+	return &Outcome{Store: m.store, EndValues: m.endVals, Stats: m.stats, Checkpoint: m.lastCk}, nil
 }
 
 // --- phase 1: select --------------------------------------------------
@@ -544,6 +559,9 @@ func (m *sim) fireShard(sh *shardState) {
 		sh.rng.Shuffle(len(all), func(i, j int) {
 			all[i], all[j] = all[j], all[i]
 		})
+		if m.cfg.CheckpointEvery > 0 {
+			sh.shufLog = append(sh.shufLog, len(all))
+		}
 		for j := 0; j < sh.randTake; j++ {
 			m.fireOneSharded(sh, &all[j], sh.randBase+j)
 		}

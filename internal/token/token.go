@@ -96,6 +96,31 @@ func (t Tag) Activation() int {
 	return -1
 }
 
+// ParseKey reconstructs a Tag from its canonical Key form. It is the
+// inverse of Key for every tag the engines construct, and exists so a
+// serialized machine checkpoint can re-intern its tags on restore.
+func ParseKey(s string) (Tag, error) {
+	if s == "" {
+		return Root, nil
+	}
+	parts := strings.Split(s, ".")
+	ix := make([]frame, len(parts))
+	for i, p := range parts {
+		f := frame{}
+		if strings.HasPrefix(p, "c") {
+			f.call = true
+			p = p[1:]
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 {
+			return Tag{}, fmt.Errorf("token: malformed tag key %q", s)
+		}
+		f.v = v
+		ix[i] = f
+	}
+	return Tag{ix: ix, s: encode(ix)}, nil
+}
+
 func encode(ix []frame) string {
 	if len(ix) == 0 {
 		return ""

@@ -3,6 +3,7 @@ package translate
 import (
 	"testing"
 	"testing/quick"
+	"time"
 
 	"ctdf/internal/cfg"
 	"ctdf/internal/chanexec"
@@ -77,7 +78,12 @@ func TestQuickEngineAgreement(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		co, err := chanexec.Run(res.Graph, chanexec.Config{})
+		// The generous deadline is defensive: the channel engine's only
+		// stuck-run oracle is its watchdog, and a rare scheduling stall on
+		// a loaded host would otherwise hang the whole quick.Check rather
+		// than fail one seed with a typed error (see ROBUSTNESS.md,
+		// "Known flakes").
+		co, err := chanexec.Run(res.Graph, chanexec.Config{Deadline: 2 * time.Minute})
 		if err != nil {
 			return false
 		}

@@ -36,6 +36,21 @@ go test -race -run 'Sharded' -count=1 ./internal/machine ./internal/obs/journal
 echo "== chaos smoke matrix =="
 go run ./cmd/ctdf chaos -smoke
 
+echo "== checkpoint determinism -race =="
+# Checkpoint capture/restore property tests (byte-exact resume at every
+# boundary, worker portability, fault-taint refusal) under the race
+# detector — the foundation the recovery supervisor rests on
+# (see ROBUSTNESS.md). Also covered by the full -race run above; this
+# named step keeps the gate visible and independently runnable.
+go test -race -run 'Checkpoint' -count=1 ./internal/machine
+
+echo "== recovery matrix =="
+# Every transient fault class × engine × schema × workload × workers
+# {1,4} must be survived byte-identically by the supervisor, with zero
+# leaked goroutines. Regenerates the committed artifact; exit is
+# non-zero on any unrecovered cell (see ROBUSTNESS.md).
+go run ./cmd/ctdf chaos -recover -json artifacts/recover.json
+
 echo "== vet suite =="
 # Every committed workload × schema must verify statically clean
 # (see ANALYSIS.md; the committed snapshot is artifacts/vet.json).
