@@ -58,6 +58,12 @@ func cmdBench(args []string) error {
 		}
 		return fmt.Errorf("scaling gate: sharded machine failed to scale")
 	}
+	if violations := bench.OptGate(rep); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "opt gate:", v)
+		}
+		return fmt.Errorf("opt gate: graph optimizer regressed %d cell(s)", len(violations))
+	}
 
 	if *smoke {
 		data, err := os.ReadFile(*baseline)

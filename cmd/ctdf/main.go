@@ -11,6 +11,7 @@
 //	ctdf dot [flags] (file | -workload name)      emit Graphviz (CFG or DFG)
 //	ctdf stats [flags] (file | -workload name)    dataflow graph sizes per schema
 //	ctdf vet [flags] (file | -workload name)      statically verify the dataflow graph
+//	ctdf opt [flags] (file | -workload name)      run the graph optimizer, report deltas
 //	ctdf experiments [flags] [id ...]             regenerate EXPERIMENTS.md tables
 //	ctdf chaos [flags]                            fault-injection detection matrix
 //	ctdf workloads                                list built-in workloads
@@ -52,6 +53,8 @@ func main() {
 		err = cmdStats(os.Args[2:])
 	case "vet":
 		err = cmdVet(os.Args[2:])
+	case "opt":
+		err = cmdOpt(os.Args[2:])
 	case "aliases":
 		err = cmdAliases(os.Args[2:])
 	case "explain":
@@ -85,6 +88,7 @@ func usage() {
   ctdf dot [flags] (file | -workload name)
   ctdf stats (file | -workload name)
   ctdf vet [flags] (file | -workload name | -suite)
+  ctdf opt [flags] (file | -workload name)
   ctdf aliases (file | -workload name)
   ctdf explain [flags] (file | -workload name)
   ctdf experiments [flags] [id ...]

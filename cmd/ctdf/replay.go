@@ -9,6 +9,7 @@ import (
 	"ctdf/internal/machine"
 	"ctdf/internal/obs"
 	"ctdf/internal/obs/journal"
+	graphopt "ctdf/internal/opt"
 	"ctdf/internal/translate"
 	"ctdf/internal/workloads"
 )
@@ -67,8 +68,11 @@ func cmdReplay(args []string) error {
 // replaySuite records and replays the same workload × schema matrix the
 // vet suite verifies (minus linked procedure graphs, which are not
 // serializable in dfg text format v1), pushing every journal through an
-// NDJSON round trip first so the gate also covers serialization. Each
-// cell runs at worker counts 1 and 4: the sharded machine's contract is
+// NDJSON round trip first so the gate also covers serialization. Every
+// cell runs twice — as translated and through the graph optimizer — so
+// the gate proves optimized graphs (fused super-operators included)
+// journal and replay exactly like plain ones. Each variant runs at
+// worker counts 1 and 4: the sharded machine's contract is
 // byte-identical execution, so both journals must replay divergence-free
 // AND agree with each other firing by firing. It is the replay gate run
 // by scripts/verify.sh.
@@ -85,52 +89,61 @@ func replaySuite(verbose bool) error {
 	for _, w := range workloads.All() {
 		g := cfg.MustBuild(w.Parse())
 		for _, opt := range schemas {
-			res, err := translate.Translate(g, opt)
-			if err != nil {
-				return fmt.Errorf("%s/%v: %w", w.Name, opt.Schema, err)
-			}
-			if len(res.Graph.Calls) > 0 {
-				continue
-			}
-			var baseline *journal.Journal
-			for _, workers := range workerCounts {
-				label := fmt.Sprintf("%s/%v/w%d", w.Name, opt.Schema, workers)
-				jcfg := journal.Config{Processors: 2, MemLatency: 3, Workers: workers}
-				rec := journal.NewRecorder(res.Graph, label, jcfg)
-				col := obs.NewCollector(res.Graph, obs.Options{Journal: rec})
-				out, err := machine.Run(res.Graph, machine.Config{Processors: 2, MemLatency: 3, Collector: col, Workers: workers})
+			for _, optimized := range []bool{false, true} {
+				res, err := translate.Translate(g, opt)
 				if err != nil {
-					return fmt.Errorf("%s: %w", label, err)
+					return fmt.Errorf("%s/%v: %w", w.Name, opt.Schema, err)
 				}
-				j := rec.Finish(out.Stats.Cycles)
-				var buf bytes.Buffer
-				if err := j.Write(&buf); err != nil {
-					return fmt.Errorf("%s: %w", label, err)
+				if len(res.Graph.Calls) > 0 {
+					continue
 				}
-				loaded, err := journal.Read(&buf)
-				if err != nil {
-					return fmt.Errorf("%s: reload: %w", label, err)
+				variant := ""
+				if optimized {
+					if _, err := graphopt.Run(res); err != nil {
+						return fmt.Errorf("%s/%v: optimize: %w", w.Name, opt.Schema, err)
+					}
+					variant = "+opt"
 				}
-				rr, err := journal.Replay(loaded)
-				if err != nil {
-					return fmt.Errorf("%s: %w", label, err)
-				}
-				runs++
-				if len(rr.Divergences) > 0 {
-					diverged++
-					fmt.Printf("%s: DIVERGED\n%s", label, rr.Text())
-				} else if verbose {
-					fmt.Printf("%-40s ok: %d firings, %d cycles\n", label, len(loaded.Fires), loaded.Cycles)
-				}
-				// Cross-worker-count byte-exactness: the sharded journal must
-				// match the sequential one firing by firing.
-				if baseline == nil {
-					baseline = loaded
-				} else if ds := journal.Diff(baseline, loaded); len(ds) > 0 {
-					diverged++
-					fmt.Printf("%s: DIVERGED from w%d journal:\n", label, workerCounts[0])
-					for _, d := range ds {
-						fmt.Printf("  %s\n", d)
+				var baseline *journal.Journal
+				for _, workers := range workerCounts {
+					label := fmt.Sprintf("%s/%v%s/w%d", w.Name, opt.Schema, variant, workers)
+					jcfg := journal.Config{Processors: 2, MemLatency: 3, Workers: workers}
+					rec := journal.NewRecorder(res.Graph, label, jcfg)
+					col := obs.NewCollector(res.Graph, obs.Options{Journal: rec})
+					out, err := machine.Run(res.Graph, machine.Config{Processors: 2, MemLatency: 3, Collector: col, Workers: workers})
+					if err != nil {
+						return fmt.Errorf("%s: %w", label, err)
+					}
+					j := rec.Finish(out.Stats.Cycles)
+					var buf bytes.Buffer
+					if err := j.Write(&buf); err != nil {
+						return fmt.Errorf("%s: %w", label, err)
+					}
+					loaded, err := journal.Read(&buf)
+					if err != nil {
+						return fmt.Errorf("%s: reload: %w", label, err)
+					}
+					rr, err := journal.Replay(loaded)
+					if err != nil {
+						return fmt.Errorf("%s: %w", label, err)
+					}
+					runs++
+					if len(rr.Divergences) > 0 {
+						diverged++
+						fmt.Printf("%s: DIVERGED\n%s", label, rr.Text())
+					} else if verbose {
+						fmt.Printf("%-40s ok: %d firings, %d cycles\n", label, len(loaded.Fires), loaded.Cycles)
+					}
+					// Cross-worker-count byte-exactness: the sharded journal must
+					// match the sequential one firing by firing.
+					if baseline == nil {
+						baseline = loaded
+					} else if ds := journal.Diff(baseline, loaded); len(ds) > 0 {
+						diverged++
+						fmt.Printf("%s: DIVERGED from w%d journal:\n", label, workerCounts[0])
+						for _, d := range ds {
+							fmt.Printf("  %s\n", d)
+						}
 					}
 				}
 			}

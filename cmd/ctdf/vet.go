@@ -26,6 +26,7 @@ func cmdVet(args []string) error {
 	istructs := istructFlag(fs)
 	linked := fs.Bool("linked", false, "compile procedures separately before verifying")
 	suite := fs.Bool("suite", false, "verify every built-in workload under every schema")
+	optimize := fs.Bool("optimize", false, "suite mode: also verify the optimized translation of every cell")
 	jsonOut := fs.Bool("json", false, "print the report as JSON")
 	jsonPath := fs.String("jsonfile", "", "write the report as JSON to this file")
 	verbose := fs.Bool("v", false, "suite mode: print one line per verified graph")
@@ -33,7 +34,7 @@ func cmdVet(args []string) error {
 		return err
 	}
 	if *suite {
-		return vetSuite(*jsonOut, *jsonPath, *verbose)
+		return vetSuite(*jsonOut, *jsonPath, *verbose, *optimize)
 	}
 
 	src, err := loadSource(fs, *workload)
@@ -88,7 +89,7 @@ type vetSuiteReport struct {
 	Entries  []vetSuiteEntry `json:"entries"`
 }
 
-func vetSuite(jsonOut bool, jsonPath string, verbose bool) error {
+func vetSuite(jsonOut bool, jsonPath string, verbose, optimize bool) error {
 	schemas := []ctdf.Schema{ctdf.Schema1, ctdf.Schema2, ctdf.Schema2Opt, ctdf.Schema3, ctdf.Schema3Opt}
 	rep := &vetSuiteReport{}
 	add := func(name, schemaName string, linked bool, vr *ctdf.VetReport) {
@@ -130,6 +131,14 @@ func vetSuite(jsonOut bool, jsonPath string, verbose bool) error {
 				return fmt.Errorf("%s/%s: %w", w.Name, s, err)
 			}
 			add(w.Name, s.String(), false, d.Vet())
+			if !optimize {
+				continue
+			}
+			od, err := p.Translate(ctdf.Options{Schema: s, Optimize: 1})
+			if err != nil {
+				return fmt.Errorf("%s/%s+opt: %w", w.Name, s, err)
+			}
+			add(w.Name, s.String()+"+opt", false, od.Vet())
 		}
 	}
 	fmt.Printf("vet suite: %d graphs verified, %d clean, %d errors, %d warnings\n",

@@ -37,6 +37,7 @@ import (
 	"ctdf/internal/machine"
 	"ctdf/internal/obs"
 	"ctdf/internal/obs/journal"
+	graphopt "ctdf/internal/opt"
 	"ctdf/internal/translate"
 )
 
@@ -129,6 +130,16 @@ type Options struct {
 	// semantics (§6.3): reads and writes drop their access tokens and the
 	// memory defers premature reads, letting consumers overlap producers.
 	UseIStructures bool
+	// Optimize, when > 0, runs the post-translation graph optimizer on
+	// the translated graph: redundant switch/merge pairs sink away
+	// (Figure 9), merge chains flatten, single-consumer pure operator
+	// trees fuse into one-firing super-operators, and orphaned value
+	// chains are deleted. The result computes the same store on both
+	// engines; every removal is recorded in a certificate that Vet
+	// validates against its own recomputed §4 placement. Level 1 runs
+	// the full pipeline. Translate only (TranslateLinked graphs pin node
+	// ids through call linkage and are not optimizable).
+	Optimize int
 }
 
 // Engine selects an execution engine.
@@ -181,8 +192,10 @@ type RunConfig struct {
 	MaxOps    int64
 	// Deadline bounds wall-clock execution (0 = none). The machine
 	// simulator reports ErrDeadline on expiry; the channel engine has no
-	// clock, so its deadline doubles as a deadlock watchdog and reports
-	// ErrDeadlock with per-mailbox diagnostics.
+	// clock, so its deadline is a progress-aware deadlock watchdog — it
+	// aborts only a run that delivered no token for a full Deadline
+	// window, reporting ErrDeadlock with per-mailbox diagnostics. A live
+	// run keeps extending it.
 	Deadline time.Duration
 	// Fault, when non-nil, injects one deterministic fault into the run
 	// (see FaultPlan, ROBUSTNESS.md, and the `ctdf chaos` command);
@@ -323,11 +336,40 @@ func (p *Program) Translate(opt Options) (*Dataflow, error) {
 			return nil, fmt.Errorf("ctdf: unknown cover kind %d", opt.Cover)
 		}
 	}
+	iopt.Optimize = opt.Optimize
 	res, err := translate.Translate(p.cfg, iopt)
 	if err != nil {
 		return nil, err
 	}
-	return &Dataflow{res: res}, nil
+	d := &Dataflow{res: res}
+	if opt.Optimize > 0 {
+		if _, err := d.Optimize(); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// OptPass reports one optimizer pass's activity for Optimize.
+type OptPass struct {
+	Name     string
+	Rewrites int
+}
+
+// Optimize runs the graph optimizer pipeline over the dataflow graph in
+// place (idempotently — a second call finds nothing) and returns the
+// per-pass rewrite counts in pipeline order. The optimized graph stays
+// Vet-clean: the removals are certified and checked, not trusted.
+func (d *Dataflow) Optimize() ([]OptPass, error) {
+	cert, err := graphopt.Run(d.res)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]OptPass, len(cert.Passes))
+	for i, p := range cert.Passes {
+		out[i] = OptPass{Name: p.Name, Rewrites: p.Rewrites}
+	}
+	return out, nil
 }
 
 // Dataflow is a translated dataflow program graph.

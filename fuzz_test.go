@@ -50,8 +50,11 @@ func FuzzLoadDataflowRun(f *testing.F) {
 // FuzzCompileVet asserts the translation-validation contract over
 // arbitrary source programs: anything Compile accepts must translate to a
 // graph that vets clean, under every schema and transform combination the
-// translator accepts. Seeds are the committed workloads, so the fuzzer
-// mutates from realistic programs toward pathological ones.
+// translator accepts — and must stay clean through the graph optimizer,
+// whose certificate vet validates rather than trusts, and whose output
+// must execute to the same result on both engines. Seeds are the
+// committed workloads, so the fuzzer mutates from realistic programs
+// toward pathological ones.
 func FuzzCompileVet(f *testing.F) {
 	for _, w := range workloads.All() {
 		f.Add(w.Source)
@@ -88,6 +91,36 @@ func FuzzCompileVet(f *testing.F) {
 			}
 			if rep := d.Vet(); !rep.Clean() {
 				t.Errorf("schema %v graph does not vet clean:\n%s", opt.Schema, rep)
+				continue
+			}
+			base, err := d.Run(RunConfig{MaxCycles: 20_000, MaxOps: 2_000_000})
+			if err != nil {
+				continue // runaway loop under the budget: fine, skip the diff
+			}
+			if _, err := d.Optimize(); err != nil {
+				t.Errorf("schema %v optimize failed: %v", opt.Schema, err)
+				continue
+			}
+			if rep := d.Vet(); !rep.Clean() {
+				t.Errorf("schema %v optimized graph does not vet clean:\n%s", opt.Schema, rep)
+				continue
+			}
+			mo, err := d.Run(RunConfig{MaxCycles: 20_000, MaxOps: 2_000_000})
+			if err != nil {
+				t.Errorf("schema %v optimized graph aborted: %v", opt.Schema, err)
+				continue
+			}
+			if mo.Snapshot != base.Snapshot {
+				t.Errorf("schema %v optimization changed the result\n got %s\nwant %s", opt.Schema, mo.Snapshot, base.Snapshot)
+			}
+			co, err := d.Run(RunConfig{Engine: EngineChannels, MaxOps: 2_000_000, Deadline: 10 * time.Second})
+			if err != nil {
+				t.Errorf("schema %v optimized graph failed on channels: %v", opt.Schema, err)
+				continue
+			}
+			if co.Snapshot != mo.Snapshot || co.Ops != mo.Ops {
+				t.Errorf("schema %v engines disagree on optimized graph: machine %s (%d ops) vs channels %s (%d ops)",
+					opt.Schema, mo.Snapshot, mo.Ops, co.Snapshot, co.Ops)
 			}
 		}
 	})

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -51,6 +52,11 @@ func Matrix() []Case {
 		{"schema2", ctdf.Options{Schema: ctdf.Schema2}},
 		{"schema2-opt", ctdf.Options{Schema: ctdf.Schema2Opt}},
 		{"mem-elim", ctdf.Options{Schema: ctdf.Schema2Opt, EliminateMemory: true}},
+		// The graph-optimizer counterpart of mem-elim: same translation
+		// run through internal/opt (fusion, switch sinking, merge
+		// collapsing, dead-token elimination). OptGate holds each +opt
+		// cell to no-worse cycles/ops than its base cell.
+		{"mem-elim+opt", ctdf.Options{Schema: ctdf.Schema2Opt, EliminateMemory: true, Optimize: 1}},
 	}
 	for _, wn := range []string{"running-example", "fib-iterative", "matmul-2x2-flat", "independent-chains"} {
 		w := workloads.MustByName(wn)
@@ -60,7 +66,7 @@ func Matrix() []Case {
 				Source:      w.Source,
 				Opt:         c.opt,
 				Run:         ctdf.RunConfig{MemLatency: 4},
-				SteadyState: wn == "fib-iterative" && c.name == "mem-elim",
+				SteadyState: wn == "fib-iterative" && strings.HasPrefix(c.name, "mem-elim"),
 				Smoke:       wn == "fib-iterative" || wn == "running-example",
 			})
 		}
@@ -87,6 +93,19 @@ func Matrix() []Case {
 			SteadyState: size == 16,
 			Smoke:       size == 16,
 		})
+		if size == 16 {
+			// Optimized counterpart of the largest scaling cell, so the
+			// smoke gate holds the optimizer's non-regression bar
+			// (OptGate) on a generated workload too, not just the paper
+			// kernels.
+			cases = append(cases, Case{
+				Name:   fmt.Sprintf("scaling/size=%d+opt", size),
+				Source: w.Source,
+				Opt:    ctdf.Options{Schema: ctdf.Schema2Opt, Optimize: 1},
+				Run:    ctdf.RunConfig{},
+				Smoke:  true,
+			})
+		}
 	}
 	return cases
 }
@@ -411,6 +430,48 @@ func ScalingGate(rep *Report) []string {
 		check(best, floor, "scaling")
 	}
 	check(over, ScalingFloorOversub, "oversubscription")
+	return violations
+}
+
+// OptGate is the graph-optimizer non-regression gate: every "+opt"
+// cell in the report is compared against its base cell (same name minus
+// the suffix). The simulated metrics are deterministic, so they are
+// gated exactly — an optimized graph may never take more cycles or fire
+// more operators than the graph it was rewritten from. Wall time is
+// gated loosely (best iteration within 1.5x of the base cell's): the
+// optimized run does strictly less work, so only a real regression —
+// e.g. fused-operator evaluation going quadratic — can trip it.
+func OptGate(rep *Report) []string {
+	base := map[string]*Result{}
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		base[r.Name] = r
+	}
+	var violations []string
+	for _, r := range base {
+		bn, ok := strings.CutSuffix(r.Name, "+opt")
+		if !ok {
+			continue
+		}
+		b, ok := base[bn]
+		if !ok {
+			continue
+		}
+		if r.Cycles > b.Cycles {
+			violations = append(violations, fmt.Sprintf(
+				"%s: optimized graph takes %d cycles vs %d unoptimized", r.Name, r.Cycles, b.Cycles))
+		}
+		if r.Ops > b.Ops {
+			violations = append(violations, fmt.Sprintf(
+				"%s: optimized graph fires %d operators vs %d unoptimized", r.Name, r.Ops, b.Ops))
+		}
+		if r.BestNsPerOp > 0 && b.BestNsPerOp > 0 && r.BestNsPerOp > 1.5*b.BestNsPerOp {
+			violations = append(violations, fmt.Sprintf(
+				"%s: best-iteration %.0fns/op is over 1.5x the unoptimized cell's %.0fns/op",
+				r.Name, r.BestNsPerOp, b.BestNsPerOp))
+		}
+	}
+	sort.Strings(violations)
 	return violations
 }
 

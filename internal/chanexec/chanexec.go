@@ -39,11 +39,15 @@ type Config struct {
 	Binding interp.Binding
 	// MaxOps bounds total firings (default ten million).
 	MaxOps int64
-	// Deadline bounds wall-clock execution (0 = none). The engine has no
-	// clock, so the deadline doubles as its deadlock oracle: a run that
-	// has not quiesced when it expires is aborted with a Deadlock machine
-	// check carrying per-mailbox queue depths, and every worker goroutine
-	// is torn down before Run returns.
+	// Deadline bounds wall-clock *idle* time (0 = none). The engine has no
+	// clock, so the deadline doubles as its deadlock oracle — but it is
+	// progress-aware: the watchdog only aborts a run that has delivered no
+	// token for a full Deadline window. A live run that is merely slow (a
+	// loaded host, a descheduled worker) keeps extending the watchdog and
+	// can never be killed by it; a deadlocked, wedged, or starved run goes
+	// silent and is aborted with a Deadlock machine check carrying
+	// per-mailbox queue depths, every worker goroutine torn down before
+	// Run returns.
 	Deadline time.Duration
 	// Inject threads a deterministic fault-injection plan through the
 	// run (nil = no injection; see internal/fault and ROBUSTNESS.md).
@@ -143,16 +147,25 @@ const (
 )
 
 // Watchdog instrumentation, read by tests: watchdogFired counts deadline
-// callbacks that won the race and failed the run; watchdogLate counts
-// callbacks that fired after the run had already completed or failed and
-// were discarded. watchdogTestDelay, when non-nil, runs inside the
-// callback before it attempts the failure — tests use it to force the
-// callback to lose the race deterministically.
+// callbacks that found a fully idle run and failed it; watchdogExtended
+// counts callbacks that observed delivery progress since the previous
+// expiry and re-armed instead of aborting; watchdogLate counts callbacks
+// that fired after the run had already completed or failed and were
+// discarded. watchdogTestDelay, when non-nil, runs inside the callback
+// before it inspects the run — tests use it to force the callback to lose
+// the race deterministically.
 var (
 	watchdogFired     atomic.Int64
+	watchdogExtended  atomic.Int64
 	watchdogLate      atomic.Int64
 	watchdogTestDelay func()
 )
+
+// deliverTestDelay, when non-nil, runs at the top of every send — tests
+// use it to pace token delivery slower than a short watchdog deadline,
+// making "live run outlasts its deadline" a deterministic scenario rather
+// than a loaded-host accident.
+var deliverTestDelay func()
 
 // seedTestDelay, when non-nil, runs between the start node's seed sends —
 // tests use it to hold the seeding loop open so every already-sent token
@@ -169,8 +182,13 @@ type engine struct {
 	inflight atomic.Int64
 	ops      atomic.Int64
 	leftover atomic.Int64
-	maxOps   int64
-	inj      *fault.Injector
+	// delivered counts every token ever pushed to a mailbox; it only grows.
+	// The watchdog reads it at each expiry: movement since the previous
+	// expiry is proof of life, and only a full deadline window with no
+	// movement is treated as a deadlock.
+	delivered atomic.Int64
+	maxOps    int64
+	inj       *fault.Injector
 
 	done chan struct{}
 	// state is the run lifecycle: stateRunning until the single transition
@@ -273,21 +291,18 @@ func Run(g *dfg.Graph, cfg Config) (*Outcome, error) {
 	}
 
 	// The quiescence watchdog: the engine has no clock, so a wall-clock
-	// deadline is its deadlock oracle. If the run has not quiesced when it
-	// expires, fail with a Deadlock check carrying per-mailbox queue
-	// depths; the normal teardown below then reclaims every worker.
-	var watchdog *time.Timer
+	// bound is its deadlock oracle. The bound is on idle time, not total
+	// runtime: at each expiry the callback compares the monotone delivered
+	// counter against what it saw last time, and re-arms if the run moved.
+	// Only a full deadline window with zero deliveries aborts the run —
+	// so a deadlocked or wedged graph (which goes permanently silent) is
+	// still converted into a typed Deadlock error, while a live run can
+	// never be killed mid-progress no matter how loaded the host is. This
+	// closed the historical watchdog-races-live-run flake family (see
+	// ROBUSTNESS.md, "Known flakes").
+	var watchdog *wdog
 	if cfg.Deadline > 0 {
-		watchdog = time.AfterFunc(cfg.Deadline, func() {
-			if watchdogTestDelay != nil {
-				watchdogTestDelay()
-			}
-			if e.fail(e.watchdogError(cfg.Deadline)) {
-				watchdogFired.Add(1)
-			} else {
-				watchdogLate.Add(1)
-			}
-		})
+		watchdog = e.startWatchdog(cfg.Deadline)
 	}
 
 	// The start node emits one dummy token per arc at the root context.
@@ -306,7 +321,7 @@ func Run(g *dfg.Graph, cfg Config) (*Outcome, error) {
 	e.retire()
 	<-e.done
 	if watchdog != nil {
-		watchdog.Stop()
+		watchdog.stop()
 	}
 	for _, b := range e.boxes {
 		b.close()
@@ -349,7 +364,7 @@ func Run(g *dfg.Graph, cfg Config) (*Outcome, error) {
 // in-flight count plus every non-empty mailbox's queue depth.
 func (e *engine) watchdogError(d time.Duration) error {
 	ce := machcheck.Newf(machcheck.Deadlock, "channels",
-		"no quiescence within %v deadline: %d tokens in flight", d, e.inflight.Load())
+		"no token delivered for a full %v idle window: %d tokens in flight", d, e.inflight.Load())
 	var stuck []machcheck.Stuck
 	for i, b := range e.boxes {
 		if b == nil {
@@ -366,6 +381,69 @@ func (e *engine) watchdogError(d time.Duration) error {
 		stuck = append(stuck, machcheck.Stuck{Node: i, Label: label, Have: depth})
 	}
 	return ce.WithStuck(stuck)
+}
+
+// wdog is the progress-aware quiescence watchdog: a self-re-arming timer
+// that aborts the run only after a full deadline window with zero token
+// deliveries. stopped is set by Run once the run is over, turning any
+// still-in-flight callback into a counted no-op.
+type wdog struct {
+	mu       sync.Mutex
+	timer    *time.Timer
+	stopped  bool
+	lastSeen int64
+}
+
+func (e *engine) startWatchdog(d time.Duration) *wdog {
+	// lastSeen starts at -1 so the first expiry always re-arms (delivered
+	// is never negative): an abort therefore requires one complete window
+	// during which the callback's snapshot did not move.
+	w := &wdog{lastSeen: -1}
+	expire := func() {
+		if watchdogTestDelay != nil {
+			watchdogTestDelay()
+		}
+		w.mu.Lock()
+		if w.stopped {
+			w.mu.Unlock()
+			watchdogLate.Add(1)
+			return
+		}
+		now := e.delivered.Load()
+		if now != w.lastSeen {
+			// Tokens moved since the last expiry: the run is slow, not
+			// stuck. Grant it another full idle window.
+			w.lastSeen = now
+			w.timer.Reset(d)
+			w.mu.Unlock()
+			watchdogExtended.Add(1)
+			return
+		}
+		w.mu.Unlock()
+		if e.fail(e.watchdogError(d)) {
+			watchdogFired.Add(1)
+		} else {
+			watchdogLate.Add(1)
+		}
+	}
+	// Assign the timer under the lock: with a tiny deadline the callback
+	// can run before AfterFunc returns, and it must block until w.timer is
+	// set before it may Reset it.
+	w.mu.Lock()
+	w.timer = time.AfterFunc(d, expire)
+	w.mu.Unlock()
+	return w
+}
+
+// stop retires the watchdog at the end of the run. A callback already past
+// the stopped check may still lose the fail CAS to normal completion;
+// either way it is a no-op, counted under watchdogLate.
+func (w *wdog) stop() {
+	w.mu.Lock()
+	w.stopped = true
+	t := w.timer
+	w.mu.Unlock()
+	t.Stop()
 }
 
 // fail moves the run to the failed state and records err, reporting
@@ -399,8 +477,12 @@ func (e *engine) matchSite(node int) bool {
 }
 
 // send delivers a token; the in-flight count rises before delivery so the
-// quiescence check cannot fire spuriously.
+// quiescence check cannot fire spuriously, and the delivered count rises
+// with every push so the watchdog sees the run is alive.
 func (e *engine) send(node int, m msg) {
+	if deliverTestDelay != nil {
+		deliverTestDelay()
+	}
 	if e.inj != nil {
 		switch e.inj.Deliver(e.matchSite(node)) {
 		case fault.ActDrop:
@@ -409,6 +491,7 @@ func (e *engine) send(node int, m msg) {
 			return
 		case fault.ActDup:
 			e.inflight.Add(1)
+			e.delivered.Add(1)
 			e.boxes[node].push(m)
 		case fault.ActCorruptTag:
 			m.tg = m.tg.Push()
@@ -417,6 +500,7 @@ func (e *engine) send(node int, m msg) {
 		}
 	}
 	e.inflight.Add(1)
+	e.delivered.Add(1)
 	e.boxes[node].push(m)
 }
 
@@ -587,6 +671,20 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag, clock i
 			return
 		}
 		e.emit(n.ID, 0, v, tg, fc)
+
+	case dfg.Fused:
+		// One activation evaluates the whole step program (no Misfire
+		// inside: fused steps are interior value computations, mirroring
+		// the machine engine).
+		fi := e.g.FusionOf(n.ID)
+		res, err := interp.EvalFused(fi.Steps, vals, nil)
+		if err != nil {
+			e.fail(machcheck.Newf(machcheck.OperatorFault, "channels", "%s: %v", n, err))
+			return
+		}
+		for p, s := range fi.Outs {
+			e.emit(n.ID, p, res[s], tg, fc)
+		}
 
 	case dfg.Switch:
 		out := 0

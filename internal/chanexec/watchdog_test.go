@@ -1,0 +1,87 @@
+package chanexec
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ctdf/internal/fault"
+	"ctdf/internal/machcheck"
+	"ctdf/internal/translate"
+)
+
+// These tests pin the root cause of the historical watchdog flake family
+// (ROBUSTNESS.md, "Known flakes, root-caused"): the old watchdog was a
+// one-shot wall-clock bound on *total* runtime, so on a loaded host it
+// could kill a live run — aborting clean executions spuriously
+// (TestQuickEngineAgreement) and expiring before token delivery reached a
+// planned injection site (TestChanexecDetectsInjectedFaults). The fix
+// bounds *idle* time instead: the watchdog re-arms whenever the delivered
+// counter moved since its last expiry. The deliverTestDelay hook paces
+// every send slower than the deadline, recreating the loaded-host
+// interleaving deterministically instead of once in hundreds of CI runs.
+
+// TestWatchdogExtendsLiveRunPacedSlowerThanDeadline: a clean run whose
+// every token delivery is paced at 2ms against a 250ms deadline. The
+// run makes ~800 deliveries, so total paced runtime spans several
+// deadline windows; under the old one-shot watchdog this aborted
+// deterministically. The progress-aware watchdog must keep extending
+// (watchdogExtended advances — proof the run outlived the original
+// deadline) and the run must complete with the clean snapshot. The
+// deadline is deliberately two orders of magnitude above the per-send
+// pacing: under -race a single time.Sleep can oversleep by tens of
+// milliseconds, and one delivery stalling past the whole window is a
+// genuine idle window the watchdog is *supposed* to flag.
+func TestWatchdogExtendsLiveRunPacedSlowerThanDeadline(t *testing.T) {
+	res := translateWorkload(t, "array-sum", translate.Options{Schema: translate.Schema2Opt})
+	want, _, _ := cleanRunSnapshot(t, res)
+
+	deliverTestDelay = func() { time.Sleep(2 * time.Millisecond) }
+	defer func() { deliverTestDelay = nil }()
+	extBefore := watchdogExtended.Load()
+	out, err := Run(res.Graph, Config{Deadline: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("paced live run was killed by its watchdog: %v", err)
+	}
+	if got := out.Store.Snapshot(); got != want {
+		t.Errorf("paced run snapshot diverged:\n%s\nwant:\n%s", got, want)
+	}
+	if watchdogExtended.Load() == extBefore {
+		t.Error("watchdog never re-armed: the run finished inside one deadline, so this test exercised nothing — lower the deadline or raise the pacing")
+	}
+}
+
+// TestWatchdogWaitsForDeepInjectionSite: a wedge planned at the very last
+// delivery of the run, with every send paced at 1ms against a 250ms
+// deadline. The old watchdog expired long before delivery reached the
+// site, so the fault never fired and the run aborted as a plain
+// uninjected deadline — the exact failure TestChanexecDetectsInjectedFaults
+// used to retry around. The progress-aware watchdog cannot expire while
+// deliveries still advance toward the site, so the wedge must fire, and
+// only the genuinely silent wedged run may then be aborted, typed.
+// (Same pacing-vs-deadline margin rationale as the test above.)
+func TestWatchdogWaitsForDeepInjectionSite(t *testing.T) {
+	res := translateWorkload(t, "array-sum", translate.Options{Schema: translate.Schema2Opt})
+	sites, _, _ := countSites(t, res, fault.WedgeMailbox)
+	if sites < 100 {
+		t.Fatalf("array-sum has only %d deliveries; the deep-site scenario needs a long run", sites)
+	}
+
+	deliverTestDelay = func() { time.Sleep(time.Millisecond) }
+	defer func() { deliverTestDelay = nil }()
+	extBefore := watchdogExtended.Load()
+	in := fault.NewInjector(fault.Plan{Class: fault.WedgeMailbox, Site: sites})
+	out, err := Run(res.Graph, Config{Inject: in, Deadline: 250 * time.Millisecond})
+	if !in.Injected() {
+		t.Fatalf("wedge at final site %d never fired: watchdog aborted a progressing run (err = %v)", sites, err)
+	}
+	if !errors.Is(err, machcheck.ErrDeadlock) {
+		t.Fatalf("wedged run ended with %v, want ErrDeadlock", err)
+	}
+	if out == nil {
+		t.Error("wedged run returned no partial outcome")
+	}
+	if watchdogExtended.Load() == extBefore {
+		t.Error("watchdog never re-armed: delivery reached the last site inside one deadline, so this test exercised nothing")
+	}
+}

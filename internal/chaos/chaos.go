@@ -275,8 +275,10 @@ func runCell(d *ctdf.Dataflow, eng ctdf.Engine, engName, schema, wname string, c
 
 	deadline := cfg.Deadline
 	if class == ctdf.FaultWedgeMailbox {
-		// A wedged run can only end via the watchdog, so it burns its
-		// whole deadline; keep it short.
+		// A wedged run can only end via the watchdog, so it burns at least
+		// one full idle window; keep it short. The watchdog re-arms while
+		// tokens still move, so the short window cannot expire before
+		// delivery reaches the injection site.
 		deadline = 250 * time.Millisecond
 	}
 	faulted, err := d.Run(ctdf.RunConfig{

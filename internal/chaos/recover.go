@@ -263,59 +263,52 @@ func runRecoverCell(d *ctdf.Dataflow, eng ctdf.Engine, engName, schema, wname st
 
 	// The channel engine detects stuck runs only through its watchdog,
 	// so every channels row needs a short deadline; machine aborts come
-	// from the checks themselves.
+	// from the checks themselves. The deadline bounds idle time, not total
+	// runtime: the watchdog re-arms while tokens move, so it cannot expire
+	// before delivery reaches the injection site — the fault always fires
+	// and the old doubled-deadline cell retries are gone.
 	deadline := cfg.Deadline
 	if engName == "channels" {
 		deadline = 250 * time.Millisecond
 	}
-	for try := 0; ; try++ {
-		r, err := d.Run(ctdf.RunConfig{
-			Engine: eng, Workers: workers, Deadline: deadline,
-			Fault:    &ctdf.FaultPlan{Class: class, Site: cell.Site},
-			Recovery: recoverPolicy(),
-		})
-		cell.recordReport(r)
-		if err != nil {
-			cell.Outcome = "unrecovered"
-			cell.Err = err.Error()
-			return cell
-		}
-		if r.Fault == nil || !r.Fault.Injected {
-			// The watchdog can expire before token delivery reaches the
-			// injection site under host load (the wedge flake, see
-			// ROBUSTNESS.md): the fault never fired, so the cell proved
-			// nothing. Retry the whole cell with a doubled watchdog.
-			if engName == "channels" && try < 4 {
-				deadline *= 2
-				continue
-			}
-			cell.Outcome = "not-injected"
-			return cell
-		}
-		if diff := identicalTo(r, golden, engName, !class.Benign()); diff != "" {
-			cell.Outcome = "diverged"
-			cell.Err = diff
-			return cell
-		}
-		switch {
-		case class.Benign():
-			if cell.Attempts == 1 {
-				// The negative control: a delayed memory response must be
-				// tolerated outright, not recovered from.
-				cell.Outcome = "tolerated"
-				cell.OK = true
-			} else {
-				cell.Outcome = "not-tolerated"
-			}
-		case cell.Attempts > 1:
-			cell.Outcome = "recovered"
-			cell.OK = true
-		default:
-			cell.Outcome = "survived"
-			cell.OK = true
-		}
+	r, err := d.Run(ctdf.RunConfig{
+		Engine: eng, Workers: workers, Deadline: deadline,
+		Fault:    &ctdf.FaultPlan{Class: class, Site: cell.Site},
+		Recovery: recoverPolicy(),
+	})
+	cell.recordReport(r)
+	if err != nil {
+		cell.Outcome = "unrecovered"
+		cell.Err = err.Error()
 		return cell
 	}
+	if r.Fault == nil || !r.Fault.Injected {
+		cell.Outcome = "not-injected"
+		return cell
+	}
+	if diff := identicalTo(r, golden, engName, !class.Benign()); diff != "" {
+		cell.Outcome = "diverged"
+		cell.Err = diff
+		return cell
+	}
+	switch {
+	case class.Benign():
+		if cell.Attempts == 1 {
+			// The negative control: a delayed memory response must be
+			// tolerated outright, not recovered from.
+			cell.Outcome = "tolerated"
+			cell.OK = true
+		} else {
+			cell.Outcome = "not-tolerated"
+		}
+	case cell.Attempts > 1:
+		cell.Outcome = "recovered"
+		cell.OK = true
+	default:
+		cell.Outcome = "survived"
+		cell.OK = true
+	}
+	return cell
 }
 
 // runDeadlineCell runs the synthetic expiring-wall-clock row: no

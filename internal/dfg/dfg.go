@@ -46,6 +46,11 @@ type Kind int
 //	ProcReturn callee-side exit: in 0..NIns-1 collect the callee's tokens;
 //	          firing pops the activation frame and emits on the calling
 //	          Apply's return ports (no static outputs)
+//	Fused     optimizer-built super-operator: in 0..NIns-1 collect the
+//	          external operands of a fused pure expression tree, then the
+//	          whole step program (Graph.FusionOf) evaluates in one firing
+//	          → out 0..NOuts-1 emit the designated step results. Strictly
+//	          matched like BinOp; tag-preserving; never touches memory.
 const (
 	Start Kind = iota
 	End
@@ -66,6 +71,7 @@ const (
 	Apply
 	Param
 	ProcReturn
+	Fused
 )
 
 var kindNames = map[Kind]string{
@@ -75,6 +81,7 @@ var kindNames = map[Kind]string{
 	LoopEntry: "loop-entry", LoopExit: "loop-exit",
 	ILoad: "iload", IStore: "istore",
 	Apply: "apply", Param: "param", ProcReturn: "proc-return",
+	Fused: "fused",
 }
 
 func (k Kind) String() string { return kindNames[k] }
@@ -92,10 +99,10 @@ func numOuts(k Kind) int {
 	}
 }
 
-// OutPorts returns the node's output port count (Apply nodes carry their
-// own; every other kind derives it from Kind).
+// OutPorts returns the node's output port count (Apply and Fused nodes
+// carry their own; every other kind derives it from Kind).
 func (n *Node) OutPorts() int {
-	if n.Kind == Apply {
+	if n.Kind == Apply || n.Kind == Fused {
 		return n.NOuts
 	}
 	return numOuts(n.Kind)
@@ -138,6 +145,38 @@ type Node struct {
 	Stmt int
 }
 
+// Operand references inside a FusedOp step: values ≥ 0 name the result
+// of a prior step; values < 0 name an external input port of the fused
+// node, encoded as -(port+1).
+const fusedInputBias = 1
+
+// FusedInput encodes external input port p as a step operand reference.
+func FusedInput(p int) int { return -(p + fusedInputBias) }
+
+// FusedInputPort decodes a reference produced by FusedInput (call only
+// when r < 0).
+func FusedInputPort(r int) int { return -r - fusedInputBias }
+
+// FusedOp is one step of a fused operator's internal program. Only the
+// pure value kinds appear: Const (consumes its trigger operand A,
+// produces Val), UnOp (operand A), BinOp (operands A, B). Operands are
+// encoded per FusedInput.
+type FusedOp struct {
+	Kind Kind
+	Op   lang.Op
+	Val  int64
+	A, B int
+}
+
+// FusedInfo is the side-table entry describing one Fused node (the
+// analogue of CallInfo for Apply): the step program evaluated per
+// firing, and for each output port the step whose result it emits.
+type FusedInfo struct {
+	Node  int
+	Steps []FusedOp
+	Outs  []int
+}
+
 // String renders the node for diagnostics.
 func (n *Node) String() string {
 	switch n.Kind {
@@ -154,6 +193,8 @@ func (n *Node) String() string {
 		if n.Tok != "" {
 			return fmt.Sprintf("d%d: %s[%s]", n.ID, n.Kind, n.Tok)
 		}
+	case Fused:
+		return fmt.Sprintf("d%d: fused/%d", n.ID, n.NIns)
 	}
 	return fmt.Sprintf("d%d: %s", n.ID, n.Kind)
 }
@@ -207,6 +248,12 @@ type Graph struct {
 	// (empty for inlined translations).
 	Calls []CallInfo
 
+	// Fusions holds the step programs of Fused nodes, in node-id order
+	// (empty for unoptimized translations); fusionIdx maps node id →
+	// Fusions index and is maintained by AddFusion.
+	Fusions   []FusedInfo
+	fusionIdx map[int]int
+
 	// outs[node][port] lists arc indices leaving that port.
 	outs [][][]int
 	// outTargets[node][port] caches the destination list of each out
@@ -246,6 +293,26 @@ func (g *Graph) Add(n *Node) *Node {
 		g.EndID = n.ID
 	}
 	return n
+}
+
+// AddFusion records the step program of a Fused node.
+func (g *Graph) AddFusion(fi FusedInfo) {
+	if g.fusionIdx == nil {
+		g.fusionIdx = map[int]int{}
+	}
+	g.fusionIdx[fi.Node] = len(g.Fusions)
+	g.Fusions = append(g.Fusions, fi)
+}
+
+// FusionOf returns the step program of a Fused node, or nil. The index
+// is built by AddFusion, so lookups are safe from concurrent engine
+// workers.
+func (g *Graph) FusionOf(node int) *FusedInfo {
+	i, ok := g.fusionIdx[node]
+	if !ok {
+		return nil
+	}
+	return &g.Fusions[i]
 }
 
 // Connect adds an arc from (from, fromPort) to (to, toPort).
@@ -461,6 +528,74 @@ func (g *Graph) Validate() error {
 			}
 		}
 	}
+	return g.validateFusions()
+}
+
+// validateFusions checks the Fused side table: every Fused node has a
+// step program and vice versa, step operand references are in range and
+// acyclic (prior steps only), and the operand count fits the engines'
+// 64-bit matching bitmask.
+func (g *Graph) validateFusions() error {
+	seen := map[int]bool{}
+	for i := range g.Fusions {
+		fi := &g.Fusions[i]
+		if fi.Node < 0 || fi.Node >= len(g.Nodes) || g.Nodes[fi.Node].Kind != Fused {
+			return fmt.Errorf("dfg: fusion entry %d names d%d, which is not a fused node", i, fi.Node)
+		}
+		if seen[fi.Node] {
+			return fmt.Errorf("dfg: duplicate fusion entry for %s", g.Nodes[fi.Node])
+		}
+		seen[fi.Node] = true
+		n := g.Nodes[fi.Node]
+		if n.NIns > 64 {
+			return fmt.Errorf("dfg: %s has %d inputs; strict matching is limited to 64", n, n.NIns)
+		}
+		if len(fi.Steps) == 0 {
+			return fmt.Errorf("dfg: %s has an empty step program", n)
+		}
+		ref := func(step, r int) error {
+			if r >= 0 {
+				if r >= step {
+					return fmt.Errorf("dfg: %s step %d references step %d (must be a prior step)", n, step, r)
+				}
+				return nil
+			}
+			if p := -r - fusedInputBias; p < 0 || p >= n.NIns {
+				return fmt.Errorf("dfg: %s step %d references input port %d (NIns=%d)", n, step, p, n.NIns)
+			}
+			return nil
+		}
+		for s, op := range fi.Steps {
+			switch op.Kind {
+			case Const, UnOp:
+				if err := ref(s, op.A); err != nil {
+					return err
+				}
+			case BinOp:
+				if err := ref(s, op.A); err != nil {
+					return err
+				}
+				if err := ref(s, op.B); err != nil {
+					return err
+				}
+			default:
+				return fmt.Errorf("dfg: %s step %d has kind %s; only const/unop/binop fuse", n, s, op.Kind)
+			}
+		}
+		if len(fi.Outs) != n.NOuts || n.NOuts < 1 {
+			return fmt.Errorf("dfg: %s emits %d ports but fusion lists %d outs", n, n.NOuts, len(fi.Outs))
+		}
+		for p, s := range fi.Outs {
+			if s < 0 || s >= len(fi.Steps) {
+				return fmt.Errorf("dfg: %s out port %d names step %d of %d", n, p, s, len(fi.Steps))
+			}
+		}
+	}
+	for _, n := range g.Nodes {
+		if n.Kind == Fused && !seen[n.ID] {
+			return fmt.Errorf("dfg: %s has no fusion entry", n)
+		}
+	}
 	return nil
 }
 
@@ -484,6 +619,8 @@ func (g *Graph) DOT() string {
 			shape = "hexagon"
 		case Const:
 			shape = "plaintext"
+		case Fused:
+			shape = "box3d"
 		}
 		fmt.Fprintf(&b, "  d%d [label=%q, shape=%s];\n", n.ID, n.String(), shape)
 	}

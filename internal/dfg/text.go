@@ -98,13 +98,35 @@ func WriteText(w io.Writer, g *Graph) error {
 		if n.Tok != "" {
 			fmt.Fprintf(bw, " tok=%s", n.Tok)
 		}
-		if n.Kind == End || n.Kind == Synch {
+		if n.Kind == End || n.Kind == Synch || n.Kind == Fused {
 			fmt.Fprintf(bw, " ins=%d", n.NIns)
+		}
+		if n.Kind == Fused {
+			fmt.Fprintf(bw, " outs=%d", n.NOuts)
 		}
 		if n.Stmt != 0 {
 			fmt.Fprintf(bw, " stmt=%d", n.Stmt)
 		}
 		fmt.Fprintln(bw)
+	}
+	for i := range g.Fusions {
+		fi := &g.Fusions[i]
+		fmt.Fprintf(bw, "fused d%d", fi.Node)
+		for _, op := range fi.Steps {
+			switch op.Kind {
+			case Const:
+				fmt.Fprintf(bw, " const:%d:%s", op.Val, fusedRef(op.A))
+			case UnOp:
+				fmt.Fprintf(bw, " %s:%s", opName(UnOp, op.Op), fusedRef(op.A))
+			case BinOp:
+				fmt.Fprintf(bw, " %s:%s:%s", op.Op, fusedRef(op.A), fusedRef(op.B))
+			}
+		}
+		outs := make([]string, len(fi.Outs))
+		for p, s := range fi.Outs {
+			outs[p] = strconv.Itoa(s)
+		}
+		fmt.Fprintf(bw, " out=%s\n", strings.Join(outs, ","))
 	}
 	for _, a := range g.Arcs {
 		fmt.Fprintf(bw, "arc d%d.%d -> d%d.%d", a.From, a.FromPort, a.To, a.ToPort)
@@ -239,6 +261,15 @@ func ParseText(r io.Reader) (*Graph, error) {
 					}
 					n.NIns = v
 					insSet = true
+				case "outs":
+					v, err := strconv.Atoi(kv[1])
+					if err != nil || v < 0 || v > maxNodeIns {
+						return nil, fail("bad outs %q (must be 0..%d)", kv[1], maxNodeIns)
+					}
+					if kind != Fused {
+						return nil, fail("outs= is only valid on fused nodes")
+					}
+					n.NOuts = v
 				case "stmt":
 					v, err := strconv.Atoi(kv[1])
 					if err != nil {
@@ -256,6 +287,77 @@ func ParseText(r io.Reader) (*Graph, error) {
 				return nil, fail("kind %s has fixed arity %d, got ins=%d", kind, fi, n.NIns)
 			}
 			gg.Add(n)
+		case "fused":
+			if g == nil {
+				return nil, fail("fused before any node")
+			}
+			if len(fields) < 4 {
+				return nil, fail("fused takes a node id, steps, and out=")
+			}
+			id, err := parseNodeID(fields[1])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if id < 0 || id >= len(g.Nodes) || g.Nodes[id].Kind != Fused {
+				return nil, fail("fused directive for d%d, which is not a declared fused node", id)
+			}
+			fi := FusedInfo{Node: id}
+			for _, f := range fields[2 : len(fields)-1] {
+				parts := strings.Split(f, ":")
+				var op FusedOp
+				switch {
+				case parts[0] == "const" && len(parts) == 3:
+					v, err := strconv.ParseInt(parts[1], 10, 64)
+					if err != nil {
+						return nil, fail("bad fused const %q", f)
+					}
+					op = FusedOp{Kind: Const, Val: v}
+					if op.A, err = parseFusedRef(parts[2]); err != nil {
+						return nil, fail("%v", err)
+					}
+				case len(parts) == 2:
+					o, ok := opByName[parts[0]]
+					if !ok || (o != lang.OpNeg && o != lang.OpNot) {
+						return nil, fail("bad fused unop %q", f)
+					}
+					op = FusedOp{Kind: UnOp, Op: o}
+					var err error
+					if op.A, err = parseFusedRef(parts[1]); err != nil {
+						return nil, fail("%v", err)
+					}
+				case len(parts) == 3:
+					o, ok := opByName[parts[0]]
+					if !ok {
+						return nil, fail("bad fused binop %q", f)
+					}
+					op = FusedOp{Kind: BinOp, Op: o}
+					var err error
+					if op.A, err = parseFusedRef(parts[1]); err != nil {
+						return nil, fail("%v", err)
+					}
+					if op.B, err = parseFusedRef(parts[2]); err != nil {
+						return nil, fail("%v", err)
+					}
+				default:
+					return nil, fail("bad fused step %q", f)
+				}
+				fi.Steps = append(fi.Steps, op)
+				if len(fi.Steps) > maxNodeIns {
+					return nil, fail("fused step program too long")
+				}
+			}
+			last := fields[len(fields)-1]
+			if !strings.HasPrefix(last, "out=") {
+				return nil, fail("fused line must end with out=")
+			}
+			for _, s := range strings.Split(strings.TrimPrefix(last, "out="), ",") {
+				v, err := strconv.Atoi(s)
+				if err != nil || v < 0 {
+					return nil, fail("bad fused out %q", s)
+				}
+				fi.Outs = append(fi.Outs, v)
+			}
+			g.AddFusion(fi)
 		case "arc":
 			if g == nil {
 				return nil, fail("arc before any node")
@@ -276,7 +378,7 @@ func ParseText(r io.Reader) (*Graph, error) {
 			if from < 0 || from >= len(g.Nodes) || to < 0 || to >= len(g.Nodes) {
 				return nil, fail("arc references unknown node")
 			}
-			if fp < 0 || fp >= numOuts(g.Nodes[from].Kind) || tp < 0 || tp >= g.Nodes[to].NIns {
+			if fp < 0 || fp >= g.Nodes[from].OutPorts() || tp < 0 || tp >= g.Nodes[to].NIns {
 				return nil, fail("arc references out-of-range port")
 			}
 			g.Connect(from, fp, to, tp, dummy)
@@ -294,6 +396,32 @@ func ParseText(r io.Reader) (*Graph, error) {
 		return nil, err
 	}
 	return g, nil
+}
+
+// fusedRef renders a FusedOp operand reference: s<k> for the result of
+// step k, i<p> for external input port p.
+func fusedRef(r int) string {
+	if r >= 0 {
+		return fmt.Sprintf("s%d", r)
+	}
+	return fmt.Sprintf("i%d", -r-fusedInputBias)
+}
+
+func parseFusedRef(s string) (int, error) {
+	if len(s) < 2 {
+		return 0, fmt.Errorf("bad fused operand %q", s)
+	}
+	v, err := strconv.Atoi(s[1:])
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad fused operand %q", s)
+	}
+	switch s[0] {
+	case 's':
+		return v, nil
+	case 'i':
+		return FusedInput(v), nil
+	}
+	return 0, fmt.Errorf("bad fused operand %q", s)
 }
 
 func parseNodeID(s string) (int, error) {
@@ -326,10 +454,10 @@ func Listing(g *Graph) string {
 	for _, n := range g.Nodes {
 		fmt.Fprintf(&b, "%-28s", n.String())
 		var dests []string
-		for p := 0; p < numOuts(n.Kind); p++ {
+		for p := 0; p < n.OutPorts(); p++ {
 			for _, a := range g.OutArcs(n.ID, p) {
 				d := fmt.Sprintf("d%d.%d", a.To, a.ToPort)
-				if numOuts(n.Kind) > 1 {
+				if n.OutPorts() > 1 {
 					d = fmt.Sprintf("%d→%s", p, d)
 				}
 				dests = append(dests, d)

@@ -3,6 +3,9 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"ctdf/internal/machine"
+	"ctdf/internal/translate"
 )
 
 func TestAllExperimentsRun(t *testing.T) {
@@ -63,6 +66,34 @@ func TestTheorem1ExperimentReportsNoMismatches(t *testing.T) {
 	for _, line := range strings.Split(out, "\n") {
 		if strings.Contains(line, "mismatches") && !strings.Contains(line, " 0") {
 			t.Errorf("Theorem 1 mismatches reported:\n%s", out)
+		}
+	}
+}
+
+// TestOptimizerDeltasExperiment pins E18's asserted metric on the exact
+// cells the table reports: under schema2-opt with memory elimination —
+// the strongest translation the paper builds — the graph optimizer must
+// still strictly reduce both interconnect traffic (tokens moved) and the
+// critical path (cycles) on Figure 9 and every loop workload, without
+// changing any result.
+func TestOptimizerDeltasExperiment(t *testing.T) {
+	topt := translate.Options{Schema: translate.Schema2Opt, EliminateMemory: true}
+	for _, name := range []string{"fig9-bypass", "running-example", "fib-iterative", "gcd", "collatz-bounded", "sieve"} {
+		d, err := measureOptDelta(name, topt, machine.Config{MemLatency: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !d.agree {
+			t.Errorf("%s: optimization changed the result", name)
+		}
+		if d.rewrites == 0 {
+			t.Errorf("%s: optimizer found nothing to rewrite", name)
+		}
+		if d.opt.Stats.Cycles >= d.base.Stats.Cycles {
+			t.Errorf("%s: cycles did not drop: %d -> %d", name, d.base.Stats.Cycles, d.opt.Stats.Cycles)
+		}
+		if d.opt.Stats.TokensMoved >= d.base.Stats.TokensMoved {
+			t.Errorf("%s: tokens moved did not drop: %d -> %d", name, d.base.Stats.TokensMoved, d.opt.Stats.TokensMoved)
 		}
 	}
 }

@@ -1,0 +1,60 @@
+package interp
+
+import (
+	"fmt"
+
+	"ctdf/internal/dfg"
+	"ctdf/internal/lang"
+)
+
+// EvalFused evaluates a fused operator's step program over its external
+// input operands, returning one value per step (the caller selects the
+// emitted ones via FusedInfo.Outs). It is shared by both execution
+// engines so fused arithmetic cannot diverge from the unfused operators
+// it replaced: binops go through Apply, unops use the engines' neg/not
+// semantics, consts consume their trigger operand and produce Val.
+// scratch, if large enough, backs the result slice to avoid per-firing
+// allocation.
+func EvalFused(steps []dfg.FusedOp, in []int64, scratch []int64) ([]int64, error) {
+	var res []int64
+	if cap(scratch) >= len(steps) {
+		res = scratch[:len(steps)]
+	} else {
+		res = make([]int64, len(steps))
+	}
+	rd := func(r int) int64 {
+		if r >= 0 {
+			return res[r]
+		}
+		return in[dfg.FusedInputPort(r)]
+	}
+	for i, s := range steps {
+		switch s.Kind {
+		case dfg.Const:
+			rd(s.A) // the trigger operand is consumed but carries no value
+			res[i] = s.Val
+		case dfg.UnOp:
+			switch s.Op {
+			case lang.OpNeg:
+				res[i] = -rd(s.A)
+			case lang.OpNot:
+				if rd(s.A) == 0 {
+					res[i] = 1
+				} else {
+					res[i] = 0
+				}
+			default:
+				return nil, fmt.Errorf("fused step %d: bad unary op %v", i, s.Op)
+			}
+		case dfg.BinOp:
+			v, err := Apply(s.Op, rd(s.A), rd(s.B))
+			if err != nil {
+				return nil, fmt.Errorf("fused step %d: %v", i, err)
+			}
+			res[i] = v
+		default:
+			return nil, fmt.Errorf("fused step %d: kind %v cannot fuse", i, s.Kind)
+		}
+	}
+	return res, nil
+}

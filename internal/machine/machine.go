@@ -191,6 +191,10 @@ type Stats struct {
 	MemOps int
 	// Matches counts tokens that had to wait in the matching store.
 	Matches int
+	// TokensMoved counts tokens delivered to operator input ports — the
+	// dataflow machine's interconnect traffic. Operator fusion lowers it:
+	// a fused tree's interior results never become tokens at all.
+	TokensMoved int64
 	// MaxParallelism is the peak number of operations issued in one cycle.
 	MaxParallelism int
 	// PeakMatchStore is the peak number of partially matched activations
@@ -398,6 +402,9 @@ type sim struct {
 	batchBuf []firing
 	emitBuf  []tok
 	tokArena []tok
+	// fusedScratch backs fused-node step evaluation (sequential retire
+	// path only).
+	fusedScratch []int64
 
 	// inflight memory completions: cycle → emissions.
 	inflight map[int][]delayed
@@ -473,6 +480,7 @@ type delayed struct {
 // failure) alongside the error, so aborted runs remain profilable.
 func (m *sim) abort(err error) (*Outcome, error) {
 	m.stats.Cycles = m.cycle
+	m.stats.TokensMoved = m.delivered
 	if ce, ok := err.(*machcheck.Error); ok {
 		ce.Cycle = m.cycle
 		m.col.Abort(m.cycle, string(ce.Check))
@@ -637,6 +645,7 @@ func (m *sim) run() (*Outcome, error) {
 		}
 	}
 	m.stats.Cycles = m.endCycle
+	m.stats.TokensMoved = m.delivered
 	if err := m.istruct.pendingError(); err != nil {
 		return m.abort(err)
 	}
@@ -905,6 +914,22 @@ func (m *sim) fire(f *firing) error {
 			return machcheck.Newf(machcheck.OperatorFault, "machine", "bad unary op %v", n.Op)
 		}
 		m.emitAll(n.ID, 0, v, f.tgID)
+		return nil
+
+	case dfg.Fused:
+		// The whole step program evaluates in this one firing; fault
+		// injection sees the fused node as a single operator (Misfire
+		// targets predicate binops only, and fused trees are interior
+		// value computations, so no injection point is lost).
+		fi := m.g.FusionOf(n.ID)
+		vals, err := interp.EvalFused(fi.Steps, f.vals, m.fusedScratch)
+		if err != nil {
+			return machcheck.Newf(machcheck.OperatorFault, "machine", "%s: %v", n, err)
+		}
+		m.fusedScratch = vals
+		for p, s := range fi.Outs {
+			m.emitAll(n.ID, p, vals[s], f.tgID)
+		}
 		return nil
 
 	case dfg.Switch:

@@ -130,5 +130,17 @@ func (m *sim) evalPure(f *firing, out *pureOut) {
 		out.ok, out.val = true, f.vals[0]
 	case dfg.Synch:
 		out.ok = true
+	case dfg.Fused:
+		fi := m.g.FusionOf(f.node)
+		if len(fi.Outs) != 1 {
+			return // multi-output fused nodes retire sequentially
+		}
+		vals, err := interp.EvalFused(fi.Steps, f.vals, nil)
+		if err != nil {
+			out.ok = true
+			out.err = machcheck.Newf(machcheck.OperatorFault, "machine", "%s: %v", n, err)
+			return
+		}
+		out.ok, out.val = true, vals[fi.Outs[0]]
 	}
 }

@@ -409,6 +409,7 @@ func (m *sim) runSharded() (*Outcome, error) {
 		}
 	}
 	m.stats.Cycles = m.endCycle
+	m.stats.TokensMoved = m.delivered
 	if err := m.istruct.pendingError(); err != nil {
 		return m.abort(err)
 	}

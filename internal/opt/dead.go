@@ -1,0 +1,98 @@
+package opt
+
+import (
+	"ctdf/internal/dfg"
+	"ctdf/internal/translate"
+)
+
+// eliminateDead deletes pure value nodes (const, binop, unop, fused)
+// none of whose outputs has a consumer — typically predicate chains
+// orphaned when sink-switches removed the switch that consumed them.
+// The tokens such a node produces were already being discarded; what
+// needs care is the tokens it consumes. Deleting the node empties its
+// producers' output ports, which is only sound when each such port
+// either still has another live consumer or may legitimately go
+// unconsumed — the same conditions vet's token-balance pass accepts: a
+// pure value source, a load's value output (port 0), or a §6.1
+// value-token line, where tokens are droppable. Access-token ports
+// (stores, switches, merges, synchs, start) must keep at least one
+// consumer, so a dead node fed by one of those stays in place (vet
+// tolerates it: unconsumed pure values are dead code, not leaks).
+//
+// Runs to a fixpoint so a whole orphaned chain unravels back-to-front.
+func eliminateDead(g *dfg.Graph, res *translate.Result, count, total *int) (*dfg.Graph, error) {
+	e := newEditor(g)
+	isValue := func(k dfg.Kind) bool {
+		return k == dfg.Const || k == dfg.BinOp || k == dfg.UnOp || k == dfg.Fused
+	}
+	srcSafe := func(sn *dfg.Node, port int) bool {
+		if isValue(sn.Kind) {
+			return true
+		}
+		if (sn.Kind == dfg.Load || sn.Kind == dfg.LoadIdx || sn.Kind == dfg.ILoad) && port == 0 {
+			return true
+		}
+		return res != nil && sn.Tok != "" && res.ValueTokens[sn.Tok] != ""
+	}
+
+	portLive := make([][]int, len(g.Nodes)) // live out-arc count per (node, port)
+	outLive := make([]int, len(g.Nodes))
+	for i, n := range g.Nodes {
+		portLive[i] = make([]int, n.OutPorts())
+	}
+	for _, a := range g.Arcs {
+		portLive[a.From][a.FromPort]++
+		outLive[a.From]++
+	}
+
+	n := 0
+	for changed := true; changed; {
+		changed = false
+		for _, v := range g.Nodes {
+			if e.deadN[v.ID] || !isValue(v.Kind) || outLive[v.ID] != 0 || v.OutPorts() == 0 {
+				continue
+			}
+			ok := true
+			for p := 0; p < v.NIns && ok; p++ {
+				for _, ai := range e.ins[v.ID][p] {
+					if e.deadA[ai] {
+						continue
+					}
+					a := g.Arcs[ai]
+					if portLive[a.From][a.FromPort] > 1 || srcSafe(g.Nodes[a.From], a.FromPort) {
+						continue
+					}
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for p := 0; p < v.NIns; p++ {
+				for _, ai := range e.ins[v.ID][p] {
+					if e.deadA[ai] {
+						continue
+					}
+					a := g.Arcs[ai]
+					e.deadA[ai] = true
+					portLive[a.From][a.FromPort]--
+					outLive[a.From]--
+				}
+			}
+			e.deadN[v.ID] = true
+			changed = true
+			n++
+		}
+	}
+	if n == 0 {
+		return g, nil
+	}
+	ng, err := e.rebuild()
+	if err != nil {
+		return nil, err
+	}
+	*count += n
+	*total += n
+	return ng, nil
+}

@@ -1,0 +1,160 @@
+package opt
+
+import (
+	"ctdf/internal/dfg"
+)
+
+// fuseOperators collapses maximal single-consumer trees of pure value
+// operators (const, binop, unop) into one Fused super-operator per
+// tree. A node joins its consumer's tree when it is pure and its result
+// goes to exactly one place — then no other operator observes the
+// interior token, so evaluating the whole tree inside one firing is
+// unobservable except through cost: the interior tokens never enter the
+// matching store and the tree retires in one cycle instead of its
+// depth.
+//
+// A tree root is a binop/unop that is not itself absorbable (its result
+// fans out, or its consumer is not a pure operator). The fused node's
+// external inputs are the arcs crossing into the tree, numbered in
+// operand order by a producers-first walk from the root; its single
+// output carries the root's result. Trees of size one are left alone,
+// and Fused nodes from earlier rounds are not re-fused (their
+// multi-step bodies stay as built). External input count is capped at
+// 64 to keep the engines' one-word matching bitmask exact.
+func fuseOperators(g *dfg.Graph, count, total *int) (*dfg.Graph, error) {
+	e := newEditor(g)
+	pure := func(k dfg.Kind) bool { return k == dfg.Const || k == dfg.BinOp || k == dfg.UnOp }
+	outDeg := func(id int) int {
+		d := 0
+		for _, arcs := range e.outs[id] {
+			d += len(arcs)
+		}
+		return d
+	}
+	// absorbable: the node's single consumer is a pure operator tree
+	// under construction (binop/unop), so the node belongs to that
+	// consumer's tree rather than rooting its own.
+	absorbable := func(id int) bool {
+		if outDeg(id) != 1 {
+			return false
+		}
+		k := g.Nodes[g.Arcs[e.outs[id][0][0]].To].Kind
+		return k == dfg.BinOp || k == dfg.UnOp
+	}
+
+	type tree struct {
+		root    int
+		steps   []dfg.FusedOp
+		ext     map[int]int // arc index → external input port
+		members []int
+		nExt    int
+	}
+	treeOf := make([]int, len(g.Nodes))
+	for i := range treeOf {
+		treeOf[i] = -1
+	}
+	var trees []*tree
+
+	for _, root := range g.Nodes {
+		if (root.Kind != dfg.BinOp && root.Kind != dfg.UnOp) || treeOf[root.ID] != -1 {
+			continue
+		}
+		if outDeg(root.ID) < 1 || absorbable(root.ID) {
+			continue
+		}
+		t := &tree{root: root.ID, ext: map[int]int{}}
+		okTree := true
+		var build func(v int) int
+		build = func(v int) int {
+			if !okTree {
+				return 0
+			}
+			vn := g.Nodes[v]
+			var refs [2]int
+			for p := 0; p < vn.NIns; p++ {
+				arcs := e.ins[v][p]
+				if len(arcs) != 1 {
+					okTree = false
+					return 0
+				}
+				ai := arcs[0]
+				src := g.Arcs[ai].From
+				if pure(g.Nodes[src].Kind) && outDeg(src) == 1 && treeOf[src] == -1 {
+					refs[p] = build(src)
+				} else {
+					if t.nExt >= 64 {
+						okTree = false
+						return 0
+					}
+					t.ext[ai] = t.nExt
+					refs[p] = dfg.FusedInput(t.nExt)
+					t.nExt++
+				}
+			}
+			var op dfg.FusedOp
+			switch vn.Kind {
+			case dfg.Const:
+				op = dfg.FusedOp{Kind: dfg.Const, Val: vn.Val, A: refs[0]}
+			case dfg.UnOp:
+				op = dfg.FusedOp{Kind: dfg.UnOp, Op: vn.Op, A: refs[0]}
+			case dfg.BinOp:
+				op = dfg.FusedOp{Kind: dfg.BinOp, Op: vn.Op, A: refs[0], B: refs[1]}
+			default:
+				okTree = false
+				return 0
+			}
+			t.steps = append(t.steps, op)
+			t.members = append(t.members, v)
+			return len(t.steps) - 1
+		}
+		build(root.ID)
+		if !okTree || len(t.steps) < 2 {
+			continue // nothing worth fusing at this root
+		}
+		for _, m := range t.members {
+			treeOf[m] = len(trees)
+		}
+		trees = append(trees, t)
+	}
+	if len(trees) == 0 {
+		return g, nil
+	}
+
+	fusedID := make([]int, len(trees))
+	for i, t := range trees {
+		rn := g.Nodes[t.root]
+		fusedID[i] = e.addNode(&dfg.Node{Kind: dfg.Fused, NIns: t.nExt, NOuts: 1, Stmt: rn.Stmt, Tok: rn.Tok})
+		e.newFus = append(e.newFus, dfg.FusedInfo{Node: fusedID[i], Steps: t.steps, Outs: []int{len(t.steps) - 1}})
+		for _, m := range t.members {
+			e.deadN[m] = true
+		}
+	}
+	for ai, a := range g.Arcs {
+		sT, dT := treeOf[a.From], treeOf[a.To]
+		if sT == -1 && dT == -1 {
+			continue
+		}
+		e.deadA[ai] = true
+		if dT != -1 {
+			if p, ok := trees[dT].ext[ai]; ok {
+				from, fp := a.From, a.FromPort
+				if sT != -1 {
+					from, fp = fusedID[sT], 0 // the feeder is another tree's root
+				}
+				e.added = append(e.added, dfg.Arc{From: from, FromPort: fp, To: fusedID[dT], ToPort: p, Dummy: a.Dummy})
+			}
+			// Not an external input: an interior arc, dropped — that is
+			// the optimization.
+			continue
+		}
+		// Root output crossing out of the tree.
+		e.added = append(e.added, dfg.Arc{From: fusedID[sT], FromPort: 0, To: a.To, ToPort: a.ToPort, Dummy: a.Dummy})
+	}
+	ng, err := e.rebuild()
+	if err != nil {
+		return nil, err
+	}
+	*count += len(trees)
+	*total += len(trees)
+	return ng, nil
+}

@@ -1,0 +1,75 @@
+package opt
+
+import (
+	"ctdf/internal/dfg"
+	"ctdf/internal/translate"
+)
+
+// collapseMerges flattens merge chains: a merge m1 whose single
+// consumer is port 0 of another merge m2 for the same token forwards
+// every arriving token verbatim into m2, so m1's arms can feed m2
+// directly and m1 disappears. Merge is non-strict first-come-forward
+// routing; flattening preserves the multiset of tokens m2 emits (merge
+// composition is associative) and determinacy, because the guard sets
+// of m1's arms were already pairwise disjoint from each other and from
+// m2's other arms (they reached m2 before the rewrite too, just one hop
+// later).
+//
+// Within a round, a merge that has already absorbed arms is skipped as
+// a flattening source (its in-arc list is stale); the round loop
+// re-runs until no chain remains.
+func collapseMerges(g *dfg.Graph, cert *translate.OptCertificate, count, total *int) (*dfg.Graph, error) {
+	for {
+		e := newEditor(g)
+		touched := make([]bool, len(g.Nodes)) // received rewired arms this round
+		n := 0
+		for _, m1 := range g.Nodes {
+			if m1.Kind != dfg.Merge || e.deadN[m1.ID] || touched[m1.ID] {
+				continue
+			}
+			outs := e.outs[m1.ID][0]
+			if len(outs) != 1 {
+				continue
+			}
+			a := g.Arcs[outs[0]]
+			if a.ToPort != 0 || a.To == m1.ID {
+				continue
+			}
+			m2 := g.Nodes[a.To]
+			if m2.Kind != dfg.Merge || m2.Tok != m1.Tok || e.deadN[m2.ID] {
+				continue
+			}
+			ok := true
+			for _, ii := range e.ins[m1.ID][0] {
+				ia := g.Arcs[ii]
+				if e.hasArc(ia.From, ia.FromPort, m2.ID, 0) {
+					ok = false // the arm already feeds m2 directly: duplicate
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for _, ii := range e.ins[m1.ID][0] {
+				ia := g.Arcs[ii]
+				e.added = append(e.added, dfg.Arc{From: ia.From, FromPort: ia.FromPort, To: m2.ID, ToPort: 0, Dummy: ia.Dummy})
+				e.deadA[ii] = true
+			}
+			e.deadA[outs[0]] = true
+			e.deadN[m1.ID] = true
+			touched[m2.ID] = true
+			cert.RemovedMerges[translate.StmtTok{Stmt: m1.Stmt, Tok: m1.Tok}]++
+			n++
+		}
+		if n == 0 {
+			return g, nil
+		}
+		ng, err := e.rebuild()
+		if err != nil {
+			return nil, err
+		}
+		g = ng
+		*count += n
+		*total += n
+	}
+}

@@ -1,0 +1,217 @@
+package opt
+
+import (
+	"testing"
+	"time"
+
+	"ctdf/internal/cfg"
+	"ctdf/internal/chanexec"
+	"ctdf/internal/dfg"
+	"ctdf/internal/interp"
+	"ctdf/internal/machine"
+	"ctdf/internal/translate"
+	"ctdf/internal/vet"
+	"ctdf/internal/workloads"
+)
+
+var allSchemas = []translate.Schema{
+	translate.Schema1, translate.Schema2, translate.Schema2Opt,
+	translate.Schema3, translate.Schema3Opt,
+}
+
+// TestOptimizedSuiteAgreesAcrossEngines is the package's acceptance
+// gate: every committed workload under every schema, optimized, must
+// (1) vet with zero diagnostics, certificate included, (2) produce the
+// same final store as the unoptimized graph on the machine engine and
+// as sequential interpretation, and (3) agree between the machine and
+// channel engines on both store and firing count.
+func TestOptimizedSuiteAgreesAcrossEngines(t *testing.T) {
+	cells := 0
+	for _, w := range workloads.All() {
+		g, err := cfg.Build(w.Parse())
+		if err != nil {
+			continue // procedure workloads need linked translation
+		}
+		want, err := interp.Run(g, interp.Options{})
+		if err != nil {
+			t.Fatalf("%s: interp: %v", w.Name, err)
+		}
+		for _, s := range allSchemas {
+			res, err := translate.Translate(g, translate.Options{Schema: s})
+			if err != nil {
+				t.Fatalf("%s/%v: translate: %v", w.Name, s, err)
+			}
+			base, err := machine.Run(res.Graph, machine.Config{})
+			if err != nil {
+				t.Fatalf("%s/%v: baseline run: %v", w.Name, s, err)
+			}
+			if _, err := Run(res); err != nil {
+				t.Fatalf("%s/%v: optimize: %v", w.Name, s, err)
+			}
+			if rep := vet.Run(res.Graph, res); !rep.Clean() {
+				t.Errorf("%s/%v: optimized graph not vet-clean:\n%s", w.Name, s, rep)
+				continue
+			}
+			mo, err := machine.Run(res.Graph, machine.Config{})
+			if err != nil {
+				t.Fatalf("%s/%v: optimized machine run: %v", w.Name, s, err)
+			}
+			co, err := chanexec.Run(res.Graph, chanexec.Config{Deadline: 10 * time.Second})
+			if err != nil {
+				t.Fatalf("%s/%v: optimized chanexec run: %v", w.Name, s, err)
+			}
+			if got, want := mo.Store.Snapshot(), base.Store.Snapshot(); got != want {
+				t.Errorf("%s/%v: optimization changed the machine result\n got %s\nwant %s", w.Name, s, got, want)
+			}
+			if got := translate.FinalSnapshot(res, mo.Store, mo.EndValues); got != want.Store.Snapshot() {
+				t.Errorf("%s/%v: optimized result disagrees with interpretation\n got %s\nwant %s", w.Name, s, got, want.Store.Snapshot())
+			}
+			if mo.Store.Snapshot() != co.Store.Snapshot() || int64(mo.Stats.Ops) != co.Ops {
+				t.Errorf("%s/%v: engines disagree on optimized graph: machine %s (%d ops) vs channels %s (%d ops)",
+					w.Name, s, mo.Store.Snapshot(), mo.Stats.Ops, co.Store.Snapshot(), co.Ops)
+			}
+			cells++
+		}
+	}
+	if cells < 100 {
+		t.Fatalf("only %d workload/schema cells optimized; suite lost coverage", cells)
+	}
+}
+
+// TestFigure9SwitchPairRemoved reproduces the paper's Figure 9 claim as
+// a rewrite: under Schema 2 (switches at every fork for every token)
+// the fig9-bypass workload carries switch/merge pairs for x and w —
+// tokens the branches never touch — which the §4 placement proves
+// unnecessary. sink-switches must delete them, leaving no more switches
+// than the Schema2Opt translation places, and the optimized graph must
+// finish in fewer machine cycles.
+func TestFigure9SwitchPairRemoved(t *testing.T) {
+	g, err := cfg.Build(workloads.MustByName("fig9-bypass").Parse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := translate.Translate(g, translate.Options{Schema: translate.Schema2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := machine.Run(res.Graph, machine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unoptSwitches := countKind(res.Graph, dfg.Switch)
+	cert, err := Run(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cert.RemovedSwitches) == 0 {
+		t.Fatal("no redundant switches removed from the Schema 2 running example")
+	}
+	optRes, err := translate.Translate(g, translate.Options{Schema: translate.Schema2Opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ceiling := countKind(res.Graph, dfg.Switch), countKind(optRes.Graph, dfg.Switch)
+	if got > ceiling {
+		t.Errorf("optimized Schema 2 keeps %d switches; Schema2Opt places only %d", got, ceiling)
+	}
+	if got >= unoptSwitches {
+		t.Errorf("switch count did not drop: %d before, %d after", unoptSwitches, got)
+	}
+	after, err := machine.Run(res.Graph, machine.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Stats.Cycles >= before.Stats.Cycles {
+		t.Errorf("optimized graph is not faster: %d cycles before, %d after", before.Stats.Cycles, after.Stats.Cycles)
+	}
+}
+
+// TestVetRejectsBogusCertificate: vet validates the optimizer's claims
+// rather than trusting them. Inflating a genuine claim or fabricating a
+// claim at a slot the contract never placed must both turn into vet
+// errors.
+func TestVetRejectsBogusCertificate(t *testing.T) {
+	g, err := cfg.Build(workloads.MustByName("running-example").Parse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := translate.Translate(g, translate.Options{Schema: translate.Schema2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := Run(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := vet.Run(res.Graph, res); !rep.Clean() {
+		t.Fatalf("honest certificate should vet clean:\n%s", rep)
+	}
+
+	// Inflate one genuine switch claim.
+	for k := range cert.RemovedSwitches {
+		cert.RemovedSwitches[k]++
+		if rep := vet.Run(res.Graph, res); rep.Errors() == 0 {
+			t.Errorf("inflated claim at %v not rejected", k)
+		}
+		cert.RemovedSwitches[k]--
+		break
+	}
+
+	// Fabricate a claim at a slot the contract never placed.
+	bogus := translate.StmtTok{Stmt: 1 << 20, Tok: "no-such-token"}
+	cert.RemovedSwitches[bogus] = 1
+	if rep := vet.Run(res.Graph, res); rep.Errors() == 0 {
+		t.Error("fabricated switch claim not rejected")
+	}
+	delete(cert.RemovedSwitches, bogus)
+
+	// Overclaim merge removals beyond what the contract places.
+	cert.RemovedMerges[bogus] = 3
+	if rep := vet.Run(res.Graph, res); rep.Errors() == 0 {
+		t.Error("fabricated merge claim not rejected")
+	}
+	delete(cert.RemovedMerges, bogus)
+
+	if rep := vet.Run(res.Graph, res); !rep.Clean() {
+		t.Fatalf("restored certificate should vet clean again:\n%s", rep)
+	}
+}
+
+// TestOptimizeIsIdempotent: a second pipeline run over an already
+// optimized graph must find nothing left to rewrite.
+func TestOptimizeIsIdempotent(t *testing.T) {
+	g, err := cfg.Build(workloads.MustByName("running-example").Parse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range allSchemas {
+		res, err := translate.Translate(g, translate.Options{Schema: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(res); err != nil {
+			t.Fatal(err)
+		}
+		first := dfg.Text(res.Graph)
+		cert2, err := Run(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := cert2.Rewrites(); n != 0 {
+			t.Errorf("%v: second optimization run rewrote %d more times", s, n)
+		}
+		if dfg.Text(res.Graph) != first {
+			t.Errorf("%v: second optimization run changed the graph text", s)
+		}
+	}
+}
+
+func countKind(g *dfg.Graph, k dfg.Kind) int {
+	n := 0
+	for _, node := range g.Nodes {
+		if node.Kind == k {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,211 @@
+package opt
+
+import (
+	"testing"
+
+	"ctdf/internal/cfg"
+	"ctdf/internal/dfg"
+	"ctdf/internal/interp"
+	"ctdf/internal/lang"
+	"ctdf/internal/translate"
+	"ctdf/internal/workloads"
+)
+
+// Mutation-style self-tests: each pass gets one graph it must rewrite
+// and one it must leave byte-identical. The must-not cases assert
+// pointer equality — a pass with nothing to do returns its input graph
+// without a rebuild.
+
+// mergeChain builds start → {c1 → m1 → m2, c2 → m2} → end, with both
+// merges on token tok2 unless tok1 overrides m1's.
+func mergeChain(tok1, tok2 string) *dfg.Graph {
+	g := dfg.NewGraph(nil)
+	start := g.Add(&dfg.Node{Kind: dfg.Start})
+	c1 := g.Add(&dfg.Node{Kind: dfg.Const, Val: 1})
+	c2 := g.Add(&dfg.Node{Kind: dfg.Const, Val: 2})
+	m1 := g.Add(&dfg.Node{Kind: dfg.Merge, Tok: tok1})
+	m2 := g.Add(&dfg.Node{Kind: dfg.Merge, Tok: tok2})
+	end := g.Add(&dfg.Node{Kind: dfg.End, NIns: 1})
+	g.Connect(start.ID, 0, c1.ID, 0, false)
+	g.Connect(start.ID, 0, c2.ID, 0, false)
+	g.Connect(c1.ID, 0, m1.ID, 0, false)
+	g.Connect(m1.ID, 0, m2.ID, 0, false)
+	g.Connect(c2.ID, 0, m2.ID, 0, false)
+	g.Connect(m2.ID, 0, end.ID, 0, false)
+	return g
+}
+
+func TestCollapseMergesFlattensChain(t *testing.T) {
+	g := mergeChain("t", "t")
+	var count, n int
+	ng, err := collapseMerges(g, freshCert(), &count, &n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("want 1 merge collapsed, got %d", count)
+	}
+	if got := countKind(ng, dfg.Merge); got != 1 {
+		t.Fatalf("want 1 surviving merge, got %d", got)
+	}
+	e := newEditor(ng)
+	for _, m := range ng.Nodes {
+		if m.Kind == dfg.Merge && len(e.ins[m.ID][0]) != 2 {
+			t.Fatalf("surviving merge should have absorbed both arms, has %d", len(e.ins[m.ID][0]))
+		}
+	}
+}
+
+func TestCollapseMergesLeavesDistinctTokens(t *testing.T) {
+	g := mergeChain("x", "y")
+	var count, n int
+	ng, err := collapseMerges(g, freshCert(), &count, &n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 || ng != g {
+		t.Fatalf("merges on distinct tokens must not flatten (count %d, rebuilt %v)", count, ng != g)
+	}
+}
+
+// opChain builds start → {c1, c2} → add → neg → end: a fusable
+// four-node pure tree with two external trigger inputs.
+func opChain() *dfg.Graph {
+	g := dfg.NewGraph(nil)
+	start := g.Add(&dfg.Node{Kind: dfg.Start})
+	c1 := g.Add(&dfg.Node{Kind: dfg.Const, Val: 1})
+	c2 := g.Add(&dfg.Node{Kind: dfg.Const, Val: 2})
+	add := g.Add(&dfg.Node{Kind: dfg.BinOp, Op: lang.OpAdd})
+	neg := g.Add(&dfg.Node{Kind: dfg.UnOp, Op: lang.OpNeg})
+	end := g.Add(&dfg.Node{Kind: dfg.End, NIns: 1})
+	g.Connect(start.ID, 0, c1.ID, 0, false)
+	g.Connect(start.ID, 0, c2.ID, 0, false)
+	g.Connect(c1.ID, 0, add.ID, 0, false)
+	g.Connect(c2.ID, 0, add.ID, 1, false)
+	g.Connect(add.ID, 0, neg.ID, 0, false)
+	g.Connect(neg.ID, 0, end.ID, 0, false)
+	return g
+}
+
+func TestFuseOperatorsCollapsesTree(t *testing.T) {
+	g := opChain()
+	var count, n int
+	ng, err := fuseOperators(g, &count, &n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("want 1 tree fused, got %d", count)
+	}
+	if got := countKind(ng, dfg.Fused); got != 1 {
+		t.Fatalf("want 1 fused node, got %d", got)
+	}
+	for _, k := range []dfg.Kind{dfg.Const, dfg.BinOp, dfg.UnOp} {
+		if got := countKind(ng, k); got != 0 {
+			t.Fatalf("tree member kind %v survived fusion (%d left)", k, got)
+		}
+	}
+	if err := ng.Validate(); err != nil {
+		t.Fatalf("fused graph invalid: %v", err)
+	}
+	for _, node := range ng.Nodes {
+		if node.Kind != dfg.Fused {
+			continue
+		}
+		fi := ng.FusionOf(node.ID)
+		if len(fi.Steps) != 4 || len(fi.Outs) != 1 {
+			t.Fatalf("want 4 steps and 1 output, got %d/%d", len(fi.Steps), len(fi.Outs))
+		}
+		res, err := interp.EvalFused(fi.Steps, make([]int64, node.NIns), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res[fi.Outs[0]]; got != -3 {
+			t.Fatalf("fused -(1+2): want -3, got %d", got)
+		}
+	}
+}
+
+func TestFuseOperatorsLeavesSingleOperator(t *testing.T) {
+	g := dfg.NewGraph(nil)
+	start := g.Add(&dfg.Node{Kind: dfg.Start})
+	b := g.Add(&dfg.Node{Kind: dfg.BinOp, Op: lang.OpAdd})
+	end := g.Add(&dfg.Node{Kind: dfg.End, NIns: 1})
+	g.Connect(start.ID, 0, b.ID, 0, false)
+	g.Connect(start.ID, 0, b.ID, 1, false)
+	g.Connect(b.ID, 0, end.ID, 0, false)
+	var count, n int
+	ng, err := fuseOperators(g, &count, &n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 || ng != g {
+		t.Fatalf("a lone operator must not fuse (count %d, rebuilt %v)", count, ng != g)
+	}
+}
+
+func TestEliminateDeadUnravelsOrphanedValues(t *testing.T) {
+	g := dfg.NewGraph(nil)
+	start := g.Add(&dfg.Node{Kind: dfg.Start})
+	c := g.Add(&dfg.Node{Kind: dfg.Const, Val: 5})
+	u := g.Add(&dfg.Node{Kind: dfg.UnOp, Op: lang.OpNeg})
+	g.Connect(start.ID, 0, c.ID, 0, false)
+	g.Connect(c.ID, 0, u.ID, 0, false)
+	var count, n int
+	ng, err := eliminateDead(g, nil, &count, &n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unop dies (its feeder is a pure value source); the const stays
+	// — deleting it would leave the start port with no consumer.
+	if count != 1 {
+		t.Fatalf("want exactly the unop removed, got %d removals", count)
+	}
+	if countKind(ng, dfg.UnOp) != 0 || countKind(ng, dfg.Const) != 1 {
+		t.Fatalf("want unop gone and const kept: %d unops, %d consts", countKind(ng, dfg.UnOp), countKind(ng, dfg.Const))
+	}
+}
+
+func TestEliminateDeadKeepsAccessFedNode(t *testing.T) {
+	g := dfg.NewGraph(nil)
+	start := g.Add(&dfg.Node{Kind: dfg.Start})
+	u := g.Add(&dfg.Node{Kind: dfg.UnOp, Op: lang.OpNeg})
+	g.Connect(start.ID, 0, u.ID, 0, false)
+	var count, n int
+	ng, err := eliminateDead(g, nil, &count, &n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 || ng != g {
+		t.Fatalf("a dead node emptying an access port must stay (count %d, rebuilt %v)", count, ng != g)
+	}
+}
+
+// TestSinkLeavesMinimalPlacementAlone: the Schema2Opt translation of
+// fig9-bypass already places only the switches §4 requires, so the
+// sinking pass must report zero rewrites (TestFigure9SwitchPairRemoved
+// is its must-rewrite dual).
+func TestSinkLeavesMinimalPlacementAlone(t *testing.T) {
+	g, err := cfg.Build(workloads.MustByName("fig9-bypass").Parse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := translate.Translate(g, translate.Options{Schema: translate.Schema2Opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := Run(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cert.Passes[0].Name != "sink-switches" || cert.Passes[0].Rewrites != 0 {
+		t.Fatalf("sink-switches should find nothing under Schema2Opt: %+v", cert.Passes)
+	}
+}
+
+func freshCert() *translate.OptCertificate {
+	return &translate.OptCertificate{
+		RemovedSwitches: map[translate.StmtTok]int{},
+		RemovedMerges:   map[translate.StmtTok]int{},
+	}
+}

@@ -1,0 +1,96 @@
+package opt
+
+import (
+	"ctdf/internal/analysis"
+	"ctdf/internal/dfg"
+	"ctdf/internal/translate"
+)
+
+// sinkSwitches removes switch/merge identity pairs — the Figure 9
+// rewrite. A candidate switch must satisfy two independent conditions:
+//
+// Legality (semantic): the recomputed §4 minimal placement does not
+// need a switch for (fork, token). By Theorem 1 the token's value is
+// not live across the conditional in a way that requires routing, so
+// steering it per-arm is pure overhead.
+//
+// Pattern (structural): both switch arms are wired, via exactly one arc
+// each, into port 0 of the same 2-input merge for the same token, and
+// the switch's data and control ports each have exactly one feeder.
+// Then every token entering the switch exits the merge unchanged — the
+// pair composes to the identity — so the data source is wired straight
+// to the merge's consumers and switch, merge, and the control arc are
+// deleted. Loop-circulation switches never match: their false arm feeds
+// a loop-exit, not a merge.
+//
+// The pattern guarantees pair-disjointness (each removed merge has both
+// in-arcs consumed by its removed switch), so a whole round batches into
+// one rebuild; the inner fixpoint then collapses nested diamonds
+// inside-out, since deleting an inner pair turns the outer pair's arms
+// into single arcs.
+func sinkSwitches(g *dfg.Graph, minimal *analysis.Placement, cert *translate.OptCertificate, count, total *int) (*dfg.Graph, error) {
+	for {
+		e := newEditor(g)
+		n := 0
+		for _, sw := range g.Nodes {
+			if sw.Kind != dfg.Switch || sw.Stmt < 0 || sw.Tok == "" {
+				continue
+			}
+			if minimal.NeedsSwitch(sw.Stmt, sw.Tok) {
+				continue // required by Theorem 1: removing it would break determinacy
+			}
+			o0, o1 := e.outs[sw.ID][0], e.outs[sw.ID][1]
+			if len(o0) != 1 || len(o1) != 1 {
+				continue
+			}
+			a0, a1 := g.Arcs[o0[0]], g.Arcs[o1[0]]
+			if a0.To != a1.To || a0.ToPort != 0 || a1.ToPort != 0 {
+				continue
+			}
+			m := g.Nodes[a0.To]
+			if m.Kind != dfg.Merge || m.Tok != sw.Tok || len(e.ins[m.ID][0]) != 2 {
+				continue
+			}
+			din, cin := e.ins[sw.ID][0], e.ins[sw.ID][1]
+			if len(din) != 1 || len(cin) != 1 {
+				continue
+			}
+			data := g.Arcs[din[0]]
+			ok := true
+			for _, mi := range e.outs[m.ID][0] {
+				ma := g.Arcs[mi]
+				if e.hasArc(data.From, data.FromPort, ma.To, ma.ToPort) {
+					ok = false // would duplicate an existing arc; leave the pair
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for _, mi := range e.outs[m.ID][0] {
+				ma := g.Arcs[mi]
+				e.added = append(e.added, dfg.Arc{From: data.From, FromPort: data.FromPort, To: ma.To, ToPort: ma.ToPort, Dummy: ma.Dummy})
+				e.deadA[mi] = true
+			}
+			e.deadA[din[0]] = true
+			e.deadA[cin[0]] = true
+			e.deadA[o0[0]] = true
+			e.deadA[o1[0]] = true
+			e.deadN[sw.ID] = true
+			e.deadN[m.ID] = true
+			cert.RemovedSwitches[translate.StmtTok{Stmt: sw.Stmt, Tok: sw.Tok}]++
+			cert.RemovedMerges[translate.StmtTok{Stmt: m.Stmt, Tok: m.Tok}]++
+			n++
+		}
+		if n == 0 {
+			return g, nil
+		}
+		ng, err := e.rebuild()
+		if err != nil {
+			return nil, err
+		}
+		g = ng
+		*count += n
+		*total += n
+	}
+}

@@ -117,6 +117,55 @@ type Options struct {
 	// drop their access tokens entirely and the memory defers premature
 	// reads (I-structure semantics). Valid for Schema2, Schema2Opt.
 	UseIStructures bool
+
+	// Optimize selects the post-translation graph-optimizer level
+	// (internal/opt): 0 runs no optimizer; 1 runs the full pipeline
+	// (switch sinking, merge collapsing, operator fusion, dead-token
+	// elimination). The optimizer rewrites Result.Graph in place after
+	// Translate returns and records its claims in Result.Opt so the
+	// verifier can hold the optimized graph to the schema contract.
+	Optimize int
+}
+
+// StmtTok identifies one (originating statement, access token) placement
+// slot — the key under which the verifier diffs actual switch and merge
+// operators against the schema contract.
+type StmtTok struct {
+	Stmt int
+	Tok  string
+}
+
+// PassCount is one optimizer pass's rewrite tally.
+type PassCount struct {
+	Name     string `json:"name"`
+	Rewrites int    `json:"rewrites"`
+}
+
+// OptCertificate records what the optimizer (internal/opt) did to a
+// graph, in the form the verifier checks rather than trusts: per
+// placement slot, how many switch and merge operators were removed. Vet
+// adjusts the schema contract's expected operator counts by these claims
+// and independently recomputes the minimal (§4 optimized) placement to
+// confirm each removal was legal — a bogus claim surfaces as a vet
+// error, not a silently weakened check.
+type OptCertificate struct {
+	RemovedSwitches map[StmtTok]int `json:"-"`
+	RemovedMerges   map[StmtTok]int `json:"-"`
+	// Passes records per-pass rewrite counts in pipeline order (for
+	// `ctdf opt -explain` and the experiments).
+	Passes []PassCount `json:"passes"`
+}
+
+// Rewrites sums the per-pass rewrite counts.
+func (c *OptCertificate) Rewrites() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for _, p := range c.Passes {
+		n += p.Rewrites
+	}
+	return n
 }
 
 // SingleTokenName is the access token name used by Schema 1.
@@ -160,6 +209,9 @@ type Result struct {
 	// CopiedNodes is the number of CFG nodes duplicated to make
 	// irreducible control flow reducible (paper footnote 5).
 	CopiedNodes int
+	// Opt is the optimizer's certificate when Options.Optimize > 0 ran
+	// (set by internal/opt, nil otherwise).
+	Opt *OptCertificate
 }
 
 // Translate builds the dataflow graph for prog's CFG under the given

@@ -32,6 +32,20 @@ func sortedStmtToks[T any](m map[stmtTok]T) []stmtTok {
 	return out
 }
 
+func sortedCertKeys(m map[translate.StmtTok]int) []translate.StmtTok {
+	out := make([]translate.StmtTok, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stmt != out[j].Stmt {
+			return out[i].Stmt < out[j].Stmt
+		}
+		return out[i].Tok < out[j].Tok
+	})
+	return out
+}
+
 // placeInfo is the independently recomputed translation plan the
 // validation passes diff the graph against: the extended need function,
 // the switch placement, and the per-loop circulating token sets.
@@ -59,11 +73,11 @@ func (u *Unit) placementInfo() *placeInfo {
 func recomputePlacement(res *translate.Result) *placeInfo {
 	g := res.CFG
 	base := baseNeed(res)
-	pi := &placeInfo{}
 
 	opt := res.Options.Schema == translate.Schema2Opt || res.Options.Schema == translate.Schema3Opt
 	if !opt {
 		// Schema 1/2/3: every fork switches every token.
+		pi := &placeInfo{}
 		needs := map[int]map[string]bool{}
 		for _, n := range g.Nodes {
 			if n.Kind != cfg.KindFork {
@@ -80,7 +94,15 @@ func recomputePlacement(res *translate.Result) *placeInfo {
 		pi.loopNeed = analysis.LoopNeeds(g, res.Loops, base, pi.place)
 		return pi
 	}
+	return minimalFixpoint(res, base)
+}
 
+// minimalFixpoint computes the §4-optimized placement — CD+ closures
+// iterated with loop needs to a monotone fixpoint — regardless of the
+// schema the graph was built under.
+func minimalFixpoint(res *translate.Result, base analysis.NeedFunc) *placeInfo {
+	g := res.CFG
+	pi := &placeInfo{}
 	cd := analysis.ComputeControlDeps(g)
 	loopNeed := map[int]map[string]bool{}
 	extended := func(id int) []string {
@@ -125,6 +147,24 @@ func recomputePlacement(res *translate.Result) *placeInfo {
 		}
 		loopNeed = next
 	}
+}
+
+// MinimalPlacement recomputes the §4-optimized switch placement for res
+// whatever its schema: the forks that genuinely need each token routed
+// (Corollary 1 plus loop circulation needs). It is both the optimizer's
+// sinking criterion (internal/opt removes a switch only where this
+// placement has no entry) and the verifier's independent legality check
+// for the optimizer's removal claims — the two sides recompute it
+// separately, so a bug in one is caught by the other.
+func MinimalPlacement(res *translate.Result) (*analysis.Placement, error) {
+	if res == nil || res.CFG == nil || res.TokensOf == nil {
+		return nil, fmt.Errorf("vet: no translation metadata to recompute placement from")
+	}
+	pi := minimalFixpoint(res, baseNeed(res))
+	if pi.err != nil {
+		return nil, pi.err
+	}
+	return pi.place, nil
 }
 
 // baseNeed mirrors the translator's need derivation: a node needs the
@@ -187,6 +227,24 @@ func passSwitchPlacement(u *Unit) ([]Diagnostic, string) {
 		}
 	}
 
+	// The optimizer's certificate (if one ran) claims per-slot switch
+	// removals. Each claim is validated, not trusted: the slot's removal
+	// must be legal under an independently recomputed minimal placement.
+	var removed map[translate.StmtTok]int
+	if u.Res.Opt != nil {
+		removed = u.Res.Opt.RemovedSwitches
+	}
+	claimsSeen := map[translate.StmtTok]bool{}
+	var minimal *analysis.Placement
+	if len(removed) > 0 {
+		m, err := MinimalPlacement(u.Res)
+		if err != nil {
+			return []Diagnostic{{Severity: SevError, Check: machcheck.InvalidConfig, Node: -1,
+				Msg: "cannot validate optimizer certificate: " + err.Error()}}, ""
+		}
+		minimal = m
+	}
+
 	var ds []Diagnostic
 	expected := map[stmtTok]bool{}
 	// Switches are emitted only at real fork statements; placement marks
@@ -199,6 +257,28 @@ func passSwitchPlacement(u *Unit) ([]Diagnostic, string) {
 		for _, tok := range sortedKeys(pi.place.Needs[f]) {
 			k := stmtTok{f, tok}
 			expected[k] = true
+			claimed := removed[translate.StmtTok{Stmt: f, Tok: tok}]
+			if claimed > 0 {
+				claimsSeen[translate.StmtTok{Stmt: f, Tok: tok}] = true
+				switch {
+				case claimed > 1:
+					ds = append(ds, Diagnostic{
+						Severity: SevError, Check: machcheck.InvalidConfig, Node: -1, Tok: tok,
+						Msg: fmt.Sprintf("optimizer certificate claims %d switch removals for token %s at fork %s, but the contract places exactly one", claimed, tok, g.Nodes[f]),
+					})
+				case minimal.Needs[f][tok]:
+					ds = append(ds, Diagnostic{
+						Severity: SevError, Check: machcheck.Determinacy, Node: -1, Tok: tok,
+						Msg: fmt.Sprintf("optimizer removed a required switch: fork %s is in CD+ of a node referencing token %s (Theorem 1), so the removal is unsound", g.Nodes[f], tok),
+					})
+				case len(actual[k]) != 0:
+					ds = append(ds, Diagnostic{
+						Severity: SevError, Check: machcheck.InvalidConfig, Node: actual[k][0], Tok: tok,
+						Msg: fmt.Sprintf("optimizer certificate claims the switch for token %s at fork %s was removed, but it is still present", tok, g.Nodes[f]),
+					})
+				}
+				continue
+			}
 			switch ids := actual[k]; {
 			case len(ids) == 0:
 				ds = append(ds, Diagnostic{
@@ -211,6 +291,16 @@ func passSwitchPlacement(u *Unit) ([]Diagnostic, string) {
 					Msg: fmt.Sprintf("token %s is switched %d times at fork %s: want exactly one switch", tok, len(ids), g.Nodes[f]),
 				})
 			}
+		}
+	}
+	// Claims at slots the contract never placed a switch in are bogus by
+	// construction.
+	for _, k := range sortedCertKeys(removed) {
+		if !claimsSeen[k] {
+			ds = append(ds, Diagnostic{
+				Severity: SevError, Check: machcheck.InvalidConfig, Node: -1, Tok: k.Tok,
+				Msg: fmt.Sprintf("optimizer certificate claims a switch removal for token %s at %s, where the contract places none", k.Tok, stmtLabel(g, k.Stmt)),
+			})
 		}
 	}
 	for _, n := range u.G.Nodes {
@@ -280,6 +370,13 @@ func passSourceVectors(u *Unit) ([]Diagnostic, string) {
 			actual[stmtTok{n.Stmt, n.Tok}]++
 		}
 	}
+	// The optimizer's certificate claims per-slot merge removals (sunk
+	// switch/merge pairs, flattened merge chains); the claimed count is
+	// deducted from the contract's expectation and can never exceed it.
+	var removedMerges map[translate.StmtTok]int
+	if u.Res.Opt != nil {
+		removedMerges = u.Res.Opt.RemovedMerges
+	}
 	var ds []Diagnostic
 	keys := map[stmtTok]bool{}
 	for k := range expected {
@@ -288,8 +385,21 @@ func passSourceVectors(u *Unit) ([]Diagnostic, string) {
 	for k := range actual {
 		keys[k] = true
 	}
+	for k := range removedMerges {
+		keys[stmtTok{k.Stmt, k.Tok}] = true
+	}
 	for _, k := range sortedStmtToks(keys) {
 		want, got := expected[k], actual[k]
+		if claimed := removedMerges[translate.StmtTok{Stmt: k.stmt, Tok: k.tok}]; claimed > 0 {
+			if claimed > want {
+				ds = append(ds, Diagnostic{
+					Severity: SevError, Check: machcheck.InvalidConfig, Node: -1, Tok: k.tok,
+					Msg: fmt.Sprintf("optimizer certificate claims %d merge removals for token %s at %s, but the contract places only %d", claimed, k.tok, stmtLabel(g, k.stmt), want),
+				})
+				continue
+			}
+			want -= claimed
+		}
 		switch {
 		case got < want:
 			ds = append(ds, Diagnostic{

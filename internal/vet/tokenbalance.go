@@ -150,10 +150,11 @@ func emptyProgramStart(g *dfg.Graph, n *dfg.Node) bool {
 
 // valueKind reports whether every output of n is a pure value (never an
 // access-token line). ILoad qualifies: I-structure reads are tokenless
-// (§6.3), their single output is the deferred value.
+// (§6.3), their single output is the deferred value. Fused qualifies:
+// the optimizer only fuses pure value-operator trees.
 func valueKind(n *dfg.Node) bool {
 	switch n.Kind {
-	case dfg.Const, dfg.BinOp, dfg.UnOp, dfg.ILoad:
+	case dfg.Const, dfg.BinOp, dfg.UnOp, dfg.ILoad, dfg.Fused:
 		return true
 	}
 	return false

@@ -51,14 +51,17 @@ echo "== recovery matrix =="
 # non-zero on any unrecovered cell (see ROBUSTNESS.md).
 go run ./cmd/ctdf chaos -recover -json artifacts/recover.json
 
-echo "== vet suite =="
-# Every committed workload × schema must verify statically clean
-# (see ANALYSIS.md; the committed snapshot is artifacts/vet.json).
-go run ./cmd/ctdf vet -suite
+echo "== vet suite (plain + optimized) =="
+# Every committed workload × schema must verify statically clean, both
+# as translated and after the graph optimizer — whose certificate vet
+# validates rather than trusts (see ANALYSIS.md; the committed snapshot
+# is artifacts/vet.json).
+go run ./cmd/ctdf vet -suite -optimize
 
 echo "== replay divergence gate =="
-# Record and replay every serializable workload × schema: the machine is
-# deterministic, so the journal must reproduce with zero divergences
+# Record and replay every serializable workload × schema, plain and
+# optimized, at worker counts 1 and 4: the machine is deterministic, so
+# every journal must reproduce with zero divergences
 # (see OBSERVABILITY.md).
 go run ./cmd/ctdf replay -suite
 
@@ -74,9 +77,11 @@ go test -run=NONE -bench='BenchmarkE11|BenchmarkObs' -benchtime=1x .
 
 echo "== bench trajectory gate =="
 # Fails when a steady-state cell's allocs/op regresses beyond tolerance
-# against the committed BENCH_machine.json (see PERFORMANCE.md), or when
+# against the committed BENCH_machine.json (see PERFORMANCE.md), when
 # the sharded machine's worker-scaling matrix falls below the host-aware
-# fires/sec floors (see SCALING.md).
+# fires/sec floors (see SCALING.md), or when an optimized cell takes
+# more cycles / fires more operators than its unoptimized counterpart
+# (the graph-optimizer non-regression gate, bench.OptGate).
 go run ./cmd/ctdf bench -smoke -cpu 1,4
 
 echo "== OK =="
