@@ -435,6 +435,61 @@ func BenchmarkObsJournal(b *testing.B) {
 	}
 }
 
+// BenchmarkTelemetryDisabled is the telemetry arm of the disabled-path
+// overhead guard (the same contract BenchmarkObsDisabled pins for the
+// collector): with RunConfig.Telemetry nil, the uninstrumented engine
+// pays only nil-check branches at phase boundaries — never per firing —
+// so compare against BenchmarkTelemetryEnabled. verify.sh also gates
+// the instrumented/uninstrumented fires-per-second ratio on the bench
+// smoke.
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	p := compileBench(b, workloads.MustByName("fib-iterative").Source)
+	d, err := p.Translate(Options{Schema: Schema2Opt})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Run(RunConfig{MemLatency: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTelemetryEnabled is the same run with a live registry
+// recording every phase, counter, and histogram in the catalog.
+func BenchmarkTelemetryEnabled(b *testing.B) {
+	p := compileBench(b, workloads.MustByName("fib-iterative").Source)
+	d, err := p.Translate(Options{Schema: Schema2Opt})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := NewTelemetry()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Run(RunConfig{MemLatency: 4, Telemetry: reg}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if reg.Snapshot().OpenMetrics() == nil {
+		b.Fatal("empty telemetry snapshot")
+	}
+}
+
+// BenchmarkTelemetryEnabledSharded exercises the instrumented parallel
+// phases: per-shard scratch timing plus the sequential fold.
+func BenchmarkTelemetryEnabledSharded(b *testing.B) {
+	p := compileBench(b, workloads.MustByName("fib-iterative").Source)
+	d, err := p.Translate(Options{Schema: Schema2Opt})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := NewTelemetry()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Run(RunConfig{MemLatency: 4, Workers: 4, Telemetry: reg}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSynchLegalization measures the two-input legalization pass and
 // its runtime effect.
 func BenchmarkSynchLegalization(b *testing.B) {

@@ -64,6 +64,12 @@ func cmdBench(args []string) error {
 		}
 		return fmt.Errorf("opt gate: graph optimizer regressed %d cell(s)", len(violations))
 	}
+	if violations := bench.TelemetryGate(rep); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "telemetry gate:", v)
+		}
+		return fmt.Errorf("telemetry gate: instrumentation overhead above budget in %d cell(s)", len(violations))
+	}
 
 	if *smoke {
 		data, err := os.ReadFile(*baseline)

@@ -6,6 +6,7 @@
 //
 //	ctdf run [flags] (file | -workload name)      execute a program
 //	ctdf profile [flags] (file | -workload name)  observed run: NDJSON events + report
+//	ctdf top [flags] (file | -workload name)      live telemetry view of a running machine
 //	ctdf trace [flags] (file | -workload name)    causal journal: explain/impact, exports
 //	ctdf replay [flags] (journal | -suite)        time-travel replay of a saved journal
 //	ctdf dot [flags] (file | -workload name)      emit Graphviz (CFG or DFG)
@@ -25,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"ctdf"
@@ -43,6 +45,8 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "profile":
 		err = cmdProfile(os.Args[2:])
+	case "top":
+		err = cmdTop(os.Args[2:])
 	case "trace":
 		err = cmdTrace(os.Args[2:])
 	case "replay":
@@ -83,6 +87,7 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   ctdf run [flags] (file | -workload name)
   ctdf profile [flags] (file | -workload name)
+  ctdf top [flags] (file | -workload name)
   ctdf trace [flags] (file | -workload name)
   ctdf replay [flags] (journal-file | -suite)
   ctdf dot [flags] (file | -workload name)
@@ -190,6 +195,7 @@ func cmdRun(args []string) error {
 	trace := fs.Bool("trace", false, "print one line per operator firing")
 	deadline := fs.Duration("deadline", 0, "wall-clock deadline per attempt (0 = none)")
 	supervise := fs.Bool("recover", false, "supervise the run: retry transient aborts, resuming the machine from its last checkpoint")
+	metrics := fs.String("metrics", "", "serve OpenMetrics at this address (e.g. :9464) during and after the run; ctrl-c to exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -241,6 +247,16 @@ func cmdRun(args []string) error {
 	if *supervise {
 		cfg.Recovery = &ctdf.RecoveryPolicy{}
 	}
+	var srv *ctdf.TelemetryServer
+	if *metrics != "" {
+		cfg.Telemetry = ctdf.NewTelemetry()
+		srv, err = cfg.Telemetry.Serve(*metrics)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: serving http://%s/metrics\n", srv.Addr())
+	}
 	if *trace {
 		cfg.Trace = os.Stderr
 	}
@@ -288,6 +304,14 @@ func cmdRun(args []string) error {
 		fmt.Printf("ops: %d\n", r.Ops)
 	}
 	fmt.Print(r.Snapshot)
+	if srv != nil {
+		// Hold the endpoint open so the final counters stay scrapeable —
+		// the seed of a long-running `ctdf serve`.
+		fmt.Fprintln(os.Stderr, "metrics: run complete, still serving (ctrl-c to exit)")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+	}
 	return nil
 }
 

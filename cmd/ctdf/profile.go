@@ -25,9 +25,12 @@ func cmdProfile(args []string) error {
 	engine := fs.String("engine", "machine", "execution engine: machine, channels")
 	procs := fs.Int("procs", 0, "processors (0 = unlimited)")
 	latency := fs.Int("latency", 1, "split-phase memory latency in cycles")
+	workers := fs.Int("workers", 1, "shard the machine across N workers (byte-identical execution)")
 	binding := fs.String("binding", "", "alias binding, e.g. x=z (x and z share one location)")
 	events := fs.String("events", "-", "NDJSON event stream destination: -, a file path, or none")
 	jsonOut := fs.String("json", "", "also write the report as JSON: - or a file path")
+	tel := fs.Bool("telemetry", false, "record engine telemetry; print the per-shard phase breakdown and traffic matrix")
+	telJSON := fs.String("telemetry-json", "", "also write the telemetry snapshot as JSON: - or a file path")
 	top := fs.Int("top", 10, "per-node rows shown in the text report (0 = all)")
 	vs := fs.String("vs", "", "also run under this schema and print the diff (baseline = -schema)")
 	if err := fs.Parse(args); err != nil {
@@ -45,7 +48,11 @@ func cmdProfile(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := ctdf.RunConfig{Processors: *procs, MemLatency: *latency, Binding: b}
+	cfg := ctdf.RunConfig{Processors: *procs, MemLatency: *latency, Workers: *workers, Binding: b}
+	var reg *ctdf.Telemetry
+	if *tel || *telJSON != "" {
+		reg = ctdf.NewTelemetry()
+	}
 	switch *engine {
 	case "machine":
 		cfg.Engine = ctdf.EngineMachine
@@ -81,7 +88,8 @@ func cmdProfile(args []string) error {
 		}
 		return d.Run(ctdf.RunConfig{
 			Engine: cfg.Engine, Processors: cfg.Processors, MemLatency: cfg.MemLatency,
-			Binding: cfg.Binding,
+			Workers: cfg.Workers, Binding: cfg.Binding,
+			Telemetry: reg,
 			Obs: &ctdf.ObsOptions{
 				Events:       w,
 				CriticalPath: cfg.Engine == ctdf.EngineMachine,
@@ -96,6 +104,25 @@ func cmdProfile(args []string) error {
 	}
 	fmt.Printf("schema: %s   engine: %s\n", *schema, *engine)
 	fmt.Print(r.Obs.Text(*top))
+	if reg != nil {
+		snap := reg.Snapshot()
+		if *tel {
+			fmt.Println()
+			fmt.Print(snap.PhaseTable())
+		}
+		if *telJSON != "" {
+			js, err := snap.JSON()
+			if err != nil {
+				return err
+			}
+			js = append(js, '\n')
+			if *telJSON == "-" {
+				os.Stdout.Write(js)
+			} else if err := os.WriteFile(*telJSON, js, 0o644); err != nil {
+				return err
+			}
+		}
+	}
 
 	if *jsonOut != "" {
 		js, err := r.Obs.JSON()

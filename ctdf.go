@@ -208,6 +208,14 @@ type RunConfig struct {
 	// per-node counters, the parallelism histogram, and (if requested)
 	// the critical path; Obs.Events streams NDJSON. See OBSERVABILITY.md.
 	Obs *ObsOptions
+	// Telemetry, when non-nil, records engine metrics into the given
+	// registry: per-phase shard wall time, barrier waits, the
+	// cross-shard traffic matrix, matching-store depth, and checkpoint
+	// timing on the machine engine; firings, deliveries, mailbox depth,
+	// and watchdog headroom on the channel engine. The registry
+	// accumulates across runs and can be scraped live. See
+	// OBSERVABILITY.md.
+	Telemetry *Telemetry
 	// Recovery, when non-nil, supervises the run: aborts whose machine
 	// check is classified transient (or whose planned fault actually
 	// fired) are retried — the machine engine resumes from its last
@@ -566,6 +574,7 @@ func (d *Dataflow) runOnce(cfg RunConfig, inj *fault.Injector, ck ckPlumb) (*Res
 			Workers:         cfg.Workers,
 			Trace:           cfg.Trace,
 			Collector:       col,
+			Telemetry:       cfg.Telemetry.registry(),
 			CheckpointEvery: ck.every,
 			CheckpointSink:  ck.sink,
 			Resume:          ck.resume,
@@ -609,11 +618,12 @@ func (d *Dataflow) runOnce(cfg RunConfig, inj *fault.Injector, ck ckPlumb) (*Res
 			counters = obs.NewNodeCounters(d.res.Graph.NumNodes())
 		}
 		out, err := chanexec.Run(d.res.Graph, chanexec.Config{
-			Binding:  interp.Binding(cfg.Binding),
-			MaxOps:   cfg.MaxOps,
-			Deadline: cfg.Deadline,
-			Inject:   inj,
-			Counters: counters,
+			Binding:   interp.Binding(cfg.Binding),
+			MaxOps:    cfg.MaxOps,
+			Deadline:  cfg.Deadline,
+			Inject:    inj,
+			Counters:  counters,
+			Telemetry: cfg.Telemetry.registry(),
 		})
 		if out == nil {
 			// Validation failed before any worker started.

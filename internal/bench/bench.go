@@ -37,6 +37,11 @@ type Case struct {
 	SteadyState bool
 	// Smoke marks cells the fast CI gate (`ctdf bench -smoke`) runs.
 	Smoke bool
+	// Telemetry attaches a metrics registry to the cell's runs and fills
+	// the Result's phase-breakdown cells from it; TelemetryGate holds the
+	// instrumented/uninstrumented throughput ratio on the telemetry/
+	// pairs.
+	Telemetry bool
 }
 
 // Matrix returns the benchmark matrix: the E11 schema comparison, the
@@ -70,6 +75,23 @@ func Matrix() []Case {
 				Smoke:       wn == "fib-iterative" || wn == "running-example",
 			})
 		}
+	}
+	// The telemetry overhead pair: one workload measured with the
+	// registry off and on, otherwise identical. TelemetryGate rides on
+	// these two cells in the smoke run.
+	fib := workloads.MustByName("fib-iterative")
+	for _, on := range []bool{false, true} {
+		name := "telemetry/fib-iterative/off"
+		if on {
+			name = "telemetry/fib-iterative/on"
+		}
+		cases = append(cases, Case{
+			Name:   name,
+			Source: fib.Source,
+			Opt:    ctdf.Options{Schema: ctdf.Schema2Opt},
+			Run:    ctdf.RunConfig{MemLatency: 4},
+			Smoke:  true, Telemetry: on,
+		})
 	}
 	nested := workloads.MustByName("nested-loops")
 	cases = append(cases,
@@ -121,12 +143,16 @@ func WorkerMatrix(counts []int) []Case {
 	w := workloads.Wide(64, 60)
 	var cases []Case
 	for _, n := range counts {
+		// Every scaling cell carries the profiler: the committed
+		// BENCH_machine.json records each worker count's phase shares,
+		// fire imbalance, and remote-token fraction. Both endpoints of
+		// the scaling gate are instrumented, so the ratio stays fair.
 		cases = append(cases, Case{
 			Name:   fmt.Sprintf("workers/%s/w%d", w.Name, n),
 			Source: w.Source,
 			Opt:    ctdf.Options{Schema: ctdf.Schema2Opt, EliminateMemory: true},
 			Run:    ctdf.RunConfig{Workers: n},
-			Smoke:  true,
+			Smoke:  true, Telemetry: true,
 		})
 	}
 	return cases
@@ -162,6 +188,20 @@ type Result struct {
 	// Workers is the sharded-machine worker count of the cell (0 for
 	// sequential cells outside the worker matrix).
 	Workers int `json:"workers,omitempty"`
+	// Telemetry phase cells, filled only on instrumented cells: the
+	// share of accumulated busy wall time each BSP phase took across all
+	// measured iterations (barrier = coordinator time parked at the two
+	// phase barriers), the fire-phase load imbalance (slowest shard over
+	// the mean, 1.0 = perfectly balanced), and the fraction of
+	// shard-sourced tokens delivered across shards.
+	Telemetry        bool    `json:"telemetry,omitempty"`
+	SelectShare      float64 `json:"select_share,omitempty"`
+	FireShare        float64 `json:"fire_share,omitempty"`
+	RetireShare      float64 `json:"retire_share,omitempty"`
+	DeliverShare     float64 `json:"deliver_share,omitempty"`
+	BarrierShare     float64 `json:"barrier_share,omitempty"`
+	FireImbalance    float64 `json:"fire_imbalance,omitempty"`
+	RemoteTokenShare float64 `json:"remote_token_share,omitempty"`
 }
 
 // Report is the full benchmark-trajectory artifact (BENCH_machine.json).
@@ -249,9 +289,15 @@ func RunCase(c Case, benchtime time.Duration) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("%s: %w", c.Name, err)
 	}
+	run := c.Run
+	var reg *ctdf.Telemetry
+	if c.Telemetry {
+		reg = ctdf.NewTelemetry()
+		run.Telemetry = reg
+	}
 	var last *ctdf.Result
 	ns, bestNs, allocs, bytes, iters, err := measure(func() error {
-		r, err := d.Run(c.Run)
+		r, err := d.Run(run)
 		last = r
 		return err
 	}, benchtime)
@@ -261,6 +307,10 @@ func RunCase(c Case, benchtime time.Duration) (Result, error) {
 	res := Result{
 		Name: c.Name, NsPerOp: ns, BestNsPerOp: bestNs, AllocsPerOp: allocs, BytesPerOp: bytes,
 		Iterations: iters, SteadyState: c.SteadyState, Workers: c.Run.Workers,
+		Telemetry: c.Telemetry,
+	}
+	if reg != nil {
+		fillPhaseCells(&res, reg)
 	}
 	if last != nil {
 		res.Cycles = last.Cycles
@@ -326,6 +376,44 @@ func RunMatrix(benchtime time.Duration, smokeOnly bool, cpus []int) (*Report, er
 		}
 	}
 	return rep, nil
+}
+
+// fillPhaseCells folds the registry accumulated across a cell's
+// iterations into the Result's phase cells. Shares are percentages of
+// total busy wall time; the registry sums over every iteration, so they
+// describe the cell's average cycle.
+func fillPhaseCells(res *Result, reg *ctdf.Telemetry) {
+	b := reg.Snapshot().MachineBreakdown()
+	sum := func(xs []int64) (n int64) {
+		for _, x := range xs {
+			n += x
+		}
+		return n
+	}
+	fire, deliv := sum(b.FireNs), sum(b.DeliverNs)
+	bar := b.BarrierFireNs + b.BarrierDeliverNs
+	total := b.SelectNs + b.RetireNs + fire + deliv + bar
+	if total == 0 {
+		return
+	}
+	pct := func(ns int64) float64 { return 100 * float64(ns) / float64(total) }
+	res.SelectShare = pct(b.SelectNs)
+	res.FireShare = pct(fire)
+	res.RetireShare = pct(b.RetireNs)
+	res.DeliverShare = pct(deliv)
+	res.BarrierShare = pct(bar)
+	if len(b.FireNs) > 1 && fire > 0 {
+		var max int64
+		for _, x := range b.FireNs {
+			if x > max {
+				max = x
+			}
+		}
+		res.FireImbalance = float64(max) * float64(len(b.FireNs)) / float64(fire)
+	}
+	if b.ShardTokens > 0 {
+		res.RemoteTokenShare = float64(b.RemoteTokens) / float64(b.ShardTokens)
+	}
 }
 
 // bestFires is the cell's fires/sec at its fastest observed iteration —
@@ -433,6 +521,50 @@ func ScalingGate(rep *Report) []string {
 	return violations
 }
 
+// TelemetryOverheadFloor is the minimum instrumented/uninstrumented
+// best-iteration fires/sec ratio TelemetryGate accepts on the
+// telemetry/ cell pairs. The probe is designed to cost only phase-
+// boundary work — a handful of clock reads and atomic folds per cycle,
+// nothing per firing — so on the short-cycle fib workload the
+// instrumented run keeps well over half its throughput; the floor sits
+// at 0.4 to leave room for shared-host noise while still catching an
+// accidental per-firing instrument.
+const TelemetryOverheadFloor = 0.4
+
+// TelemetryGate holds the telemetry overhead tripwire: every
+// "telemetry/<workload>/on" cell is compared against its "/off" twin.
+func TelemetryGate(rep *Report) []string {
+	cells := map[string]*Result{}
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		if strings.HasPrefix(r.Name, "telemetry/") {
+			cells[r.Name] = r
+		}
+	}
+	var violations []string
+	for name, on := range cells {
+		base, ok := strings.CutSuffix(name, "/on")
+		if !ok {
+			continue
+		}
+		off, ok := cells[base+"/off"]
+		if !ok {
+			continue
+		}
+		b, g := bestFires(off), bestFires(on)
+		if b <= 0 || g <= 0 {
+			continue
+		}
+		if ratio := g / b; ratio < TelemetryOverheadFloor {
+			violations = append(violations, fmt.Sprintf(
+				"%s: instrumented best-iteration fires/sec is %.2fx of %s, below the %.2fx telemetry-overhead floor",
+				name, ratio, off.Name, TelemetryOverheadFloor))
+		}
+	}
+	sort.Strings(violations)
+	return violations
+}
+
 // OptGate is the graph-optimizer non-regression gate: every "+opt"
 // cell in the report is compared against its base cell (same name minus
 // the suffix). The simulated metrics are deterministic, so they are
@@ -516,6 +648,17 @@ func (rep *Report) Table() string {
 		}
 		fmt.Fprintf(&b, "%-34s %12.0f %11.1f %12.0f %13.0f %9s\n",
 			r.Name, r.NsPerOp, r.AllocsPerOp, r.CyclesPerSec, r.FiresPerSec, speedup)
+		if r.Telemetry && r.SelectShare+r.FireShare+r.RetireShare+r.DeliverShare > 0 {
+			fmt.Fprintf(&b, "%-34s   select %.0f%%  fire %.0f%%  retire %.0f%%  deliver %.0f%%  barrier %.0f%%",
+				"  phases:", r.SelectShare, r.FireShare, r.RetireShare, r.DeliverShare, r.BarrierShare)
+			if r.FireImbalance > 0 {
+				fmt.Fprintf(&b, "  imbalance %.2fx", r.FireImbalance)
+			}
+			if r.RemoteTokenShare > 0 {
+				fmt.Fprintf(&b, "  remote %.0f%%", 100*r.RemoteTokenShare)
+			}
+			b.WriteString("\n")
+		}
 	}
 	return b.String()
 }

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"ctdf/internal/obs/telemetry"
 )
 
 // These tests keep the documentation honest, in the spirit of
@@ -129,6 +131,18 @@ func TestScalingDocMatchesBench(t *testing.T) {
 		want := fmt.Sprintf("%gx floor", floor)
 		if !strings.Contains(doc, want) {
 			t.Errorf("SCALING.md does not document the %s (gate floors changed in bench.go?)", want)
+		}
+	}
+}
+
+// TestTelemetryCatalogDocumented: OBSERVABILITY.md's engine-telemetry
+// metric catalog must name every family in telemetry.Catalog(), so a
+// metric cannot be added to the engines without a documented row.
+func TestTelemetryCatalogDocumented(t *testing.T) {
+	doc := readDoc(t, "OBSERVABILITY.md")
+	for _, spec := range telemetry.Catalog() {
+		if !strings.Contains(doc, "`"+spec.Name+"`") {
+			t.Errorf("OBSERVABILITY.md metric catalog is missing %s", spec.Name)
 		}
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"ctdf/internal/lang"
 	"ctdf/internal/machcheck"
 	"ctdf/internal/obs"
+	"ctdf/internal/obs/telemetry"
 	"ctdf/internal/token"
 )
 
@@ -56,6 +57,67 @@ type Config struct {
 	// node's slot is written only by that node's worker goroutine, so
 	// plain increments are race-free; read it only after Run returns.
 	Counters *obs.NodeCounters
+	// Telemetry, when non-nil, receives engine-level metrics: firings,
+	// deliveries, mailbox depth at each delivery, and the watchdog's
+	// extension count and idle headroom (see internal/obs/telemetry).
+	// This engine is concurrent, so everything but the firing and
+	// delivery totals is scheduling-dependent (marked Varying in the
+	// catalog). Nil disables it at one branch per delivery.
+	Telemetry *telemetry.Registry
+}
+
+// chanTel is the channel engine's telemetry probe; nil when disabled.
+// Unlike the machine probe it writes atomics directly — this engine has
+// no sequential merge point, and its instruments are either monotone
+// counters or Varying histograms where interleaving order is immaterial.
+type chanTel struct {
+	firings   *telemetry.Series
+	delivered *telemetry.Series
+	boxDepth  *telemetry.Series
+	wdExt     *telemetry.Series
+	headroom  *telemetry.Series
+	// base anchors the delivery timestamps: lastDeliver holds
+	// nanoseconds-since-base of the newest push, read by the watchdog
+	// to compute how much of its idle window a slow run had left.
+	base        time.Time
+	lastDeliver atomic.Int64
+}
+
+func newChanTel(reg *telemetry.Registry) *chanTel {
+	return &chanTel{
+		firings:   reg.Family(telemetry.SpecChanFirings).Series(),
+		delivered: reg.Family(telemetry.SpecChanTokens).Series(),
+		boxDepth:  reg.Family(telemetry.SpecChanMailboxDepth).Series(),
+		wdExt:     reg.Family(telemetry.SpecChanWatchdogExtensions).Series(),
+		headroom:  reg.Family(telemetry.SpecChanWatchdogHeadroom).Series(),
+		base:      time.Now(),
+	}
+}
+
+// delivery records one mailbox push and the depth it left behind.
+func (t *chanTel) delivery(depth int) {
+	if t == nil {
+		return
+	}
+	t.delivered.Add(1)
+	t.boxDepth.Observe(int64(depth), telemetry.DepthBuckets)
+	t.lastDeliver.Store(time.Since(t.base).Nanoseconds())
+}
+
+// extended records a watchdog expiry that found progress and re-armed:
+// headroom is how much of the idle window was still unspent when the
+// timer fired (0 when the last delivery predates the whole window).
+func (t *chanTel) extended(d time.Duration) {
+	if t == nil {
+		return
+	}
+	idle := time.Since(t.base).Nanoseconds() - t.lastDeliver.Load()
+	head := d.Nanoseconds() - idle
+	if head < 0 {
+		head = 0
+	}
+	t.wdExt.Add(1)
+	t.headroom.Observe(head, telemetry.TimeBuckets)
 }
 
 // Outcome is the result of an execution.
@@ -97,11 +159,15 @@ func newMailbox() *mailbox {
 	return b
 }
 
-func (b *mailbox) push(m msg) {
+// push enqueues m and returns the queue depth it left behind (telemetry
+// observes it; other callers ignore it).
+func (b *mailbox) push(m msg) int {
 	b.mu.Lock()
 	b.q = append(b.q, m)
+	depth := len(b.q)
 	b.mu.Unlock()
 	b.cond.Signal()
+	return depth
 }
 
 func (b *mailbox) pop() (msg, bool) {
@@ -178,6 +244,7 @@ type engine struct {
 	store    *interp.Store
 	boxes    []*mailbox
 	counters *obs.NodeCounters
+	tel      *chanTel
 
 	inflight atomic.Int64
 	ops      atomic.Int64
@@ -255,6 +322,9 @@ func Run(g *dfg.Graph, cfg Config) (*Outcome, error) {
 		maxOps:   maxOps,
 		inj:      cfg.Inject,
 		done:     make(chan struct{}),
+	}
+	if cfg.Telemetry != nil {
+		e.tel = newChanTel(cfg.Telemetry)
 	}
 	e.endVals = make([]int64, g.Nodes[g.EndID].NIns)
 	for i := range e.boxes {
@@ -417,6 +487,7 @@ func (e *engine) startWatchdog(d time.Duration) *wdog {
 			w.timer.Reset(d)
 			w.mu.Unlock()
 			watchdogExtended.Add(1)
+			e.tel.extended(d)
 			return
 		}
 		w.mu.Unlock()
@@ -492,7 +563,7 @@ func (e *engine) send(node int, m msg) {
 		case fault.ActDup:
 			e.inflight.Add(1)
 			e.delivered.Add(1)
-			e.boxes[node].push(m)
+			e.tel.delivery(e.boxes[node].push(m))
 		case fault.ActCorruptTag:
 			m.tg = m.tg.Push()
 		case fault.ActWedge:
@@ -501,7 +572,7 @@ func (e *engine) send(node int, m msg) {
 	}
 	e.inflight.Add(1)
 	e.delivered.Add(1)
-	e.boxes[node].push(m)
+	e.tel.delivery(e.boxes[node].push(m))
 }
 
 // retire marks one delivered token fully processed; when the last token
@@ -621,6 +692,9 @@ func (e *engine) fire(n *dfg.Node, vals []int64, port int, tg token.Tag, clock i
 	fc := clock + 1
 	e.counters.Inc(n.ID)
 	e.counters.ObserveClock(n.ID, fc)
+	if e.tel != nil {
+		e.tel.firings.Add(1)
+	}
 	switch n.Kind {
 	case dfg.End:
 		if !tg.IsRoot() {

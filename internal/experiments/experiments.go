@@ -18,6 +18,7 @@ import (
 	"ctdf/internal/interp"
 	"ctdf/internal/lang"
 	"ctdf/internal/machine"
+	"ctdf/internal/obs/telemetry"
 	graphopt "ctdf/internal/opt"
 	"ctdf/internal/translate"
 	"ctdf/internal/workloads"
@@ -72,6 +73,8 @@ func All() []Experiment {
 			"linked graph size grows with procedure count, not call sites, and results agree with inlining", e15},
 		{"E18", "Graph optimizer: fusion and switch sinking cut traffic and cycles", "Figure 9 generalized; §6 transformations composed post-translation", "e18.json",
 			"tokens moved drop on every cell, and Figure 9 plus the loop workloads finish in fewer cycles than schema2-opt+elim alone", e18},
+		{"E19", "Engine telemetry: phase firing split and cross-shard traffic across worker counts", "observability of the sharded BSP engine (SCALING.md); byte-identical execution at every worker count", "e19.json",
+			"cycles, firings, and token counts are invariant across worker counts; cross-shard traffic is zero at w=1 and positive at w>=4; and the fire/retire split sums to total firings on every sharded run", e19},
 	}
 }
 
@@ -753,6 +756,48 @@ func e18() ([]*table, error) {
 				d.base.Stats.Cycles, d.opt.Stats.Cycles,
 				d.base.Stats.TokensMoved, d.opt.Stats.TokensMoved,
 				d.base.Stats.Ops, d.opt.Stats.Ops, d.agree)
+		}
+	}
+	return []*table{t}, nil
+}
+
+// e19: engine telemetry — phase firing split and cross-shard token
+// traffic across worker counts. Everything in this table is
+// scheduling-independent: the sharded machine is byte-identical to the
+// sequential engine, so the counters and the traffic matrix depend only
+// on workload and worker count (the wall-time families the profiler
+// also records are excluded here precisely because they vary). The
+// fire/retire split exists only on sharded runs — the sequential engine
+// has no separate retire phase — so w=1 rows show "-".
+func e19() ([]*table, error) {
+	t := newTable("workload", "workers", "cycles", "firings", "fire", "retire",
+		"tokens", "seq", "mem", "remote", "remote%")
+	cases := []workloads.Workload{
+		workloads.MustByName("fib-iterative"),
+		workloads.Wide(64, 60),
+		workloads.Random(4242, 16, 3),
+	}
+	for _, w := range cases {
+		for _, workers := range []int{1, 4, 8} {
+			res, err := translateW(w, translate.Options{Schema: translate.Schema2Opt})
+			if err != nil {
+				return nil, err
+			}
+			reg := telemetry.NewRegistry()
+			if _, err := runMachine(res, machine.Config{MemLatency: 4, Workers: workers, Telemetry: reg}); err != nil {
+				return nil, err
+			}
+			b := reg.Snapshot().MachineBreakdown()
+			fireS, retireS, remotePct := "-", "-", "-"
+			if workers > 1 {
+				fireS = fmt.Sprint(b.FireFirings)
+				retireS = fmt.Sprint(b.RetireFirings)
+				if b.ShardTokens > 0 {
+					remotePct = fmt.Sprintf("%.2f", 100*float64(b.RemoteTokens)/float64(b.ShardTokens))
+				}
+			}
+			t.row(w.Name, workers, b.Cycles, b.Firings, fireS, retireS,
+				b.Tokens, b.SeqTokens, b.MemTokens, b.RemoteTokens, remotePct)
 		}
 	}
 	return []*table{t}, nil

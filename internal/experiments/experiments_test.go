@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -106,5 +107,56 @@ func TestEnginesAgreementExperiment(t *testing.T) {
 	}
 	if strings.Contains(out, "false") {
 		t.Errorf("engines disagreed somewhere:\n%s", out)
+	}
+}
+
+// TestTelemetryScalingExperiment asserts E19's claims row by row:
+// cycles, firings, and total tokens are invariant across worker counts
+// per workload; cross-shard traffic is zero at w=1 and positive on
+// every w>=4 row; and the fire/retire split sums to the firing total on
+// every sharded row.
+func TestTelemetryScalingExperiment(t *testing.T) {
+	ts, err := e19()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 {
+		t.Fatalf("e19 returned %d tables, want 1", len(ts))
+	}
+	col := map[string]int{}
+	for i, c := range ts[0].cols {
+		col[c] = i
+	}
+	base := map[string][]string{} // workload -> w=1 row
+	for _, r := range ts[0].rows {
+		wl, workers := r[col["workload"]], r[col["workers"]]
+		if workers == "1" {
+			base[wl] = r
+			if r[col["remote"]] != "0" {
+				t.Errorf("%s w=1: remote tokens %s, want 0", wl, r[col["remote"]])
+			}
+			continue
+		}
+		b, ok := base[wl]
+		if !ok {
+			t.Fatalf("%s: no w=1 baseline row", wl)
+		}
+		for _, c := range []string{"cycles", "firings", "tokens"} {
+			if r[col[c]] != b[col[c]] {
+				t.Errorf("%s w=%s: %s = %s, want %s (invariant across workers)", wl, workers, c, r[col[c]], b[col[c]])
+			}
+		}
+		fire, _ := strconv.Atoi(r[col["fire"]])
+		retire, _ := strconv.Atoi(r[col["retire"]])
+		firings, _ := strconv.Atoi(r[col["firings"]])
+		if fire+retire != firings {
+			t.Errorf("%s w=%s: fire %d + retire %d != firings %d", wl, workers, fire, retire, firings)
+		}
+		if remote, _ := strconv.Atoi(r[col["remote"]]); remote <= 0 {
+			t.Errorf("%s w=%s: no cross-shard traffic on a sharded run", wl, workers)
+		}
+	}
+	if len(base) == 0 {
+		t.Fatal("no rows")
 	}
 }

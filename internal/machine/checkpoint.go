@@ -8,6 +8,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"time"
 
 	"ctdf/internal/dfg"
 	"ctdf/internal/machcheck"
@@ -253,6 +254,10 @@ func (m *sim) maybeCheckpoint() error {
 	if m.inj != nil && m.inj.Injected() {
 		return nil
 	}
+	var telT0 time.Time
+	if m.tel != nil {
+		telT0 = time.Now()
+	}
 	ck := m.capture()
 	m.ckID++
 	ck.ID = m.ckID
@@ -260,6 +265,12 @@ func (m *sim) maybeCheckpoint() error {
 		if err := m.cfg.CheckpointSink(ck); err != nil {
 			return fmt.Errorf("machine: checkpoint sink at cycle %d: %w", m.cycle, err)
 		}
+	}
+	if m.tel != nil {
+		// Capture time spans snapshot plus sink — the full stall the
+		// checkpoint interval imposes on the cycle loop.
+		m.tel.checkpoints.Add(1)
+		observeSeconds(m.tel.ckSec, time.Since(telT0))
 	}
 	ref := ck.Ref()
 	m.lastCk = &ref

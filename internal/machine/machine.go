@@ -49,6 +49,7 @@ import (
 	"ctdf/internal/lang"
 	"ctdf/internal/machcheck"
 	"ctdf/internal/obs"
+	"ctdf/internal/obs/telemetry"
 )
 
 // Config configures a simulation run.
@@ -130,6 +131,16 @@ type Config struct {
 	// firing DAG for critical-path extraction. Nil disables observability
 	// at the cost of one branch per firing.
 	Collector *obs.Collector
+	// Telemetry, when non-nil, receives engine-level metrics: per-shard
+	// BSP phase wall time, barrier waits, the cross-shard token-traffic
+	// matrix, outbox/inbox occupancy, matching-store depth, and
+	// checkpoint capture time (see internal/obs/telemetry and
+	// OBSERVABILITY.md). Unlike Collector it observes the host engine,
+	// not the simulated program, so it is compatible with checkpointing
+	// — capture time is itself a telemetry metric. Nil disables it at
+	// the cost of one branch per phase. Repeated runs against one
+	// registry accumulate.
+	Telemetry *telemetry.Registry
 }
 
 // validate rejects configurations that could only arise from a caller
@@ -361,6 +372,12 @@ func Run(g *dfg.Graph, cfgc Config) (*Outcome, error) {
 		w = 1
 	}
 	m.initShards(w)
+	if cfgc.Telemetry != nil {
+		// The probe is sized to the effective worker count (after the
+		// injection/cap adjustments above) so per-shard series exist
+		// exactly for the shards that will run.
+		m.tel = newMachineTel(cfgc.Telemetry, w)
+	}
 	if cfgc.RandomSeed != 0 {
 		m.rng = rand.New(rand.NewSource(cfgc.RandomSeed))
 		for _, sh := range m.shs {
@@ -467,6 +484,10 @@ type sim struct {
 	locs    *raceDetector
 	istruct *istructUnit
 	procs   *procLinkage
+
+	// tel is the engine telemetry probe (Config.Telemetry); nil when
+	// telemetry is disabled.
+	tel *machineTel
 }
 
 type delayed struct {
@@ -517,7 +538,11 @@ func (m *sim) run() (*Outcome, error) {
 		}
 	} else {
 		// Cycle 0: start emits one dummy token per out arc at the root tag.
-		for _, t := range m.g.OutTargets(m.g.StartID, 0) {
+		targets := m.g.OutTargets(m.g.StartID, 0)
+		if m.tel != nil && len(targets) > 0 {
+			m.tel.trafficAdd(m.tel.seqLane(), 0, len(targets))
+		}
+		for _, t := range targets {
 			if err := m.deliver(tok{to: t, val: 0, tgID: rootTagID, dep: -1, dep2: -1}); err != nil {
 				return m.abort(err)
 			}
@@ -530,7 +555,9 @@ func (m *sim) run() (*Outcome, error) {
 	// at that switch, and the drops may be scheduled after end's inputs
 	// completed.
 	ready := m.sh0.ready
+	var telT0 time.Time
 	for !m.done || ready.count > 0 || len(m.inflight) > 0 {
+		m.tel.sampleDepth(m)
 		if err := m.maybeCheckpoint(); err != nil {
 			return m.abort(err)
 		}
@@ -548,6 +575,13 @@ func (m *sim) run() (*Outcome, error) {
 		}
 		// Issue up to Processors enabled operations this cycle, in
 		// deterministic order (or seeded-random when configured).
+		// Telemetry maps the sequential engine onto the BSP phase
+		// vocabulary: select = batch construction, fire = the firing
+		// loop, deliver = the cycle-boundary delivery (retire has no
+		// sequential counterpart — impure effects run inside fire).
+		if m.tel != nil {
+			telT0 = time.Now()
+		}
 		issue := ready.count
 		if m.cfg.Processors > 0 && issue > m.cfg.Processors {
 			issue = m.cfg.Processors
@@ -578,6 +612,9 @@ func (m *sim) run() (*Outcome, error) {
 			m.batchBuf = ready.fill(m.batchBuf[:0], issue)
 			batch = m.batchBuf
 		}
+		if m.tel != nil {
+			observeSeconds(m.tel.selSec, time.Since(telT0))
+		}
 		if issue > m.stats.MaxParallelism {
 			m.stats.MaxParallelism = issue
 		}
@@ -590,6 +627,9 @@ func (m *sim) run() (*Outcome, error) {
 
 		// Optional parallel issue stage: precompute pure operators on a
 		// worker pool, then retire the batch sequentially in issue order.
+		if m.tel != nil {
+			telT0 = time.Now()
+		}
 		usePar := m.par && m.inj == nil && len(batch) >= parIssueThreshold
 		if usePar {
 			m.computePure(batch)
@@ -620,6 +660,10 @@ func (m *sim) run() (*Outcome, error) {
 				}
 			}
 		}
+		if m.tel != nil {
+			observeSeconds(m.tel.fireSec[0], time.Since(telT0))
+			telT0 = time.Now()
+		}
 		// Completions scheduled for the next cycle boundary.
 		m.cycle++
 		m.stats.Ops += issue
@@ -630,6 +674,7 @@ func (m *sim) run() (*Outcome, error) {
 			}
 		}
 		delete(m.inflight, m.cycle)
+		emitN := len(m.emitBuf)
 		for i := range m.emitBuf {
 			if err := m.deliver(m.emitBuf[i]); err != nil {
 				return m.abort(err)
@@ -642,6 +687,22 @@ func (m *sim) run() (*Outcome, error) {
 					return m.abort(err)
 				}
 			}
+		}
+		if m.tel != nil {
+			memN := 0
+			for _, d := range released {
+				memN += len(d.tokens)
+			}
+			if emitN > 0 {
+				m.tel.trafficAdd(m.tel.seqLane(), 0, emitN)
+			}
+			if memN > 0 {
+				m.tel.trafficAdd(m.tel.memLane(), 0, memN)
+			}
+			m.tel.outbox[0].Observe(int64(emitN), telemetry.DepthBuckets)
+			m.tel.inbox[0].Observe(int64(emitN+memN), telemetry.DepthBuckets)
+			observeSeconds(m.tel.delivSec[0], time.Since(telT0))
+			m.tel.cycleCounts(m, issue)
 		}
 	}
 	m.stats.Cycles = m.endCycle

@@ -10,6 +10,7 @@ import (
 	"ctdf/internal/interp"
 	"ctdf/internal/lang"
 	"ctdf/internal/machcheck"
+	"ctdf/internal/obs/telemetry"
 )
 
 // The sharded multi-core machine (Config.Workers > 1): the Monsoon
@@ -187,6 +188,14 @@ type shardState struct {
 	fireErrGi   int
 	delivErr    error
 	delivErrSeq int64
+
+	// Telemetry scratch, written as plain fields by the owning worker
+	// during the parallel phases and folded into the registry by the
+	// sequential cycle merge (the phase barrier orders the accesses):
+	// busy nanoseconds in fire/deliver and pure firings executed.
+	telFireNs    int64
+	telDelivNs   int64
+	telPureFired int64
 }
 
 // initShards builds the per-shard states and the node→shard map. w=1 is
@@ -277,13 +286,25 @@ func newShardPool(shs []*shardState) *shardPool {
 
 // run executes fn once per shard and waits for all of them (the phase
 // barrier). The caller's goroutine processes the first shard slice.
-func (p *shardPool) run(fn func(*shardState)) {
+func (p *shardPool) run(fn func(*shardState)) { p.runTimed(fn, nil) }
+
+// runTimed additionally accumulates the coordinator's barrier wait —
+// the stretch between finishing its own shard slice and the last
+// helper's Done — into *barNs when non-nil (telemetry's
+// barrier_wait_seconds probe).
+func (p *shardPool) runTimed(fn func(*shardState), barNs *int64) {
 	p.wg.Add(len(p.chans))
 	for _, ch := range p.chans {
 		ch <- fn
 	}
 	for _, sh := range p.mine {
 		fn(sh)
+	}
+	if barNs != nil {
+		t0 := time.Now()
+		p.wg.Wait()
+		*barNs += time.Since(t0).Nanoseconds()
+		return
 	}
 	p.wg.Wait()
 }
@@ -345,7 +366,9 @@ func (m *sim) runSharded() (*Outcome, error) {
 		}
 	}
 
+	var telT0 time.Time
 	for !m.done || m.readyTotal() > 0 || len(m.inflight) > 0 {
+		m.tel.sampleDepth(m)
 		if err := m.maybeCheckpoint(); err != nil {
 			return m.abort(err)
 		}
@@ -361,7 +384,13 @@ func (m *sim) runSharded() (*Outcome, error) {
 		if !m.done && m.readyTotal() == 0 && len(m.inflight) == 0 {
 			return m.abort(m.deadlockError())
 		}
+		if m.tel != nil {
+			telT0 = time.Now()
+		}
 		issue := m.selectCycle()
+		if m.tel != nil {
+			observeSeconds(m.tel.selSec, time.Since(telT0))
+		}
 		if int64(m.stats.Ops)+int64(issue) > m.cfg.MaxOps {
 			return m.abort(machcheck.Newf(machcheck.CyclesExceeded, "machine",
 				"exceeded %d firings (runaway loop?)", m.cfg.MaxOps))
@@ -379,8 +408,14 @@ func (m *sim) runSharded() (*Outcome, error) {
 			m.dagBase = int32(m.col.FiringCount())
 		}
 		m.runFirePhase(issue)
+		if m.tel != nil {
+			telT0 = time.Now()
+		}
 		if err := m.retireCycle(start); err != nil {
 			return m.abort(err)
+		}
+		if m.tel != nil {
+			observeSeconds(m.tel.retSec, time.Since(telT0))
 		}
 		// Cycle boundary: count the issue, complete split-phase memory,
 		// route the released tokens after this cycle's emissions (the
@@ -407,6 +442,7 @@ func (m *sim) runSharded() (*Outcome, error) {
 		if err := m.mergeCycle(); err != nil {
 			return m.abort(err)
 		}
+		m.tel.cycleCounts(m, issue)
 	}
 	m.stats.Cycles = m.endCycle
 	m.stats.TokensMoved = m.delivered
@@ -544,13 +580,29 @@ func (m *sim) runFirePhase(issue int) {
 	if issue == 0 {
 		return
 	}
+	fn := m.fireShard
+	if m.tel != nil {
+		// Per-shard busy time accumulates in plain shard-local scratch;
+		// the cycle merge folds it into the registry in shard order.
+		fn = func(sh *shardState) {
+			t0 := time.Now()
+			m.fireShard(sh)
+			sh.telFireNs += time.Since(t0).Nanoseconds()
+		}
+	}
 	if issue < shardedPhaseMin {
 		for _, sh := range m.shs {
-			m.fireShard(sh)
+			fn(sh)
 		}
 		return
 	}
-	m.pool.run(m.fireShard)
+	if m.tel != nil {
+		var barNs int64
+		m.pool.runTimed(fn, &barNs)
+		m.tel.barFire.Observe(barNs, telemetry.TimeBuckets)
+		return
+	}
+	m.pool.run(fn)
 }
 
 func (m *sim) fireShard(sh *shardState) {
@@ -660,6 +712,9 @@ func (m *sim) fireOneSharded(sh *shardState, f *firing, gi int) {
 	}
 	sh.recordFireEvent(m, f, gi, len(targets))
 	sh.putVals(f.vals)
+	// Pure firings executed here feed the fire/retire split counter;
+	// plain shard-local scratch, folded at the cycle merge.
+	sh.telPureFired++
 }
 
 func (sh *shardState) recordFireEvent(m *sim, f *firing, gi, emitted int) {
@@ -755,6 +810,9 @@ func (m *sim) retireCycle(start time.Time) error {
 			}
 			m.emitBuf = m.emitBuf[:mark]
 			sh.putVals(f.vals)
+			if m.tel != nil {
+				m.tel.retireFirings.Add(1)
+			}
 		}
 		if m.cfg.Deadline > 0 {
 			if err := m.overDeadline(start); err != nil {
@@ -785,13 +843,27 @@ func (m *sim) runDeliverPhase() {
 	if total == 0 {
 		return
 	}
+	fn := m.deliverShard
+	if m.tel != nil {
+		fn = func(sh *shardState) {
+			t0 := time.Now()
+			m.deliverShard(sh)
+			sh.telDelivNs += time.Since(t0).Nanoseconds()
+		}
+	}
 	if total < shardedPhaseMin {
 		for _, sh := range m.shs {
-			m.deliverShard(sh)
+			fn(sh)
 		}
 		return
 	}
-	m.pool.run(m.deliverShard)
+	if m.tel != nil {
+		var barNs int64
+		m.pool.runTimed(fn, &barNs)
+		m.tel.barDeliv.Observe(barNs, telemetry.TimeBuckets)
+		return
+	}
+	m.pool.run(fn)
 }
 
 // deliverShard drains every inbox addressed to sh — one per source
@@ -853,6 +925,10 @@ func (m *sim) deliverShard(sh *shardState) {
 // events byte-exactly — and surfaces the earliest delivery error. All
 // per-cycle scratch is reset here.
 func (m *sim) mergeCycle() error {
+	// Telemetry folds the parallel phases' per-shard scratch (busy
+	// times, pure-firing counts, occupancy, the traffic matrix) before
+	// anything below resets it.
+	m.tel.mergeSharded(m)
 	var minErr error
 	minSeq := int64(^uint64(0) >> 1)
 	for _, sh := range m.shs {

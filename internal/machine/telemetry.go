@@ -1,0 +1,190 @@
+package machine
+
+import (
+	"strconv"
+	"time"
+
+	"ctdf/internal/obs/telemetry"
+)
+
+// machineTel is the machine's telemetry probe (Config.Telemetry). A nil
+// probe disables everything at the cost of one nil check per phase —
+// never per firing on the hot path — so the disabled engine stays
+// within the BenchmarkTelemetryDisabled overhead budget.
+//
+// Determinism contract (see the telemetry package doc): the parallel
+// phases write only plain per-shard scratch (telFireNs, telDelivNs,
+// telPureFired on shardState); the sequential cycle merge folds that
+// scratch into the registry's atomic instruments iterating shards in
+// order 0..W-1, so series creation order — and therefore the rendered
+// exposition — is byte-deterministic for a fixed worker count, while
+// the invariant families (cycles, firings, tokens, matches, match-store
+// depth/peak, checkpoint count) come out byte-identical at every worker
+// count because the simulated execution does.
+type machineTel struct {
+	w int
+
+	// Invariant counters, sampled once per cycle at the boundary.
+	cycles, firings    *telemetry.Series
+	delivered, matches *telemetry.Series
+	matchDepth         *telemetry.Series
+	matchPeak          *telemetry.Series
+	checkpoints        *telemetry.Series
+	ckSec              *telemetry.Series
+
+	// Phase wall time: select/retire run on the coordinator ("seq"),
+	// fire/deliver per shard; barrier waits are the coordinator's time
+	// parked at the two phase barriers.
+	selSec, retSec    *telemetry.Series
+	fireSec, delivSec []*telemetry.Series
+	barFire, barDeliv *telemetry.Series
+	fireFirings       *telemetry.Series
+	retireFirings     *telemetry.Series
+	outbox, inbox     []*telemetry.Series
+
+	// traffic[src][dst] is the cross-shard token matrix, rows 0..w-1
+	// for shard sources plus the "seq" (sequential step) and "mem"
+	// (latency release) lanes. Series are created lazily — only lanes
+	// that actually carry tokens appear — in deterministic order, since
+	// all creation happens in sequential merge code.
+	trafficFam *telemetry.Family
+	traffic    [][]*telemetry.Series
+
+	// Cycle-boundary scratch for delta sampling.
+	prevDelivered int64
+	prevMatches   int
+}
+
+func newMachineTel(reg *telemetry.Registry, w int) *machineTel {
+	t := &machineTel{w: w}
+	t.cycles = reg.Family(telemetry.SpecMachineCycles).Series()
+	t.firings = reg.Family(telemetry.SpecMachineFirings).Series()
+	t.delivered = reg.Family(telemetry.SpecMachineTokens).Series()
+	t.matches = reg.Family(telemetry.SpecMachineMatches).Series()
+	t.matchDepth = reg.Family(telemetry.SpecMachineMatchDepth).Series()
+	t.matchPeak = reg.Family(telemetry.SpecMachineMatchPeak).Series()
+	t.checkpoints = reg.Family(telemetry.SpecMachineCheckpoints).Series()
+	t.ckSec = reg.Family(telemetry.SpecMachineCheckpointSeconds).Series()
+	phase := reg.Family(telemetry.SpecMachinePhaseSeconds)
+	t.selSec = phase.Series("select", "seq")
+	t.retSec = phase.Series("retire", "seq")
+	for i := 0; i < w; i++ {
+		t.fireSec = append(t.fireSec, phase.Series("fire", strconv.Itoa(i)))
+		t.delivSec = append(t.delivSec, phase.Series("deliver", strconv.Itoa(i)))
+	}
+	bar := reg.Family(telemetry.SpecMachineBarrierSeconds)
+	t.barFire = bar.Series("fire")
+	t.barDeliv = bar.Series("deliver")
+	t.trafficFam = reg.Family(telemetry.SpecMachineTraffic)
+	t.traffic = make([][]*telemetry.Series, w+2)
+	for i := range t.traffic {
+		t.traffic[i] = make([]*telemetry.Series, w)
+	}
+	ob := reg.Family(telemetry.SpecMachineOutbox)
+	ib := reg.Family(telemetry.SpecMachineInbox)
+	for i := 0; i < w; i++ {
+		t.outbox = append(t.outbox, ob.Series(strconv.Itoa(i)))
+		t.inbox = append(t.inbox, ib.Series(strconv.Itoa(i)))
+	}
+	pf := reg.Family(telemetry.SpecMachinePhaseFirings)
+	t.fireFirings = pf.Series("fire")
+	t.retireFirings = pf.Series("retire")
+	return t
+}
+
+// Traffic-matrix source-lane row indices: rows 0..w-1 are shard
+// sources; the two extra lanes follow.
+func (t *machineTel) seqLane() int { return t.w }
+func (t *machineTel) memLane() int { return t.w + 1 }
+
+func (t *machineTel) srcName(row int) string {
+	switch row {
+	case t.w:
+		return "seq"
+	case t.w + 1:
+		return "mem"
+	default:
+		return strconv.Itoa(row)
+	}
+}
+
+// trafficAdd counts n tokens on the src→dst lane, creating the series
+// on first use. Called only from sequential code.
+func (t *machineTel) trafficAdd(src, dst, n int) {
+	s := t.traffic[src][dst]
+	if s == nil {
+		s = t.trafficFam.Series(t.srcName(src), strconv.Itoa(dst))
+		t.traffic[src][dst] = s
+	}
+	s.Add(int64(n))
+}
+
+// sampleDepth records the matching-store population, once per main-loop
+// iteration at the same point in both engines — which is what makes the
+// histogram invariant across worker counts.
+func (t *machineTel) sampleDepth(m *sim) {
+	if t == nil {
+		return
+	}
+	t.matchDepth.Observe(int64(m.totalMatchCount()), telemetry.DepthBuckets)
+}
+
+// cycleCounts folds the cycle's deterministic deltas into the invariant
+// counters at the end of the loop body (after delivery/merge), again at
+// the same point in both engines.
+func (t *machineTel) cycleCounts(m *sim, issue int) {
+	if t == nil {
+		return
+	}
+	t.cycles.Add(1)
+	t.firings.Add(int64(issue))
+	t.delivered.Add(m.delivered - t.prevDelivered)
+	t.prevDelivered = m.delivered
+	t.matches.Add(int64(m.stats.Matches - t.prevMatches))
+	t.prevMatches = m.stats.Matches
+	t.matchPeak.SetMax(int64(m.stats.PeakMatchStore))
+}
+
+// observeSeconds records a duration into a seconds histogram.
+func observeSeconds(s *telemetry.Series, d time.Duration) {
+	s.Observe(d.Nanoseconds(), telemetry.TimeBuckets)
+}
+
+// mergeSharded runs inside mergeCycle, before the per-cycle scratch is
+// reset: it folds the parallel phases' plain per-shard scratch into the
+// registry in shard order, counts the cycle's outbox traffic into the
+// src→dst matrix, and records occupancy. The seq/mem inbox lanes are
+// written by the coordinator, so they count under their own source
+// rows.
+func (t *machineTel) mergeSharded(m *sim) {
+	if t == nil {
+		return
+	}
+	for _, sh := range m.shs {
+		t.fireSec[sh.id].Observe(sh.telFireNs, telemetry.TimeBuckets)
+		sh.telFireNs = 0
+		t.delivSec[sh.id].Observe(sh.telDelivNs, telemetry.TimeBuckets)
+		sh.telDelivNs = 0
+		t.fireFirings.Add(sh.telPureFired)
+		sh.telPureFired = 0
+		t.inbox[sh.id].Observe(sh.delivered, telemetry.DepthBuckets)
+		staged := int64(0)
+		for d, ob := range sh.outbox {
+			if n := len(ob); n > 0 {
+				staged += int64(n)
+				t.trafficAdd(sh.id, d, n)
+			}
+		}
+		t.outbox[sh.id].Observe(staged, telemetry.DepthBuckets)
+	}
+	for d, b := range m.seqBox {
+		if len(b) > 0 {
+			t.trafficAdd(t.seqLane(), d, len(b))
+		}
+	}
+	for d, b := range m.relBox {
+		if len(b) > 0 {
+			t.trafficAdd(t.memLane(), d, len(b))
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package telemetry
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// A minimal hand-rolled OpenMetrics text parser, strict about the
+// subset this package emits. It is deliberately independent of the
+// renderer's internals: it re-derives family membership from sample
+// name suffixes and checks the structural invariants of the format —
+// metadata (TYPE/UNIT/HELP) precedes samples, counter samples carry
+// _total, histogram buckets are cumulative and agree with _count, and
+// the exposition ends with # EOF.
+
+type omSample struct {
+	name   string // full sample name, including suffix
+	labels map[string]string
+	value  string
+}
+
+type omFamily struct {
+	typ, unit, help string
+	samples         []omSample
+}
+
+func parseOpenMetrics(t *testing.T, text string) map[string]*omFamily {
+	t.Helper()
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Fatal("exposition does not end with # EOF")
+	}
+	fams := map[string]*omFamily{}
+	var cur *omFamily
+	curName := ""
+	lines := strings.Split(strings.TrimSuffix(text, "\n"), "\n")
+	for i, line := range lines {
+		if line == "# EOF" {
+			if i != len(lines)-1 {
+				t.Fatalf("line %d: # EOF before end of exposition", i+1)
+			}
+			break
+		}
+		if meta, rest, ok := cutMeta(line); ok {
+			name, payload, found := strings.Cut(rest, " ")
+			if !found {
+				t.Fatalf("line %d: malformed metadata %q", i+1, line)
+			}
+			switch meta {
+			case "TYPE":
+				if _, dup := fams[name]; dup {
+					t.Fatalf("line %d: duplicate TYPE for %s", i+1, name)
+				}
+				cur = &omFamily{typ: payload}
+				curName = name
+				fams[name] = cur
+			case "UNIT", "HELP":
+				if cur == nil || name != curName {
+					t.Fatalf("line %d: %s for %s outside its TYPE block", i+1, meta, name)
+				}
+				if meta == "UNIT" {
+					cur.unit = payload
+				} else {
+					cur.help = payload
+				}
+			default:
+				t.Fatalf("line %d: unknown metadata %q", i+1, meta)
+			}
+			continue
+		}
+		smp := parseSample(t, i+1, line)
+		fam, famName := familyFor(fams, smp.name)
+		if fam == nil {
+			t.Fatalf("line %d: sample %s has no preceding TYPE", i+1, smp.name)
+		}
+		switch fam.typ {
+		case "counter":
+			if smp.name != famName+"_total" {
+				t.Fatalf("line %d: counter sample %s must end in _total", i+1, smp.name)
+			}
+		case "gauge":
+			if smp.name != famName {
+				t.Fatalf("line %d: gauge sample %s has unexpected suffix", i+1, smp.name)
+			}
+		case "histogram":
+			switch strings.TrimPrefix(smp.name, famName) {
+			case "_bucket":
+				if smp.labels["le"] == "" {
+					t.Fatalf("line %d: histogram bucket without le", i+1)
+				}
+			case "_count", "_sum":
+			default:
+				t.Fatalf("line %d: histogram sample %s has bad suffix", i+1, smp.name)
+			}
+		default:
+			t.Fatalf("family %s: unknown type %q", famName, fam.typ)
+		}
+		fam.samples = append(fam.samples, smp)
+	}
+	for name, fam := range fams {
+		if fam.typ == "histogram" {
+			checkHistogram(t, name, fam)
+		}
+	}
+	return fams
+}
+
+func cutMeta(line string) (meta, rest string, ok bool) {
+	if !strings.HasPrefix(line, "# ") {
+		return "", "", false
+	}
+	meta, rest, found := strings.Cut(line[2:], " ")
+	return meta, rest, found
+}
+
+func parseSample(t *testing.T, lineNo int, line string) omSample {
+	t.Helper()
+	smp := omSample{labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		smp.name = line[:i]
+		end := strings.IndexByte(line, '}')
+		if end < i {
+			t.Fatalf("line %d: unterminated label set", lineNo)
+		}
+		for _, pair := range strings.Split(line[i+1:end], ",") {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				t.Fatalf("line %d: malformed label %q", lineNo, pair)
+			}
+			smp.labels[k] = strings.NewReplacer(`\"`, `"`, `\n`, "\n", `\\`, `\`).Replace(v[1 : len(v)-1])
+		}
+		rest = line[end+1:]
+	} else {
+		i := strings.IndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("line %d: sample without value", lineNo)
+		}
+		smp.name = line[:i]
+		rest = line[i:]
+	}
+	smp.value = strings.TrimSpace(rest)
+	if _, err := strconv.ParseFloat(smp.value, 64); err != nil {
+		t.Fatalf("line %d: unparseable value %q", lineNo, smp.value)
+	}
+	return smp
+}
+
+// familyFor resolves a sample name to its family, preferring the
+// longest registered family name that is a valid prefix.
+func familyFor(fams map[string]*omFamily, sample string) (*omFamily, string) {
+	best := ""
+	for name := range fams {
+		if len(name) < len(best) {
+			continue
+		}
+		if sample == name || strings.HasPrefix(sample, name+"_") {
+			best = name
+		}
+	}
+	if best == "" {
+		return nil, ""
+	}
+	return fams[best], best
+}
+
+// checkHistogram verifies cumulative buckets per label set and that
+// the +Inf bucket equals _count.
+func checkHistogram(t *testing.T, name string, fam *omFamily) {
+	t.Helper()
+	type serKey string
+	key := func(labels map[string]string) serKey {
+		parts := []string{}
+		for k, v := range labels {
+			if k != "le" {
+				parts = append(parts, k+"="+v)
+			}
+		}
+		sort.Strings(parts)
+		return serKey(strings.Join(parts, ","))
+	}
+	type hstate struct {
+		prev, inf float64
+		hasInf    bool
+		count     float64
+		hasCount  bool
+	}
+	sers := map[serKey]*hstate{}
+	get := func(l map[string]string) *hstate {
+		k := key(l)
+		if sers[k] == nil {
+			sers[k] = &hstate{}
+		}
+		return sers[k]
+	}
+	for _, smp := range fam.samples {
+		v, _ := strconv.ParseFloat(smp.value, 64)
+		st := get(smp.labels)
+		switch strings.TrimPrefix(smp.name, name) {
+		case "_bucket":
+			if v < st.prev {
+				t.Fatalf("%s: buckets not cumulative (%v then %v)", name, st.prev, v)
+			}
+			st.prev = v
+			if smp.labels["le"] == "+Inf" {
+				st.inf, st.hasInf = v, true
+			}
+		case "_count":
+			st.count, st.hasCount = v, true
+		}
+	}
+	for k, st := range sers {
+		if !st.hasInf || !st.hasCount {
+			t.Fatalf("%s{%s}: missing +Inf bucket or _count", name, k)
+		}
+		if st.inf != st.count {
+			t.Fatalf("%s{%s}: +Inf bucket %v != count %v", name, k, st.inf, st.count)
+		}
+	}
+}

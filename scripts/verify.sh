@@ -73,7 +73,13 @@ go tool pprof -raw /tmp/ctdf-verify.pprof.pb.gz >/dev/null
 rm -f /tmp/ctdf-verify.pprof.pb.gz
 
 echo "== benchmark smoke =="
-go test -run=NONE -bench='BenchmarkE11|BenchmarkObs' -benchtime=1x .
+go test -run=NONE -bench='BenchmarkE11|BenchmarkObs|BenchmarkTelemetry' -benchtime=1x .
+
+echo "== /metrics endpoint smoke =="
+# Serve the telemetry registry over real HTTP, run an instrumented
+# sharded workload, scrape /metrics, check OpenMetrics framing, and
+# require zero leaked goroutines after Close (see OBSERVABILITY.md).
+go test -run 'TestMetricsHTTPSmoke' -count=1 .
 
 echo "== bench trajectory gate =="
 # Fails when a steady-state cell's allocs/op regresses beyond tolerance
@@ -81,7 +87,10 @@ echo "== bench trajectory gate =="
 # the sharded machine's worker-scaling matrix falls below the host-aware
 # fires/sec floors (see SCALING.md), or when an optimized cell takes
 # more cycles / fires more operators than its unoptimized counterpart
-# (the graph-optimizer non-regression gate, bench.OptGate).
+# (the graph-optimizer non-regression gate, bench.OptGate), or when the
+# telemetry-enabled engine falls below TelemetryOverheadFloor of the
+# uninstrumented throughput (the instrumentation-overhead tripwire,
+# bench.TelemetryGate; see OBSERVABILITY.md).
 go run ./cmd/ctdf bench -smoke -cpu 1,4
 
 echo "== OK =="
